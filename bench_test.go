@@ -1,0 +1,174 @@
+// Benchmarks regenerating each table and figure of the paper at benchmark
+// scale: the workload budgets are shrunk so a single iteration is
+// milliseconds-to-seconds, but every bench exercises exactly the code
+// path that produces the corresponding artefact (cmd/experiments runs the
+// full-scale versions). One benchmark per table/figure, as indexed in
+// DESIGN.md.
+package bingo_test
+
+import (
+	"testing"
+
+	"bingo/internal/harness"
+	"bingo/internal/workloads"
+)
+
+// benchOptions shrinks the machine and budgets so one experiment
+// iteration is cheap while still simulating every component.
+func benchOptions() harness.RunOptions {
+	opts := harness.DefaultRunOptions()
+	opts.System.LLC.SizeBytes = 256 * 1024
+	opts.System.WarmupInstr = 5_000
+	opts.System.MeasureInstr = 15_000
+	return opts
+}
+
+func BenchmarkTable1Config(b *testing.B) {
+	opts := harness.DefaultRunOptions()
+	for i := 0; i < b.N; i++ {
+		if harness.Table1(opts).String() == "" {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkTable2MPKI(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		m := harness.NewMatrix(benchOptions())
+		if _, err := harness.Table2(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig2Events(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.Fig2(benchOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig3MultiEvent(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		m := harness.NewMatrix(benchOptions())
+		if _, err := harness.Fig3(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig4Redundancy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.Fig4(benchOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig6Sweep(b *testing.B) {
+	sizes := []int{1024, 4096, 16384} // benchmark-scale subset of the sweep
+	for i := 0; i < b.N; i++ {
+		m := harness.NewMatrix(benchOptions())
+		if _, err := harness.Fig6(m, sizes); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig7Coverage(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		m := harness.NewMatrix(benchOptions())
+		if _, err := harness.Fig7(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig8Speedup(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		m := harness.NewMatrix(benchOptions())
+		if _, err := harness.Fig8(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig9Density(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		m := harness.NewMatrix(benchOptions())
+		if _, err := harness.Fig9(m, harness.DefaultAreaModel()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig10IsoDegree(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		m := harness.NewMatrix(benchOptions())
+		if _, err := harness.Fig10(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblateVote(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		m := harness.NewMatrix(benchOptions())
+		if _, err := harness.AblateVote(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblateRegion(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		m := harness.NewMatrix(benchOptions())
+		if _, err := harness.AblateRegion(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulationRate measures raw simulator throughput (simulated
+// instructions per second) on the heaviest workload, reported as the
+// custom metric Minstr/s.
+func BenchmarkSimulationRate(b *testing.B) {
+	w, _ := workloads.ByName("em3d")
+	opts := benchOptions()
+	var instr uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := harness.RunNamed(w, "bingo", opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		instr += res.WindowInstructions
+	}
+	b.ReportMetric(float64(instr)/1e6/b.Elapsed().Seconds(), "Minstr/s")
+}
+
+func BenchmarkAblateSharing(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		m := harness.NewMatrix(benchOptions())
+		if _, err := harness.AblateSharing(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblateQueue(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.AblateQueue(benchOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblateBandwidth(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.AblateBandwidth(benchOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

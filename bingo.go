@@ -1,0 +1,122 @@
+// Package bingo is a reproduction of the Bingo spatial data prefetcher
+// (Bakhshalipour et al., HPCA 2019) together with the full evaluation
+// substrate the paper runs on: a trace-driven four-core simulator (OoO
+// cores, two-level cache hierarchy, banked DRAM with row buffers, random
+// first-touch translation), five competing prefetchers (SMS, AMPM, BOP,
+// SPP, VLDP), synthetic stand-ins for the paper's server and SPEC
+// workloads, and a harness that regenerates every table and figure of the
+// paper's evaluation.
+//
+// This root package is the public façade: it re-exports the prefetcher
+// API and the simulation entry points so downstream users never import
+// internal packages directly.
+//
+// # Quick start
+//
+//	w, _ := bingo.WorkloadByName("Streaming")
+//	base, _ := bingo.RunWorkload(w, "none", bingo.DefaultRunOptions())
+//	res, _ := bingo.RunWorkload(w, "bingo", bingo.DefaultRunOptions())
+//	fmt.Printf("speedup: %+.1f%%\n", (res.Throughput()/base.Throughput()-1)*100)
+//
+// # Using the prefetcher standalone
+//
+//	pf := bingo.NewPrefetcher(bingo.DefaultPrefetcherConfig())
+//	addrs := pf.OnAccess(bingo.AccessEvent{PC: 0x400812, Addr: 0x7f3a_2040})
+//	// addrs are the block addresses Bingo would prefetch.
+package bingo
+
+import (
+	"bingo/internal/core"
+	"bingo/internal/harness"
+	"bingo/internal/mem"
+	"bingo/internal/prefetch"
+	"bingo/internal/system"
+	"bingo/internal/workloads"
+)
+
+// Addr is a byte address in the simulated machine.
+type Addr = mem.Addr
+
+// PC is the program counter of an accessing instruction.
+type PC = mem.PC
+
+// AccessEvent is one demand access observed by a prefetcher.
+type AccessEvent = prefetch.AccessEvent
+
+// Prefetcher is the interface every prefetching algorithm implements;
+// bring your own implementation to RunWorkloadWith to evaluate it on the
+// simulated system against the built-in ones.
+type Prefetcher = prefetch.Prefetcher
+
+// PrefetcherFactory builds one Prefetcher per core.
+type PrefetcherFactory = prefetch.Factory
+
+// Footprint is a bit vector over the blocks of a spatial region.
+type Footprint = prefetch.Footprint
+
+// PrefetcherConfig parameterises the Bingo prefetcher.
+type PrefetcherConfig = core.Config
+
+// BingoPrefetcher is the paper's prefetcher: a residency tracker feeding
+// one unified history table looked up with PC+Address then PC+Offset.
+type BingoPrefetcher = core.Bingo
+
+// DefaultPrefetcherConfig returns the paper's evaluated configuration
+// (2 KB regions, 16 K-entry 16-way history, 20% vote threshold, ≈119 KB).
+func DefaultPrefetcherConfig() PrefetcherConfig { return core.DefaultConfig() }
+
+// NewPrefetcher builds a Bingo instance, panicking on invalid
+// configuration (use core semantics: validate with cfg.Validate first if
+// the configuration is not statically known).
+func NewPrefetcher(cfg PrefetcherConfig) *BingoPrefetcher { return core.MustNew(cfg) }
+
+// SystemConfig describes the simulated machine (Table I defaults).
+type SystemConfig = system.Config
+
+// AttachLevel selects where prefetchers attach (LLC per the paper, or L1
+// for the attach-level ablation); set it via RunOptions.System.PrefetchAt.
+type AttachLevel = system.AttachLevel
+
+// Attach levels.
+const (
+	AttachLLC = system.AttachLLC
+	AttachL1  = system.AttachL1
+)
+
+// Results carries everything a simulation run measured.
+type Results = system.Results
+
+// RunOptions bound one simulation run.
+type RunOptions = harness.RunOptions
+
+// Workload is one of the paper's Table II workloads.
+type Workload = workloads.Spec
+
+// DefaultRunOptions returns the paper-faithful machine and budgets.
+func DefaultRunOptions() RunOptions { return harness.DefaultRunOptions() }
+
+// FastRunOptions returns reduced budgets for tests and demos.
+func FastRunOptions() RunOptions { return harness.FastRunOptions() }
+
+// Workloads lists the paper's ten workloads in Table II order.
+func Workloads() []Workload { return workloads.All() }
+
+// WorkloadByName finds a workload ("DataServing", "em3d", "Mix1", …).
+func WorkloadByName(name string) (Workload, bool) { return workloads.ByName(name) }
+
+// Prefetchers lists the registered prefetcher names ("bingo", "sms",
+// "ampm", "bop", "spp", "vldp", "none", aggressive variants, …).
+func Prefetchers() []string { return harness.PrefetcherNames() }
+
+// RunWorkload simulates a workload under a registered prefetcher name and
+// returns the measured results.
+func RunWorkload(w Workload, prefetcher string, opts RunOptions) (Results, error) {
+	return harness.RunNamed(w, prefetcher, opts)
+}
+
+// RunWorkloadWith simulates a workload under a caller-supplied prefetcher
+// factory — the hook for evaluating custom prefetchers on the same
+// system and workloads as the paper's.
+func RunWorkloadWith(w Workload, factory PrefetcherFactory, opts RunOptions) (Results, error) {
+	return harness.Run(w, factory, opts)
+}

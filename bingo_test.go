@@ -1,0 +1,116 @@
+package bingo_test
+
+import (
+	"testing"
+
+	"bingo"
+)
+
+// facadeOptions shrinks the machine and budgets for fast façade tests.
+func facadeOptions() bingo.RunOptions {
+	opts := bingo.DefaultRunOptions()
+	opts.System.LLC.SizeBytes = 512 * 1024
+	opts.System.WarmupInstr = 20_000
+	opts.System.MeasureInstr = 50_000
+	return opts
+}
+
+func TestWorkloadsExposed(t *testing.T) {
+	if len(bingo.Workloads()) != 10 {
+		t.Fatal("ten workloads expected")
+	}
+	if _, ok := bingo.WorkloadByName("em3d"); !ok {
+		t.Fatal("em3d should resolve")
+	}
+	if _, ok := bingo.WorkloadByName("nope"); ok {
+		t.Fatal("unknown workload should not resolve")
+	}
+}
+
+func TestPrefetchersExposed(t *testing.T) {
+	names := bingo.Prefetchers()
+	want := map[string]bool{"bingo": true, "sms": true, "none": true, "bop": true}
+	found := 0
+	for _, n := range names {
+		if want[n] {
+			found++
+		}
+	}
+	if found != len(want) {
+		t.Fatalf("registry missing entries: %v", names)
+	}
+}
+
+func TestRunWorkloadEndToEnd(t *testing.T) {
+	w, _ := bingo.WorkloadByName("Streaming")
+	opts := facadeOptions()
+	base, err := bingo.RunWorkload(w, "none", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := bingo.RunWorkload(w, "bingo", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Throughput() <= base.Throughput() {
+		t.Fatalf("bingo should speed Streaming up: %.2f vs %.2f",
+			res.Throughput(), base.Throughput())
+	}
+	if res.LLC.UsefulPrefetch == 0 {
+		t.Fatal("bingo should issue useful prefetches on Streaming")
+	}
+	// At this tiny scale the history is cold; allow slight miss noise but
+	// not wholesale pollution.
+	if float64(res.LLC.Misses) > 1.1*float64(base.LLC.Misses) {
+		t.Fatalf("bingo polluted the LLC: %d vs %d misses", res.LLC.Misses, base.LLC.Misses)
+	}
+}
+
+func TestStandalonePrefetcher(t *testing.T) {
+	pf := bingo.NewPrefetcher(bingo.DefaultPrefetcherConfig())
+	// Train one region residency by hand via the public types.
+	region := uint64(42)
+	blockAt := func(b int) bingo.Addr { return bingo.Addr(region*2048 + uint64(b)*64) }
+	pf.OnAccess(bingo.AccessEvent{PC: 0x400, Addr: blockAt(1)})
+	pf.OnAccess(bingo.AccessEvent{PC: 0x404, Addr: blockAt(4)})
+	pf.OnEviction(blockAt(1))
+
+	// Generalise to a new region via PC+Offset.
+	got := pf.OnAccess(bingo.AccessEvent{PC: 0x400, Addr: bingo.Addr(900*2048 + 1*64)})
+	if len(got) != 1 || got[0] != bingo.Addr(900*2048+4*64) {
+		t.Fatalf("prefetch = %v", got)
+	}
+	if pf.StorageBytes() < 100_000 {
+		t.Fatalf("default storage = %d, want ≈119 KB", pf.StorageBytes())
+	}
+}
+
+func TestCustomPrefetcherViaFactory(t *testing.T) {
+	w, _ := bingo.WorkloadByName("Streaming")
+	var built int
+	factory := bingo.PrefetcherFactory(func(core int) bingo.Prefetcher {
+		built++
+		return nopPrefetcher{}
+	})
+	if _, err := bingo.RunWorkloadWith(w, factory, facadeOptions()); err != nil {
+		t.Fatal(err)
+	}
+	if built != 4 {
+		t.Fatalf("factory built %d instances, want one per core", built)
+	}
+}
+
+type nopPrefetcher struct{}
+
+func (nopPrefetcher) Name() string                            { return "nop" }
+func (nopPrefetcher) OnAccess(bingo.AccessEvent) []bingo.Addr { return nil }
+func (nopPrefetcher) OnEviction(bingo.Addr)                   {}
+func (nopPrefetcher) StorageBytes() int                       { return 0 }
+
+func TestFastRunOptionsSmaller(t *testing.T) {
+	fast := bingo.FastRunOptions()
+	full := bingo.DefaultRunOptions()
+	if fast.System.MeasureInstr >= full.System.MeasureInstr {
+		t.Fatal("fast options should shrink the budget")
+	}
+}

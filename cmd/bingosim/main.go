@@ -1,0 +1,128 @@
+// Command bingosim runs one workload under one prefetcher on the
+// simulated four-core system and prints the measured results: per-core
+// IPC, LLC statistics, coverage/accuracy, and DRAM behaviour.
+//
+// Usage:
+//
+//	bingosim -workload em3d -prefetcher bingo
+//	bingosim -workload Mix1 -prefetcher none -measure 2000000
+//	bingosim -trace run.trc -prefetcher sms   # replay a recorded trace
+//	bingosim -list                            # show workloads & prefetchers
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"bingo/internal/harness"
+	"bingo/internal/system"
+	"bingo/internal/trace"
+	"bingo/internal/workloads"
+)
+
+func main() {
+	var (
+		workloadFlag = flag.String("workload", "em3d", "workload name (see -list)")
+		pfFlag       = flag.String("prefetcher", "bingo", "prefetcher name (see -list)")
+		traceFlag    = flag.String("trace", "", "replay a recorded trace file on every core instead of a workload")
+		warmupFlag   = flag.Uint64("warmup", 0, "override warm-up instructions per core")
+		measureFlag  = flag.Uint64("measure", 0, "override measured instructions per core")
+		seedFlag     = flag.Int64("seed", 1, "workload generator seed")
+		listFlag     = flag.Bool("list", false, "list workloads and prefetchers, then exit")
+		compareFlag  = flag.Bool("compare", false, "also run the no-prefetcher baseline and report speedup/coverage")
+	)
+	flag.Parse()
+
+	if *listFlag {
+		fmt.Println("workloads:")
+		for _, w := range workloads.All() {
+			fmt.Printf("  %-12s %s\n", w.Name, w.Description)
+		}
+		fmt.Printf("prefetchers: %v\n", harness.PrefetcherNames())
+		return
+	}
+
+	opts := harness.DefaultRunOptions()
+	opts.Seed = *seedFlag
+	if *warmupFlag > 0 {
+		opts.System.WarmupInstr = *warmupFlag
+	}
+	if *measureFlag > 0 {
+		opts.System.MeasureInstr = *measureFlag
+	}
+
+	var run func(prefetcher string) (system.Results, error)
+	var label string
+	if *traceFlag != "" {
+		label = *traceFlag
+		run = func(prefetcher string) (system.Results, error) {
+			return replayTrace(*traceFlag, prefetcher, opts)
+		}
+	} else {
+		w, ok := workloads.ByName(*workloadFlag)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "bingosim: unknown workload %q (try -list)\n", *workloadFlag)
+			os.Exit(2)
+		}
+		label = w.Name
+		run = func(prefetcher string) (system.Results, error) {
+			return harness.RunNamed(w, prefetcher, opts)
+		}
+	}
+
+	res, err := run(*pfFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bingosim: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("workload=%s\n%s", label, res)
+
+	if *compareFlag && *pfFlag != "none" {
+		base, err := run("none")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bingosim: baseline: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("baseline: throughput=%.3f mpki=%.2f\n", base.Throughput(), base.LLCMPKI())
+		fmt.Printf("speedup=%+.1f%% coverage=%.1f%% overprediction=%.1f%%\n",
+			(res.Throughput()/base.Throughput()-1)*100,
+			res.CoverageVsBaseline(base.LLC.Misses)*100,
+			res.Overprediction(base.LLC.Misses)*100)
+	}
+}
+
+// replayTrace runs the same recorded trace on every core.
+func replayTrace(path, prefetcher string, opts harness.RunOptions) (system.Results, error) {
+	factory, err := harness.FactoryByName(prefetcher)
+	if err != nil {
+		return system.Results{}, err
+	}
+	sources := make([]trace.Source, opts.System.NumCores)
+	files := make([]*os.File, 0, opts.System.NumCores)
+	defer func() {
+		for _, f := range files {
+			f.Close()
+		}
+	}()
+	for i := range sources {
+		f, err := os.Open(path)
+		if err != nil {
+			return system.Results{}, err
+		}
+		files = append(files, f)
+		r, closer, err := trace.NewAutoReader(f)
+		if err != nil {
+			return system.Results{}, err
+		}
+		if closer != nil {
+			defer closer.Close()
+		}
+		sources[i] = r
+	}
+	sys, err := system.New(opts.System, sources, factory)
+	if err != nil {
+		return system.Results{}, err
+	}
+	return sys.Run(), nil
+}

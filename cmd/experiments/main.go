@@ -1,0 +1,134 @@
+// Command experiments regenerates every table and figure of the Bingo
+// paper's evaluation (HPCA 2019) on the simulated system, plus the extra
+// ablations documented in DESIGN.md.
+//
+// Usage:
+//
+//	experiments -exp all              # everything (slow: the full matrix)
+//	experiments -exp fig8             # one artefact
+//	experiments -exp fig7,fig8,fig9   # several (they share runs)
+//	experiments -fast                 # reduced instruction budgets
+//
+// Artefact names: table1 table2 fig2 fig3 fig4 fig6 fig7 fig8 fig9 fig10
+// ablate-vote ablate-region.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"bingo/internal/harness"
+)
+
+func main() {
+	var (
+		expFlag    = flag.String("exp", "all", "comma-separated experiment list or 'all'")
+		fastFlag   = flag.Bool("fast", false, "use reduced instruction budgets")
+		seedFlag   = flag.Int64("seed", 1, "workload generator seed")
+		formatFlag = flag.String("format", "text", "output format: text, csv, or markdown")
+	)
+	flag.Parse()
+
+	opts := harness.DefaultRunOptions()
+	if *fastFlag {
+		opts = harness.FastRunOptions()
+	}
+	opts.Seed = *seedFlag
+
+	order := []string{"table1", "table2", "fig2", "fig3", "fig4", "fig6",
+		"fig7", "fig8", "fig9", "fig10", "ablate-vote", "ablate-region",
+		"ablate-sharing", "ablate-queue", "ablate-bandwidth", "ablate-level", "ablate-tags", "extras", "seeds"}
+	want := map[string]bool{}
+	if *expFlag == "all" {
+		for _, e := range order {
+			want[e] = true
+		}
+	} else {
+		for _, e := range strings.Split(*expFlag, ",") {
+			want[strings.TrimSpace(e)] = true
+		}
+	}
+
+	m := harness.NewMatrix(opts)
+	for _, exp := range order {
+		if !want[exp] {
+			continue
+		}
+		delete(want, exp)
+		t0 := time.Now()
+		table, err := runExperiment(exp, m, opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", exp, err)
+			os.Exit(1)
+		}
+		table.AddNote("generated in %.0fs (seed %d, %s budgets)",
+			time.Since(t0).Seconds(), opts.Seed, budgetName(*fastFlag))
+		switch *formatFlag {
+		case "csv":
+			table.RenderCSV(os.Stdout)
+		case "markdown":
+			table.RenderMarkdown(os.Stdout)
+		default:
+			table.Render(os.Stdout)
+		}
+	}
+	for unknown := range want {
+		fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q (have %v)\n", unknown, order)
+		os.Exit(2)
+	}
+}
+
+func budgetName(fast bool) string {
+	if fast {
+		return "fast"
+	}
+	return "full"
+}
+
+func runExperiment(name string, m *harness.Matrix, opts harness.RunOptions) (harness.Table, error) {
+	switch name {
+	case "table1":
+		return harness.Table1(opts), nil
+	case "table2":
+		return harness.Table2(m)
+	case "fig2":
+		return harness.Fig2(opts)
+	case "fig3":
+		return harness.Fig3(m)
+	case "fig4":
+		return harness.Fig4(opts)
+	case "fig6":
+		return harness.Fig6(m, nil)
+	case "fig7":
+		return harness.Fig7(m)
+	case "fig8":
+		return harness.Fig8(m)
+	case "fig9":
+		return harness.Fig9(m, harness.DefaultAreaModel())
+	case "fig10":
+		return harness.Fig10(m)
+	case "ablate-vote":
+		return harness.AblateVote(m)
+	case "ablate-region":
+		return harness.AblateRegion(m)
+	case "ablate-sharing":
+		return harness.AblateSharing(m)
+	case "ablate-queue":
+		return harness.AblateQueue(opts)
+	case "ablate-bandwidth":
+		return harness.AblateBandwidth(opts)
+	case "ablate-level":
+		return harness.AblateLevel(opts)
+	case "ablate-tags":
+		return harness.AblateTags(m)
+	case "extras":
+		return harness.Extras(m)
+	case "seeds":
+		return harness.SeedSweep("bingo", opts, nil)
+	default:
+		return harness.Table{}, fmt.Errorf("unknown experiment %q", name)
+	}
+}

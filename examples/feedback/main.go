@@ -1,0 +1,41 @@
+// Feedback: demonstrate feedback-directed throttling (the paper's
+// reference [41]) protecting a bandwidth-starved system from an
+// over-aggressive prefetcher. The DRAM bus is slowed to a quarter of the
+// paper's bandwidth; unthrottled aggressive VLDP then pollutes it, while
+// the FDP wrapper reins the degree in when measured accuracy drops.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"bingo"
+)
+
+func main() {
+	w, ok := bingo.WorkloadByName("em3d")
+	if !ok {
+		log.Fatal("workload not found")
+	}
+	opts := bingo.DefaultRunOptions()
+	opts.System.DRAM.BusCycles *= 4 // quarter the peak bandwidth
+
+	base, err := bingo.RunWorkload(w, "none", opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("workload %s on a quarter-bandwidth system (baseline %.2f IPC)\n\n", w.Name, base.Throughput())
+
+	for _, p := range []string{"vldp-aggr", "fdp-vldp-aggr", "bingo"} {
+		res, err := bingo.RunWorkload(w, p, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-14s speedup=%+6.1f%%  overprediction=%5.1f%%  dropped=%d\n",
+			p,
+			(res.Throughput()/base.Throughput()-1)*100,
+			res.Overprediction(base.LLC.Misses)*100,
+			res.PrefetchDropped)
+	}
+	fmt.Println("\nfdp(...) wraps any prefetcher: accuracy feedback halves the degree when prefetches go unused.")
+}

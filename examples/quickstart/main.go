@@ -1,0 +1,37 @@
+// Quickstart: simulate one server workload on the paper's four-core
+// system with and without the Bingo prefetcher, and print the speedup,
+// coverage, and accuracy — the minimal end-to-end use of the library.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"bingo"
+)
+
+func main() {
+	w, ok := bingo.WorkloadByName("Streaming")
+	if !ok {
+		log.Fatal("workload not found")
+	}
+	opts := bingo.DefaultRunOptions()
+
+	base, err := bingo.RunWorkload(w, "none", opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := bingo.RunWorkload(w, "bingo", opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("workload: %s — %s\n\n", w.Name, w.Description)
+	fmt.Printf("baseline:    throughput=%.2f IPC, LLC MPKI=%.1f\n", base.Throughput(), base.LLCMPKI())
+	fmt.Printf("with bingo:  throughput=%.2f IPC, LLC MPKI=%.1f (storage %d KB/core)\n",
+		res.Throughput(), res.LLCMPKI(), res.StorageBytes/1024)
+	fmt.Printf("\nspeedup:        %+.1f%%\n", (res.Throughput()/base.Throughput()-1)*100)
+	fmt.Printf("miss coverage:  %.1f%%\n", res.CoverageVsBaseline(base.LLC.Misses)*100)
+	fmt.Printf("accuracy:       %.1f%%\n", res.Accuracy()*100)
+	fmt.Printf("overprediction: %.1f%%\n", res.Overprediction(base.LLC.Misses)*100)
+}

@@ -1,0 +1,64 @@
+// Serverload: a miniature of the paper's Figure 8 — run every competing
+// prefetcher on the big-data server workloads and rank them by speedup.
+// Demonstrates sweeping the registered prefetchers over several
+// workloads and aggregating results.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"sort"
+
+	"bingo"
+)
+
+func main() {
+	serverWorkloads := []string{"DataServing", "SATSolver", "Streaming", "Zeus", "em3d"}
+	prefetchers := []string{"bop", "spp", "vldp", "ampm", "sms", "bingo"}
+	opts := bingo.DefaultRunOptions()
+
+	logsum := make(map[string]float64)
+	fmt.Printf("%-12s", "workload")
+	for _, p := range prefetchers {
+		fmt.Printf(" %8s", p)
+	}
+	fmt.Println()
+
+	for _, name := range serverWorkloads {
+		w, ok := bingo.WorkloadByName(name)
+		if !ok {
+			log.Fatalf("unknown workload %s", name)
+		}
+		base, err := bingo.RunWorkload(w, "none", opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-12s", name)
+		for _, p := range prefetchers {
+			res, err := bingo.RunWorkload(w, p, opts)
+			if err != nil {
+				log.Fatal(err)
+			}
+			sp := res.Throughput() / base.Throughput()
+			logsum[p] += math.Log(sp)
+			fmt.Printf(" %+7.0f%%", (sp-1)*100)
+		}
+		fmt.Println()
+	}
+
+	type ranked struct {
+		name  string
+		gmean float64
+	}
+	ranking := make([]ranked, 0, len(prefetchers))
+	for _, p := range prefetchers {
+		ranking = append(ranking, ranked{p, math.Exp(logsum[p] / float64(len(serverWorkloads)))})
+	}
+	sort.Slice(ranking, func(i, j int) bool { return ranking[i].gmean > ranking[j].gmean })
+
+	fmt.Println("\nranking (geometric-mean speedup on server workloads):")
+	for i, r := range ranking {
+		fmt.Printf("  %d. %-6s %+.1f%%\n", i+1, r.name, (r.gmean-1)*100)
+	}
+}

@@ -1,0 +1,3 @@
+module bingo
+
+go 1.22

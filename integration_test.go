@@ -1,0 +1,122 @@
+package bingo_test
+
+import (
+	"bytes"
+	"testing"
+
+	"bingo/internal/harness"
+	"bingo/internal/system"
+	"bingo/internal/trace"
+	"bingo/internal/workloads"
+)
+
+// TestTraceReplayMatchesLiveGeneration is the cross-module integration
+// check: recording a workload's streams to the binary trace format and
+// replaying them through the simulator must produce bit-identical results
+// to simulating the generator directly.
+func TestTraceReplayMatchesLiveGeneration(t *testing.T) {
+	opts := harness.FastRunOptions()
+	opts.System.LLC.SizeBytes = 512 * 1024
+	opts.System.WarmupInstr = 10_000
+	opts.System.MeasureInstr = 30_000
+	cfg := opts.System
+
+	w, _ := workloads.ByName("em3d")
+	const records = 40_000
+
+	// Record each core's stream.
+	perCore := make([][]trace.Record, cfg.NumCores)
+	for i, src := range w.Sources(cfg.NumCores, 1) {
+		perCore[i] = trace.Collect(src, records)
+	}
+
+	// Round-trip through the binary format.
+	replayed := make([]trace.Source, cfg.NumCores)
+	for i, recs := range perCore {
+		var buf bytes.Buffer
+		tw, err := trace.NewWriter(&buf, uint64(len(recs)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range recs {
+			if err := tw.Write(r); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := tw.Close(); err != nil {
+			t.Fatal(err)
+		}
+		tr, err := trace.NewReader(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		replayed[i] = tr
+	}
+
+	factory, err := harness.FactoryByName("bingo")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	direct := make([]trace.Source, cfg.NumCores)
+	for i, recs := range perCore {
+		direct[i] = trace.NewSliceSource(recs)
+	}
+
+	resDirect := system.MustNew(cfg, direct, factory).Run()
+	resReplay := system.MustNew(cfg, replayed, factory).Run()
+
+	if resDirect.TotalCycles != resReplay.TotalCycles {
+		t.Fatalf("cycles diverged: %d vs %d", resDirect.TotalCycles, resReplay.TotalCycles)
+	}
+	if resDirect.LLC != resReplay.LLC {
+		t.Fatalf("LLC stats diverged:\n direct %+v\n replay %+v", resDirect.LLC, resReplay.LLC)
+	}
+	if resDirect.DRAM != resReplay.DRAM {
+		t.Fatal("DRAM stats diverged")
+	}
+	for i := range resDirect.PerCore {
+		if resDirect.PerCore[i] != resReplay.PerCore[i] {
+			t.Fatalf("core %d diverged", i)
+		}
+	}
+}
+
+// TestPrefetcherRankingIntegration checks the headline result end to end
+// at reduced scale: on the spatially-friendly workloads, Bingo must beat
+// the no-prefetcher baseline and at least match SMS.
+func TestPrefetcherRankingIntegration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run integration; skipped in -short")
+	}
+	opts := harness.DefaultRunOptions()
+	opts.System.WarmupInstr = 300_000
+	opts.System.MeasureInstr = 300_000
+
+	w, _ := workloads.ByName("em3d")
+	base, err := harness.Run(w, nil, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bingoRes, err := harness.RunNamed(w, "bingo", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	smsRes, err := harness.RunNamed(w, "sms", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if bingoRes.Throughput() <= base.Throughput() {
+		t.Fatalf("bingo (%.2f) should beat the baseline (%.2f) on em3d",
+			bingoRes.Throughput(), base.Throughput())
+	}
+	if bingoRes.Throughput() < smsRes.Throughput() {
+		t.Fatalf("bingo (%.2f) should not lose to SMS (%.2f) on em3d",
+			bingoRes.Throughput(), smsRes.Throughput())
+	}
+	if bingoRes.CoverageVsBaseline(base.LLC.Misses) < 0.5 {
+		t.Fatalf("bingo coverage on em3d = %.2f, want > 0.5",
+			bingoRes.CoverageVsBaseline(base.LLC.Misses))
+	}
+}

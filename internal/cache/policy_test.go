@@ -1,0 +1,62 @@
+package cache
+
+import (
+	"testing"
+
+	"bingo/internal/mem"
+)
+
+func TestTreePLRUVictimAfterSequentialTouches(t *testing.T) {
+	p := newTreePLRU(1, 4)
+	for w := 0; w < 4; w++ {
+		p.Touch(0, w)
+	}
+	// Classic 4-way tree-PLRU after touching 0,1,2,3: the victim is 0.
+	if v := p.Victim(0); v != 0 {
+		t.Fatalf("victim = %d, want 0", v)
+	}
+	p.Touch(0, 0)
+	if v := p.Victim(0); v == 0 {
+		t.Fatal("just-touched way must not be the victim")
+	}
+}
+
+func TestTreePLRUNeverVictimisesMostRecent(t *testing.T) {
+	p := newTreePLRU(1, 8)
+	seq := []int{3, 1, 4, 1, 5, 2, 6, 5, 3, 7, 0, 2}
+	for _, w := range seq {
+		p.Touch(0, w)
+		if v := p.Victim(0); v == w {
+			t.Fatalf("victim %d equals most recently touched way", v)
+		}
+	}
+}
+
+func TestTreePLRUSetsIndependent(t *testing.T) {
+	p := newTreePLRU(2, 4)
+	for w := 0; w < 4; w++ {
+		p.Touch(0, w)
+	}
+	// Set 1 untouched: its victim is the default path (way 0), and set
+	// 0's state must not leak.
+	if v := p.Victim(1); v != 0 {
+		t.Fatalf("untouched set victim = %d", v)
+	}
+}
+
+func TestTreePLRUCacheIntegration(t *testing.T) {
+	lower := &fakeLower{latency: 10}
+	c := MustNew(Config{Name: "P", SizeBytes: 64 * 4, Assoc: 4, HitLatency: 1, Policy: TreePLRU}, lower)
+	// One set of 4 ways: fill, then touch way of block 0, then insert a
+	// fifth block; block 0 must survive.
+	for blk := uint64(0); blk < 4; blk++ {
+		c.Access(blk, Request{Addr: addrOf(blk), Kind: Demand})
+	}
+	c.Access(10, Request{Addr: addrOf(0), Kind: Demand})
+	c.Access(11, Request{Addr: addrOf(4), Kind: Demand})
+	if !c.Contains(addrOf(0)) {
+		t.Fatal("recently touched block evicted under tree-PLRU")
+	}
+}
+
+func addrOf(block uint64) mem.Addr { return mem.Addr(block << mem.BlockShift) }

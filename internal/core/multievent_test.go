@@ -1,0 +1,164 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"bingo/internal/mem"
+	"bingo/internal/prefetch"
+)
+
+func smallMultiConfig(n int) MultiEventConfig {
+	cfg := DefaultMultiEventConfig(n)
+	cfg.TableEntries = 256
+	cfg.TableWays = 4
+	cfg.FilterEntries = 16
+	cfg.AccumEntries = 32
+	cfg.TrackerWays = 4
+	return cfg
+}
+
+func trainMulti(m *MultiEvent, pc mem.PC, region uint64, blocks []int) {
+	for i, blk := range blocks {
+		p := pc
+		if i > 0 {
+			p = pc + mem.PC(i)
+		}
+		m.OnAccess(access(p, blockAddr(region, blk)))
+	}
+	m.OnEviction(blockAddr(region, blocks[0]))
+}
+
+func TestDefaultMultiEventConfigClamps(t *testing.T) {
+	if got := len(DefaultMultiEventConfig(0).Events); got != 1 {
+		t.Fatalf("n=0 clamped to %d events", got)
+	}
+	if got := len(DefaultMultiEventConfig(99).Events); got != 5 {
+		t.Fatalf("n=99 clamped to %d events", got)
+	}
+	if DefaultMultiEventConfig(1).Events[0] != prefetch.EventPCAddress {
+		t.Fatal("single event must be PC+Address (the longest)")
+	}
+}
+
+func TestSingleEventPCAddressOnlyExactRecurrence(t *testing.T) {
+	m := MustNewMultiEvent(smallMultiConfig(1))
+	trainMulti(m, 0x400, 7, []int{2, 5})
+
+	// Exact recurrence: match.
+	if got := m.OnAccess(access(0x400, blockAddr(7, 2))); len(got) != 1 {
+		t.Fatalf("exact recurrence should prefetch, got %v", got)
+	}
+	// New region: PC+Address cannot generalise.
+	if got := m.OnAccess(access(0x400, blockAddr(900, 2))); got != nil {
+		t.Fatalf("PC+Address-only must not cover new regions, got %v", got)
+	}
+	// Three prediction lookups happened: the cold training trigger, the
+	// exact recurrence (hit), and the new region (miss).
+	if got := m.MatchProbability(); got < 0.33 || got > 0.34 {
+		t.Fatalf("match probability = %v, want 1/3", got)
+	}
+}
+
+func TestCascadeFallsBackToShorterEvents(t *testing.T) {
+	m := MustNewMultiEvent(smallMultiConfig(2))
+	trainMulti(m, 0x400, 7, []int{2, 5})
+
+	got := m.OnAccess(access(0x400, blockAddr(900, 2)))
+	if len(got) != 1 || got[0] != blockAddr(900, 5) {
+		t.Fatalf("PC+Offset fallback should cover the new region, got %v", got)
+	}
+	if m.Matched[0] != 0 || m.Matched[1] != 1 {
+		t.Fatalf("match attribution = %v", m.Matched)
+	}
+	// Two prediction lookups happened (the cold training trigger and the
+	// test trigger); both consulted both tables since neither long lookup hit.
+	if m.Consulted[0] != 2 || m.Consulted[1] != 2 {
+		t.Fatalf("consulted = %v", m.Consulted)
+	}
+}
+
+func TestCascadePrefersLongest(t *testing.T) {
+	m := MustNewMultiEvent(smallMultiConfig(2))
+	trainMulti(m, 0x400, 7, []int{2, 5})
+	m.OnAccess(access(0x400, blockAddr(7, 2))) // long event available
+	if m.Matched[0] != 1 || m.Matched[1] != 0 {
+		t.Fatalf("longest table should win: %v", m.Matched)
+	}
+}
+
+func TestRedundancyProbe(t *testing.T) {
+	cfg := smallMultiConfig(2)
+	cfg.ProbeRedundant = true
+	m := MustNewMultiEvent(cfg)
+	trainMulti(m, 0x400, 7, []int{2, 5})
+
+	// Exact recurrence: both tables hold the identical footprint.
+	m.OnAccess(access(0x400, blockAddr(7, 2)))
+	if m.BothHit != 1 || m.Identical != 1 {
+		t.Fatalf("probe: both=%d identical=%d", m.BothHit, m.Identical)
+	}
+	if m.Redundancy() != 1.0 {
+		t.Fatalf("redundancy = %v", m.Redundancy())
+	}
+
+	// Retrain region 7 with a different footprint while another region
+	// trains the short table with the old pattern — then long and short
+	// can disagree.
+	trainMulti(m, 0x400, 7, []int{2, 9})
+	m.OnAccess(access(0x400, blockAddr(7, 2)))
+	if m.BothHit != 2 {
+		t.Fatalf("both = %d", m.BothHit)
+	}
+}
+
+func TestRedundancyZeroWhenNoDualHits(t *testing.T) {
+	cfg := smallMultiConfig(2)
+	cfg.ProbeRedundant = true
+	m := MustNewMultiEvent(cfg)
+	if m.Redundancy() != 0 {
+		t.Fatal("no lookups: redundancy 0")
+	}
+}
+
+func TestMultiEventName(t *testing.T) {
+	m := MustNewMultiEvent(smallMultiConfig(2))
+	name := m.Name()
+	if !strings.Contains(name, "PC+Address") || !strings.Contains(name, "PC+Offset") {
+		t.Fatalf("name = %q", name)
+	}
+	if len(m.Events()) != 2 {
+		t.Fatalf("events = %v", m.Events())
+	}
+}
+
+func TestMultiEventStorageGrowsWithTables(t *testing.T) {
+	s1 := MustNewMultiEvent(smallMultiConfig(1)).StorageBytes()
+	s5 := MustNewMultiEvent(smallMultiConfig(5)).StorageBytes()
+	if s5 <= s1 {
+		t.Fatalf("5-table cascade (%d B) should cost more than 1 table (%d B)", s5, s1)
+	}
+}
+
+func TestMultiEventMaxDegree(t *testing.T) {
+	cfg := smallMultiConfig(2)
+	cfg.MaxDegree = 1
+	m := MustNewMultiEvent(cfg)
+	trainMulti(m, 0x400, 7, []int{0, 4, 8, 12})
+	if got := m.OnAccess(access(0x400, blockAddr(900, 0))); len(got) != 1 {
+		t.Fatalf("MaxDegree=1 but issued %d", len(got))
+	}
+}
+
+func TestMultiEventBadConfig(t *testing.T) {
+	cfg := smallMultiConfig(2)
+	cfg.RegionBytes = 3000
+	if _, err := NewMultiEvent(cfg); err == nil {
+		t.Fatal("bad region should fail")
+	}
+	cfg = smallMultiConfig(2)
+	cfg.TableEntries = 10
+	if _, err := NewMultiEvent(cfg); err == nil {
+		t.Fatal("bad table geometry should fail")
+	}
+}

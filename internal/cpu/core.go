@@ -1,0 +1,259 @@
+// Package cpu models an out-of-order core with the ROB-occupancy timing
+// approximation standard for trace-driven simulation: instructions
+// dispatch and retire in order at a fixed width, non-memory instructions
+// complete in one cycle, memory instructions complete when the hierarchy
+// returns their data, and a full ROB (or LSQ) stalls dispatch. Memory-level
+// parallelism therefore emerges naturally — independent misses overlap up
+// to the LSQ size — while a long-latency miss at the ROB head stalls
+// retirement exactly as in the paper's 4-wide, 256-entry-ROB cores.
+package cpu
+
+import (
+	"fmt"
+
+	"bingo/internal/cache"
+	"bingo/internal/trace"
+	"bingo/internal/vm"
+)
+
+// Config describes one core.
+type Config struct {
+	Width   int // dispatch and retire width (instructions/cycle)
+	ROBSize int
+	LSQSize int // maximum in-flight memory operations
+}
+
+// DefaultConfig matches the paper's Table I: 4-wide OoO, 256-entry ROB,
+// 64-entry LSQ.
+func DefaultConfig() Config {
+	return Config{Width: 4, ROBSize: 256, LSQSize: 64}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Width <= 0 || c.ROBSize <= 0 || c.LSQSize <= 0 {
+		return fmt.Errorf("cpu: width/rob/lsq must all be positive: %+v", c)
+	}
+	if c.LSQSize > c.ROBSize {
+		return fmt.Errorf("cpu: LSQ (%d) cannot exceed ROB (%d)", c.LSQSize, c.ROBSize)
+	}
+	return nil
+}
+
+// Stats counts retired work and stall attribution for one core.
+type Stats struct {
+	Instructions uint64 // retired instructions (memory + non-memory)
+	MemOps       uint64 // retired memory operations
+	Loads        uint64
+	Stores       uint64
+	// MemStall counts observed cycles where retirement was blocked by a
+	// memory op at the ROB head. It is a sampling counter: when the
+	// simulation loop fast-forwards through provably idle stalls, the
+	// skipped cycles are not observed, so MemStall is a lower bound.
+	MemStall uint64
+}
+
+// robEntry is one in-flight instruction.
+type robEntry struct {
+	completeAt uint64
+	isMem      bool
+}
+
+// Core simulates one hardware context. Drive it with Tick from a lockstep
+// system loop.
+type Core struct {
+	cfg  Config
+	id   int
+	src  trace.Source
+	xlat vm.Mapper
+	port cache.Level
+
+	rob      []robEntry // ring buffer
+	robHead  int
+	robCount int
+
+	outstanding []uint64 // completion times of in-flight memory ops
+
+	// current record being dispatched
+	cur        trace.Record
+	curValid   bool
+	nonMemLeft uint32
+	exhausted  bool
+
+	// lastLoadDone is the completion cycle of the most recent load;
+	// Dep-marked accesses cannot issue before it (pointer chasing).
+	lastLoadDone uint64
+
+	stats Stats
+}
+
+// New creates a core reading records from src, translating through xlat,
+// and issuing memory requests to port (its L1-equivalent entry point).
+func New(cfg Config, id int, src trace.Source, xlat vm.Mapper, port cache.Level) (*Core, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if src == nil || xlat == nil || port == nil {
+		return nil, fmt.Errorf("cpu: src, xlat, and port must all be non-nil")
+	}
+	return &Core{
+		cfg:  cfg,
+		id:   id,
+		src:  src,
+		xlat: xlat,
+		port: port,
+		rob:  make([]robEntry, cfg.ROBSize),
+	}, nil
+}
+
+// MustNew is New that panics on error.
+func MustNew(cfg Config, id int, src trace.Source, xlat vm.Mapper, port cache.Level) *Core {
+	c, err := New(cfg, id, src, xlat, port)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// ID returns the core's index.
+func (c *Core) ID() int { return c.id }
+
+// Stats returns a snapshot of the counters.
+func (c *Core) Stats() Stats { return c.stats }
+
+// ResetStats zeroes the counters; pipeline state is preserved so warm-up
+// can flow into measurement seamlessly.
+func (c *Core) ResetStats() { c.stats = Stats{} }
+
+// Done reports whether the trace is exhausted and the pipeline drained.
+func (c *Core) Done() bool {
+	return c.exhausted && !c.curValid && c.robCount == 0
+}
+
+// Tick advances the core by one cycle: retire then dispatch.
+func (c *Core) Tick(now uint64) {
+	c.retire(now)
+	c.dispatch(now)
+}
+
+func (c *Core) retire(now uint64) {
+	for retired := 0; retired < c.cfg.Width && c.robCount > 0; retired++ {
+		head := &c.rob[c.robHead]
+		if head.completeAt > now {
+			if head.isMem {
+				c.stats.MemStall++
+			}
+			return
+		}
+		c.stats.Instructions++
+		if head.isMem {
+			c.stats.MemOps++
+		}
+		c.robHead = (c.robHead + 1) % c.cfg.ROBSize
+		c.robCount--
+	}
+}
+
+func (c *Core) dispatch(now uint64) {
+	for n := 0; n < c.cfg.Width; n++ {
+		if c.robCount == c.cfg.ROBSize {
+			return
+		}
+		if !c.curValid {
+			if !c.fetch() {
+				return
+			}
+		}
+		if c.nonMemLeft > 0 {
+			c.nonMemLeft--
+			c.push(robEntry{completeAt: now + 1})
+			continue
+		}
+		// Memory operation of the current record.
+		if c.cur.Dep && c.lastLoadDone > now {
+			return // address depends on an in-flight load: stall
+		}
+		if !c.lsqReserve(now) {
+			return // LSQ full: stall dispatch this cycle
+		}
+		pa := c.xlat.Translate(c.cur.Addr)
+		kind := cache.Demand
+		if c.cur.Kind == trace.Store {
+			kind = cache.Write
+			c.stats.Stores++
+		} else {
+			c.stats.Loads++
+		}
+		res := c.port.Access(now, cache.Request{Addr: pa, PC: c.cur.PC, Core: c.id, Kind: kind})
+		complete := res.CompleteAt
+		if kind == cache.Write {
+			// Stores retire once issued; the hierarchy absorbs them.
+			complete = now + 1
+		} else {
+			c.lastLoadDone = res.CompleteAt
+		}
+		c.outstanding = append(c.outstanding, res.CompleteAt)
+		c.push(robEntry{completeAt: complete, isMem: true})
+		c.curValid = false
+	}
+}
+
+// fetch pulls the next trace record.
+func (c *Core) fetch() bool {
+	if c.exhausted {
+		return false
+	}
+	rec, ok := c.src.Next()
+	if !ok {
+		c.exhausted = true
+		return false
+	}
+	c.cur = rec
+	c.curValid = true
+	c.nonMemLeft = rec.NonMem
+	return true
+}
+
+// lsqReserve admits a new memory op if fewer than LSQSize are in flight,
+// compacting completed entries lazily.
+func (c *Core) lsqReserve(now uint64) bool {
+	if len(c.outstanding) < c.cfg.LSQSize {
+		return true
+	}
+	live := c.outstanding[:0]
+	for _, t := range c.outstanding {
+		if t > now {
+			live = append(live, t)
+		}
+	}
+	c.outstanding = live
+	return len(c.outstanding) < c.cfg.LSQSize
+}
+
+func (c *Core) push(e robEntry) {
+	tail := (c.robHead + c.robCount) % c.cfg.ROBSize
+	c.rob[tail] = e
+	c.robCount++
+}
+
+// NextEventAt returns the earliest future cycle at which this core can make
+// progress, given that it made none at cycle now. Used by the system loop
+// to fast-forward through long stalls.
+func (c *Core) NextEventAt(now uint64) uint64 {
+	if c.Done() {
+		return ^uint64(0)
+	}
+	if c.robCount == 0 {
+		return now + 1
+	}
+	head := c.rob[c.robHead]
+	if head.completeAt > now+1 {
+		// Retirement blocked until the head completes. Dispatch may still
+		// be possible if the ROB has room, so only skip when it is full
+		// or the LSQ blocks the pending memory op.
+		if c.robCount == c.cfg.ROBSize {
+			return head.completeAt
+		}
+	}
+	return now + 1
+}

@@ -1,0 +1,264 @@
+package cpu
+
+import (
+	"testing"
+
+	"bingo/internal/cache"
+	"bingo/internal/mem"
+	"bingo/internal/trace"
+	"bingo/internal/vm"
+)
+
+// fixedPort completes every access after a fixed latency.
+type fixedPort struct {
+	latency  uint64
+	accesses int
+}
+
+func (p *fixedPort) Access(now uint64, req cache.Request) cache.Result {
+	p.accesses++
+	return cache.Result{CompleteAt: now + p.latency, HitLevel: "X"}
+}
+
+func run(t *testing.T, cfg Config, recs []trace.Record, port cache.Level) (*Core, uint64) {
+	t.Helper()
+	c, err := New(cfg, 0, trace.NewSliceSource(recs), vm.Identity{}, port)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cycle uint64
+	for !c.Done() {
+		c.Tick(cycle)
+		cycle++
+		if cycle > 10_000_000 {
+			t.Fatal("core did not drain")
+		}
+	}
+	return c, cycle
+}
+
+func TestValidation(t *testing.T) {
+	bad := []Config{
+		{Width: 0, ROBSize: 8, LSQSize: 4},
+		{Width: 2, ROBSize: 0, LSQSize: 4},
+		{Width: 2, ROBSize: 8, LSQSize: 0},
+		{Width: 2, ROBSize: 8, LSQSize: 16}, // LSQ > ROB
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(DefaultConfig(), 0, nil, vm.Identity{}, &fixedPort{}); err == nil {
+		t.Error("nil source should fail")
+	}
+}
+
+func TestNonMemIPCBoundedByWidth(t *testing.T) {
+	// 1000 records of 15 non-mem + 1 fast mem op = 16000 instructions.
+	recs := make([]trace.Record, 1000)
+	for i := range recs {
+		recs[i] = trace.Record{PC: 1, Addr: mem.Addr(i * 64), NonMem: 15}
+	}
+	cfg := Config{Width: 4, ROBSize: 64, LSQSize: 16}
+	c, cycles := run(t, cfg, recs, &fixedPort{latency: 1})
+	if got := c.Stats().Instructions; got != 16000 {
+		t.Fatalf("instructions = %d", got)
+	}
+	ipc := float64(16000) / float64(cycles)
+	if ipc > 4.0 {
+		t.Fatalf("IPC %.2f exceeds width", ipc)
+	}
+	if ipc < 3.0 {
+		t.Fatalf("IPC %.2f too low for fast memory", ipc)
+	}
+}
+
+func TestMemoryLatencyStalls(t *testing.T) {
+	recs := make([]trace.Record, 100)
+	for i := range recs {
+		recs[i] = trace.Record{PC: 1, Addr: mem.Addr(i * 64)}
+	}
+	cfg := Config{Width: 4, ROBSize: 8, LSQSize: 4}
+	_, fast := run(t, cfg, recs, &fixedPort{latency: 1})
+	_, slow := run(t, cfg, recs, &fixedPort{latency: 500})
+	if slow < fast*10 {
+		t.Fatalf("500-cycle memory should dominate: fast=%d slow=%d", fast, slow)
+	}
+}
+
+func TestMLPOverlapsIndependentMisses(t *testing.T) {
+	// Independent misses should overlap up to the LSQ size: 64 misses of
+	// 400 cycles with LSQ 16 should take far less than 64×400 cycles.
+	recs := make([]trace.Record, 64)
+	for i := range recs {
+		recs[i] = trace.Record{PC: 1, Addr: mem.Addr(i * 4096)}
+	}
+	cfg := Config{Width: 4, ROBSize: 64, LSQSize: 16}
+	_, cycles := run(t, cfg, recs, &fixedPort{latency: 400})
+	if cycles > 64*400/4 {
+		t.Fatalf("no MLP: %d cycles", cycles)
+	}
+}
+
+func TestDependentLoadsSerialise(t *testing.T) {
+	indep := make([]trace.Record, 50)
+	dep := make([]trace.Record, 50)
+	for i := range indep {
+		indep[i] = trace.Record{PC: 1, Addr: mem.Addr(i * 4096)}
+		dep[i] = trace.Record{PC: 1, Addr: mem.Addr(i * 4096), Dep: true}
+	}
+	cfg := Config{Width: 4, ROBSize: 64, LSQSize: 16}
+	_, fast := run(t, cfg, indep, &fixedPort{latency: 300})
+	_, slow := run(t, cfg, dep, &fixedPort{latency: 300})
+	if slow < 50*300 {
+		t.Fatalf("dependent chain should serialise: %d cycles", slow)
+	}
+	if fast*5 > slow {
+		t.Fatalf("independent (%d) should be much faster than dependent (%d)", fast, slow)
+	}
+}
+
+func TestStoresRetireWithoutWaiting(t *testing.T) {
+	recs := make([]trace.Record, 50)
+	for i := range recs {
+		recs[i] = trace.Record{PC: 1, Addr: mem.Addr(i * 4096), Kind: trace.Store}
+	}
+	cfg := Config{Width: 4, ROBSize: 64, LSQSize: 64}
+	c, cycles := run(t, cfg, recs, &fixedPort{latency: 400})
+	if cycles > 200 {
+		t.Fatalf("stores should not stall retirement: %d cycles", cycles)
+	}
+	if c.Stats().Stores != 50 {
+		t.Fatalf("stores = %d", c.Stats().Stores)
+	}
+}
+
+func TestLSQBoundsOutstanding(t *testing.T) {
+	// With LSQ 2, at most 2 memory ops overlap: 20 misses of 100 cycles
+	// take at least 20/2 × 100 cycles.
+	recs := make([]trace.Record, 20)
+	for i := range recs {
+		recs[i] = trace.Record{PC: 1, Addr: mem.Addr(i * 4096)}
+	}
+	cfg := Config{Width: 4, ROBSize: 64, LSQSize: 2}
+	_, cycles := run(t, cfg, recs, &fixedPort{latency: 100})
+	if cycles < 900 {
+		t.Fatalf("LSQ=2 should bound MLP: %d cycles", cycles)
+	}
+}
+
+func TestStatsAndReset(t *testing.T) {
+	recs := []trace.Record{
+		{PC: 1, Addr: 64, NonMem: 3},
+		{PC: 2, Addr: 128, Kind: trace.Store},
+	}
+	c, _ := run(t, Config{Width: 2, ROBSize: 8, LSQSize: 4}, recs, &fixedPort{latency: 5})
+	st := c.Stats()
+	// 3 non-mem + 1 load + 1 store = 5 instructions.
+	if st.Instructions != 5 || st.MemOps != 2 || st.Loads != 1 || st.Stores != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	c.ResetStats()
+	if c.Stats() != (Stats{}) {
+		t.Fatal("ResetStats should zero")
+	}
+}
+
+func TestMemStallAttribution(t *testing.T) {
+	recs := []trace.Record{{PC: 1, Addr: 64}}
+	c, _ := run(t, Config{Width: 4, ROBSize: 8, LSQSize: 4}, recs, &fixedPort{latency: 200})
+	if c.Stats().MemStall < 150 {
+		t.Fatalf("MemStall = %d, want most of the 200-cycle miss", c.Stats().MemStall)
+	}
+}
+
+func TestNextEventAtFastForward(t *testing.T) {
+	// A full ROB stalled on a long miss should advertise the head's
+	// completion as the next event.
+	recs := make([]trace.Record, 100)
+	for i := range recs {
+		recs[i] = trace.Record{PC: 1, Addr: mem.Addr(i * 4096)}
+	}
+	cfg := Config{Width: 4, ROBSize: 4, LSQSize: 4}
+	c := MustNew(cfg, 0, trace.NewSliceSource(recs), vm.Identity{}, &fixedPort{latency: 1000})
+	var cycle uint64
+	for i := 0; i < 10; i++ {
+		c.Tick(cycle)
+		cycle++
+	}
+	next := c.NextEventAt(cycle)
+	if next <= cycle+1 {
+		t.Fatalf("expected fast-forward hint, got %d at cycle %d", next, cycle)
+	}
+	if done := c.Done(); done {
+		t.Fatal("core should not be done")
+	}
+}
+
+func TestDoneOnEmptyTrace(t *testing.T) {
+	c := MustNew(DefaultConfig(), 0, trace.NewSliceSource(nil), vm.Identity{}, &fixedPort{latency: 1})
+	c.Tick(0)
+	if !c.Done() {
+		t.Fatal("empty trace should drain immediately")
+	}
+	if c.NextEventAt(0) != ^uint64(0) {
+		t.Fatal("done core should advertise no next event")
+	}
+}
+
+// TestFastForwardEquivalence drives two identical cores — one ticked every
+// cycle, one skipping ahead per NextEventAt — and requires identical
+// completion times and retired counts: the fast-forward hint must never
+// change simulated behaviour, only skip provably idle cycles.
+func TestFastForwardEquivalence(t *testing.T) {
+	mkRecs := func() []trace.Record {
+		recs := make([]trace.Record, 400)
+		for i := range recs {
+			recs[i] = trace.Record{PC: 1, Addr: mem.Addr(i * 4096), NonMem: uint32(i % 7)}
+			if i%5 == 0 {
+				recs[i].Dep = true
+			}
+			if i%11 == 0 {
+				recs[i].Kind = trace.Store
+			}
+		}
+		return recs
+	}
+	cfg := Config{Width: 2, ROBSize: 16, LSQSize: 4}
+
+	// Every-cycle reference.
+	ref := MustNew(cfg, 0, trace.NewSliceSource(mkRecs()), vm.Identity{}, &fixedPort{latency: 333})
+	var refCycle uint64
+	for !ref.Done() {
+		ref.Tick(refCycle)
+		refCycle++
+	}
+
+	// Fast-forwarded run.
+	ff := MustNew(cfg, 0, trace.NewSliceSource(mkRecs()), vm.Identity{}, &fixedPort{latency: 333})
+	var cycle uint64
+	for !ff.Done() {
+		ff.Tick(cycle)
+		next := ff.NextEventAt(cycle)
+		if next > cycle+1 && next != ^uint64(0) {
+			cycle = next
+		} else {
+			cycle++
+		}
+	}
+
+	// MemStall is a per-observed-cycle sampling counter and legitimately
+	// undercounts when cycles are skipped; everything else must match.
+	refStats, ffStats := ref.Stats(), ff.Stats()
+	refStats.MemStall, ffStats.MemStall = 0, 0
+	if refStats != ffStats {
+		t.Fatalf("stats diverged:\n ref %+v\n ff  %+v", refStats, ffStats)
+	}
+	if cycle != refCycle {
+		t.Fatalf("completion cycle diverged: ref=%d ff=%d", refCycle, cycle)
+	}
+}

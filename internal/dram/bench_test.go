@@ -1,0 +1,25 @@
+package dram
+
+import (
+	"testing"
+
+	"bingo/internal/mem"
+)
+
+func BenchmarkAccessRowHits(b *testing.B) {
+	d := MustNew(Default4GHz())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Access(uint64(i)*20, mem.Addr(uint64(i%32)<<mem.BlockShift), false)
+	}
+}
+
+func BenchmarkAccessScattered(b *testing.B) {
+	d := MustNew(Default4GHz())
+	addr := uint64(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		addr = addr*6364136223846793005 + 1442695040888963407
+		d.Access(uint64(i)*20, mem.Addr(addr%(1<<32)), false)
+	}
+}

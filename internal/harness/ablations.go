@@ -1,0 +1,217 @@
+package harness
+
+import (
+	"fmt"
+	"math"
+
+	"bingo/internal/core"
+	"bingo/internal/system"
+	"bingo/internal/workloads"
+)
+
+// Extra sensitivity studies beyond the paper's figures, each anchored to a
+// design discussion in the text: the bandwidth wall (§I motivates accuracy
+// because "designs hit the bandwidth wall first"), the prefetch-queue
+// depth that throttles over-eager prefetchers, and the private-vs-shared
+// metadata choice (§V-B).
+
+// AblateBandwidth reruns the headline comparison while scaling DRAM
+// bandwidth, showing that accurate prefetching (Bingo) degrades gracefully
+// while aggressive inaccurate prefetching collapses when bandwidth halves.
+func AblateBandwidth(opts RunOptions) (Table, error) {
+	t := Table{
+		Title:   "Ablation: DRAM Bandwidth Sensitivity (GMean speedup)",
+		Headers: []string{"Peak Bandwidth", "bingo", "sms", "vldp-aggr"},
+	}
+	for _, scale := range []struct {
+		label string
+		mult  uint64
+	}{
+		{"2x (75 GB/s)", 7},
+		{"1x (37.5 GB/s)", 14},
+		{"1/2x (18.8 GB/s)", 28},
+		{"1/4x (9.4 GB/s)", 56},
+	} {
+		o := opts
+		o.System.DRAM.BusCycles = scale.mult
+		row := []string{scale.label}
+		for _, pf := range []string{"bingo", "sms", "vldp-aggr"} {
+			var logsum float64
+			for _, w := range workloads.All() {
+				base, err := Run(w, nil, o)
+				if err != nil {
+					return Table{}, err
+				}
+				res, err := RunNamed(w, pf, o)
+				if err != nil {
+					return Table{}, err
+				}
+				logsum += math.Log(res.Throughput() / base.Throughput())
+			}
+			row = append(row, speedupPct(math.Exp(logsum/float64(len(workloads.All())))))
+		}
+		t.AddRow(row...)
+	}
+	t.AddNote("bus cycles per 64B transfer scaled; baselines re-simulated per bandwidth point")
+	return t, nil
+}
+
+// AblateQueue sweeps the per-core prefetch queue depth, the throttle that
+// bounds how much bandwidth a burst of spatial prefetches may claim.
+func AblateQueue(opts RunOptions) (Table, error) {
+	t := Table{
+		Title:   "Ablation: Prefetch Queue Depth (Bingo)",
+		Headers: []string{"Queue", "GMean Speedup", "Coverage", "Dropped/KI"},
+	}
+	for _, depth := range []int{8, 16, 32, 64, 128} {
+		o := opts
+		o.System.PrefetchQueue = depth
+		var logsum, covSum, dropSum float64
+		for _, w := range workloads.All() {
+			base, err := Run(w, nil, o)
+			if err != nil {
+				return Table{}, err
+			}
+			res, err := RunNamed(w, "bingo", o)
+			if err != nil {
+				return Table{}, err
+			}
+			logsum += math.Log(res.Throughput() / base.Throughput())
+			covSum += res.CoverageVsBaseline(base.LLC.Misses)
+			dropSum += float64(res.PrefetchDropped) / float64(res.WindowInstructions) * 1000
+		}
+		n := float64(len(workloads.All()))
+		t.AddRow(fmt.Sprintf("%d", depth),
+			speedupPct(math.Exp(logsum/n)), pct(covSum/n), fmt.Sprintf("%.2f", dropSum/n))
+	}
+	return t, nil
+}
+
+// AblateSharing compares the paper's private per-core prefetchers against
+// a single shared instance (a quarter of the metadata storage).
+func AblateSharing(m *Matrix) (Table, error) {
+	t := Table{
+		Title:   "Ablation: Private vs Shared Bingo Metadata",
+		Headers: []string{"Organisation", "GMean Speedup", "Coverage", "Total storage"},
+	}
+	for _, v := range []struct{ label, name string }{
+		{"private ×4 (paper)", "bingo"},
+		{"shared ×1", "bingo-shared"},
+	} {
+		var logsum, covSum float64
+		storage := 0
+		instances := 4
+		for _, w := range workloads.All() {
+			base, err := m.Baseline(w)
+			if err != nil {
+				return Table{}, err
+			}
+			res, err := m.Get(w, v.name)
+			if err != nil {
+				return Table{}, err
+			}
+			logsum += math.Log(res.Throughput() / base.Throughput())
+			covSum += res.CoverageVsBaseline(base.LLC.Misses)
+			storage = res.StorageBytes
+		}
+		if v.name == "bingo-shared" {
+			instances = 1
+		}
+		n := float64(len(workloads.All()))
+		t.AddRow(v.label, speedupPct(math.Exp(logsum/n)), pct(covSum/n),
+			fmt.Sprintf("%.0f KB", float64(storage*instances)/1024))
+	}
+	t.AddNote("shared organisation stores one history for all cores: 4x less storage, cross-core interference")
+	return t, nil
+}
+
+// AblateLevel compares prefetching at the LLC (the paper's §V-B choice)
+// against attaching the same prefetcher at each core's L1: the short L1
+// residency truncates footprints before they are fully observed.
+func AblateLevel(opts RunOptions) (Table, error) {
+	t := Table{
+		Title:   "Ablation: Prefetcher Attach Level (Bingo)",
+		Headers: []string{"Attach", "GMean Speedup", "Coverage (LLC misses)"},
+	}
+	for _, level := range []system.AttachLevel{system.AttachLLC, system.AttachL1} {
+		o := opts
+		o.System.PrefetchAt = level
+		var logsum, covSum float64
+		for _, w := range workloads.All() {
+			base, err := Run(w, nil, o)
+			if err != nil {
+				return Table{}, err
+			}
+			res, err := RunNamed(w, "bingo", o)
+			if err != nil {
+				return Table{}, err
+			}
+			logsum += math.Log(res.Throughput() / base.Throughput())
+			covSum += res.CoverageVsBaseline(base.LLC.Misses)
+		}
+		n := float64(len(workloads.All()))
+		t.AddRow(level.String(), speedupPct(math.Exp(logsum/n)), pct(covSum/n))
+	}
+	t.AddNote("L1 attach observes/fills the 64 KB L1: residencies end quickly and footprints truncate (paper §V-B)")
+	return t, nil
+}
+
+// AblateTags compares full-width simulation tags against the truncated
+// partial tags a hardware table stores (≈23 bits for the paper's 119 KB
+// budget): aliasing from folding should cost almost nothing, validating
+// the storage accounting behind Figure 9.
+func AblateTags(m *Matrix) (Table, error) {
+	t := Table{
+		Title:   "Ablation: History Tag Width (Bingo)",
+		Headers: []string{"Tags", "GMean Speedup", "Coverage", "Overprediction"},
+	}
+	full, err := ablationRow(m, "full-width", nil)
+	if err != nil {
+		return Table{}, err
+	}
+	t.Rows = append(t.Rows, full)
+	for _, bits := range []int{23, 16, 12} {
+		cfg := core.DefaultConfig()
+		cfg.TruncateTags = true
+		cfg.LongTagBits = bits
+		row, err := ablationRow(m, fmt.Sprintf("%d-bit", bits), core.Factory(cfg))
+		if err != nil {
+			return Table{}, err
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	t.AddNote("folded partial tags admit aliasing; the paper's budget implies ~23-bit long tags")
+	return t, nil
+}
+
+// Extras compares the reference prefetchers beyond the paper's six —
+// GHB PC/DC, per-PC stride, next-line, the feedback-throttled variants,
+// and shared-metadata Bingo — against Bingo on the same matrix.
+func Extras(m *Matrix) (Table, error) {
+	t := Table{
+		Title:   "Beyond the Paper: Reference Prefetchers",
+		Headers: []string{"Prefetcher", "GMean Speedup", "Coverage", "Overprediction", "Storage/core"},
+	}
+	for _, pf := range []string{"nextline", "stride", "ghb", "fdp-sms", "fdp-vldp-aggr", "bingo-shared", "bingo"} {
+		var logsum, covSum, overSum float64
+		storage := 0
+		for _, w := range workloads.All() {
+			base, err := m.Baseline(w)
+			if err != nil {
+				return Table{}, err
+			}
+			res, err := m.Get(w, pf)
+			if err != nil {
+				return Table{}, err
+			}
+			logsum += math.Log(res.Throughput() / base.Throughput())
+			covSum += res.CoverageVsBaseline(base.LLC.Misses)
+			overSum += res.Overprediction(base.LLC.Misses)
+			storage = res.StorageBytes
+		}
+		n := float64(len(workloads.All()))
+		t.AddRow(pf, speedupPct(math.Exp(logsum/n)), pct(covSum/n), pct(overSum/n),
+			fmt.Sprintf("%.1f KB", float64(storage)/1024))
+	}
+	return t, nil
+}

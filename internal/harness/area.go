@@ -1,0 +1,52 @@
+package harness
+
+// The silicon-area model behind the performance-density experiment
+// (paper §VI-D / Figure 9). The paper uses CACTI 7.0 at 14 nm and counts
+// cores, caches, interconnect, and memory channels, neglecting I/O; we use
+// round figures with the same ratios. Performance density compares
+// throughput per unit area, so only ratios matter — the prefetcher's
+// storage is charged at SRAM density against a baseline chip whose area
+// is dominated by cores and the LLC.
+
+// AreaModel holds the per-component area constants in mm² (14 nm-class).
+type AreaModel struct {
+	CoreMM2         float64 // one core including private L1s
+	LLCPerMB        float64
+	UncoreMM2       float64 // interconnect + memory channels
+	SRAMPerKB       float64 // prefetcher metadata (tag+data overhead included)
+	LLCSizeMB       float64
+	NumCores        int
+	PrefetchersPerC int // prefetcher instances per core (1: private)
+}
+
+// DefaultAreaModel matches the paper's platform: four cores, 8 MB LLC.
+func DefaultAreaModel() AreaModel {
+	return AreaModel{
+		CoreMM2:         8.0,
+		LLCPerMB:        1.4,
+		UncoreMM2:       12.0,
+		SRAMPerKB:       1.4 / 1024 * 1.2, // LLC density plus 20% control overhead
+		LLCSizeMB:       8,
+		NumCores:        4,
+		PrefetchersPerC: 1,
+	}
+}
+
+// BaselineMM2 is the chip area without any prefetcher.
+func (a AreaModel) BaselineMM2() float64 {
+	return float64(a.NumCores)*a.CoreMM2 + a.LLCSizeMB*a.LLCPerMB + a.UncoreMM2
+}
+
+// WithPrefetcherMM2 is the chip area with a prefetcher of the given
+// per-instance storage (bytes) attached to every core.
+func (a AreaModel) WithPrefetcherMM2(storageBytes int) float64 {
+	kb := float64(storageBytes) / 1024
+	return a.BaselineMM2() + float64(a.NumCores*a.PrefetchersPerC)*kb*a.SRAMPerKB
+}
+
+// DensityImprovement converts a throughput speedup and a prefetcher
+// storage budget into a performance-density improvement over the
+// prefetcher-less baseline: (perf/area) / (basePerf/baseArea).
+func (a AreaModel) DensityImprovement(speedup float64, storageBytes int) float64 {
+	return speedup * a.BaselineMM2() / a.WithPrefetcherMM2(storageBytes)
+}

@@ -1,0 +1,85 @@
+// Package harness runs the paper's experiments: it owns the prefetcher
+// registry, the run/measure plumbing against deterministic workload
+// traces, the silicon-area model behind the performance-density figure,
+// and text renderers that print each table and figure of the evaluation.
+package harness
+
+import (
+	"fmt"
+	"sort"
+
+	"bingo/internal/core"
+	"bingo/internal/prefetch"
+	"bingo/internal/prefetchers/ampm"
+	"bingo/internal/prefetchers/bop"
+	"bingo/internal/prefetchers/fdp"
+	"bingo/internal/prefetchers/ghb"
+	"bingo/internal/prefetchers/sms"
+	"bingo/internal/prefetchers/spp"
+	"bingo/internal/prefetchers/stride"
+	"bingo/internal/prefetchers/vldp"
+)
+
+// PaperPrefetchers lists the competing prefetchers in the paper's figure
+// order: BOP, SPP, VLDP, AMPM, SMS, Bingo.
+func PaperPrefetchers() []string {
+	return []string{"bop", "spp", "vldp", "ampm", "sms", "bingo"}
+}
+
+// registry maps names to factories. Entries must be deterministic: every
+// call with the same name yields an equivalent configuration.
+var registry = map[string]func() prefetch.Factory{
+	"none":         func() prefetch.Factory { return nil },
+	"bingo":        func() prefetch.Factory { return core.Factory(core.DefaultConfig()) },
+	"sms":          func() prefetch.Factory { return sms.Factory(sms.DefaultConfig()) },
+	"ampm":         func() prefetch.Factory { return ampm.Factory(ampm.DefaultConfig()) },
+	"bop":          func() prefetch.Factory { return bop.Factory(bop.DefaultConfig()) },
+	"spp":          func() prefetch.Factory { return spp.Factory(spp.DefaultConfig()) },
+	"vldp":         func() prefetch.Factory { return vldp.Factory(vldp.DefaultConfig()) },
+	"ghb":          func() prefetch.Factory { return ghb.Factory(ghb.DefaultConfig()) },
+	"bingo-shared": func() prefetch.Factory { return core.SharedFactory(core.DefaultConfig()) },
+	"bop-aggr":     func() prefetch.Factory { return bop.Factory(bop.AggressiveConfig()) },
+	"spp-aggr":     func() prefetch.Factory { return spp.Factory(spp.AggressiveConfig()) },
+	"vldp-aggr":    func() prefetch.Factory { return vldp.Factory(vldp.AggressiveConfig()) },
+	"stride":       func() prefetch.Factory { return stride.Factory(stride.DefaultConfig()) },
+	"nextline": func() prefetch.Factory {
+		return func(int) prefetch.Prefetcher { return stride.NextLine{N: 1} }
+	},
+	"fdp-sms": func() prefetch.Factory {
+		return fdp.Factory(fdp.DefaultConfig(), sms.Factory(sms.DefaultConfig()))
+	},
+	"fdp-vldp-aggr": func() prefetch.Factory {
+		return fdp.Factory(fdp.DefaultConfig(), vldp.Factory(vldp.AggressiveConfig()))
+	},
+	"multievent1": multiEventFactory(1),
+	"multievent2": multiEventFactory(2),
+	"multievent3": multiEventFactory(3),
+	"multievent4": multiEventFactory(4),
+	"multievent5": multiEventFactory(5),
+}
+
+func multiEventFactory(n int) func() prefetch.Factory {
+	return func() prefetch.Factory {
+		return core.MultiEventFactory(core.DefaultMultiEventConfig(n))
+	}
+}
+
+// FactoryByName resolves a prefetcher name ("none" yields a nil factory,
+// the baseline).
+func FactoryByName(name string) (prefetch.Factory, error) {
+	f, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("harness: unknown prefetcher %q (have %v)", name, PrefetcherNames())
+	}
+	return f(), nil
+}
+
+// PrefetcherNames lists all registered names, sorted.
+func PrefetcherNames() []string {
+	out := make([]string, 0, len(registry))
+	for k := range registry {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

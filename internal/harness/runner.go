@@ -1,0 +1,103 @@
+package harness
+
+import (
+	"fmt"
+
+	"bingo/internal/prefetch"
+	"bingo/internal/system"
+	"bingo/internal/trace"
+	"bingo/internal/workloads"
+)
+
+// RunOptions bound a single simulation.
+type RunOptions struct {
+	// System is the machine configuration (zero value: Table I defaults).
+	System system.Config
+	// Seed decorrelates workload generators between runs; translation
+	// uses System.Seed. The same (workload, Seed) pair always produces
+	// the identical trace, which is what makes cross-prefetcher
+	// comparisons exact.
+	Seed int64
+}
+
+// DefaultRunOptions returns the paper-faithful configuration.
+func DefaultRunOptions() RunOptions {
+	return RunOptions{System: system.DefaultConfig(), Seed: 1}
+}
+
+// FastRunOptions shrinks instruction budgets for tests and benchmarks
+// (the shape of the results is preserved; absolute values are noisier).
+func FastRunOptions() RunOptions {
+	o := DefaultRunOptions()
+	o.System = o.System.Scaled(50_000, 200_000)
+	return o
+}
+
+// Run simulates one workload under one prefetcher factory and returns the
+// results. Traces are materialised once per call so that back-to-back
+// runs with different prefetchers see identical access streams.
+func Run(w workloads.Spec, factory prefetch.Factory, opts RunOptions) (system.Results, error) {
+	sources := w.Sources(opts.System.NumCores, opts.Seed)
+	sys, err := system.New(opts.System, sources, factory)
+	if err != nil {
+		return system.Results{}, fmt.Errorf("harness: building system for %s: %w", w.Name, err)
+	}
+	return sys.Run(), nil
+}
+
+// RunNamed resolves the prefetcher by registry name and runs it.
+func RunNamed(w workloads.Spec, prefetcher string, opts RunOptions) (system.Results, error) {
+	factory, err := FactoryByName(prefetcher)
+	if err != nil {
+		return system.Results{}, err
+	}
+	return Run(w, factory, opts)
+}
+
+// RunWithSystem simulates and also returns the System so callers can
+// inspect instrumented prefetcher internals (match probabilities,
+// redundancy counters).
+func RunWithSystem(w workloads.Spec, factory prefetch.Factory, opts RunOptions) (*system.System, system.Results, error) {
+	sources := w.Sources(opts.System.NumCores, opts.Seed)
+	sys, err := system.New(opts.System, sources, factory)
+	if err != nil {
+		return nil, system.Results{}, fmt.Errorf("harness: building system for %s: %w", w.Name, err)
+	}
+	res := sys.Run()
+	return sys, res, nil
+}
+
+// BaselineCache memoises the no-prefetcher run of each workload, which
+// several experiments normalise against.
+type BaselineCache struct {
+	opts    RunOptions
+	results map[string]system.Results
+}
+
+// NewBaselineCache creates a cache bound to fixed run options.
+func NewBaselineCache(opts RunOptions) *BaselineCache {
+	return &BaselineCache{opts: opts, results: make(map[string]system.Results)}
+}
+
+// Get returns (running if necessary) the baseline results for w.
+func (b *BaselineCache) Get(w workloads.Spec) (system.Results, error) {
+	if r, ok := b.results[w.Name]; ok {
+		return r, nil
+	}
+	r, err := Run(w, nil, b.opts)
+	if err != nil {
+		return system.Results{}, err
+	}
+	b.results[w.Name] = r
+	return r, nil
+}
+
+// SliceSourcesFromRecords is a convenience for tests: wraps pre-recorded
+// traces as per-core sources.
+func SliceSourcesFromRecords(perCore [][]trace.Record) []trace.Source {
+	out := make([]trace.Source, len(perCore))
+	for i, recs := range perCore {
+		out[i] = trace.NewSliceSource(recs)
+	}
+	return out
+}

@@ -1,0 +1,90 @@
+package harness
+
+import (
+	"fmt"
+	"math"
+
+	"bingo/internal/workloads"
+)
+
+// SeedStats summarises a metric across several seeded runs.
+type SeedStats struct {
+	Mean   float64
+	StdDev float64
+	Min    float64
+	Max    float64
+	N      int
+}
+
+// String renders as "mean ± stddev".
+func (s SeedStats) String() string {
+	return fmt.Sprintf("%.3f ± %.3f (n=%d)", s.Mean, s.StdDev, s.N)
+}
+
+func newSeedStats(samples []float64) SeedStats {
+	st := SeedStats{N: len(samples), Min: math.Inf(1), Max: math.Inf(-1)}
+	if len(samples) == 0 {
+		return SeedStats{}
+	}
+	var sum float64
+	for _, v := range samples {
+		sum += v
+		st.Min = math.Min(st.Min, v)
+		st.Max = math.Max(st.Max, v)
+	}
+	st.Mean = sum / float64(len(samples))
+	var ss float64
+	for _, v := range samples {
+		d := v - st.Mean
+		ss += d * d
+	}
+	if len(samples) > 1 {
+		st.StdDev = math.Sqrt(ss / float64(len(samples)-1))
+	}
+	return st
+}
+
+// SpeedupOverSeeds runs a (workload, prefetcher) comparison under several
+// workload seeds and returns the speedup distribution — the statistical
+// robustness check behind the single-seed figures (the paper's SimFlex
+// methodology reports 95% confidence over checkpoint samples; seeds play
+// the role of checkpoints here).
+func SpeedupOverSeeds(w workloads.Spec, prefetcher string, opts RunOptions, seeds []int64) (SeedStats, error) {
+	if len(seeds) == 0 {
+		seeds = []int64{1, 2, 3, 4, 5}
+	}
+	samples := make([]float64, 0, len(seeds))
+	for _, seed := range seeds {
+		o := opts
+		o.Seed = seed
+		base, err := Run(w, nil, o)
+		if err != nil {
+			return SeedStats{}, err
+		}
+		res, err := RunNamed(w, prefetcher, o)
+		if err != nil {
+			return SeedStats{}, err
+		}
+		samples = append(samples, res.Throughput()/base.Throughput())
+	}
+	return newSeedStats(samples), nil
+}
+
+// SeedSweep renders the multi-seed robustness table for one prefetcher.
+func SeedSweep(prefetcher string, opts RunOptions, seeds []int64) (Table, error) {
+	t := Table{
+		Title:   fmt.Sprintf("Multi-Seed Robustness: %s speedup across workload seeds", prefetcher),
+		Headers: []string{"Workload", "Speedup (mean ± stddev)", "Min", "Max"},
+	}
+	for _, w := range workloads.All() {
+		st, err := SpeedupOverSeeds(w, prefetcher, opts, seeds)
+		if err != nil {
+			return Table{}, err
+		}
+		t.AddRow(w.Name,
+			fmt.Sprintf("%+.1f%% ± %.1f", (st.Mean-1)*100, st.StdDev*100),
+			speedupPct(st.Min), speedupPct(st.Max))
+	}
+	t.AddNote("seeds play the role of the paper's SimFlex checkpoint samples")
+	return t, nil
+}

@@ -1,0 +1,99 @@
+// Package mem provides the elementary address arithmetic shared by every
+// component of the simulator: cache-block and region (spatial page) math,
+// alignment helpers, and the hash mixers used to index metadata tables.
+//
+// Terminology follows the Bingo paper (HPCA 2019): a "block" is a cache
+// block (64 B by default) and a "region" is the spatial page over which
+// footprints are recorded — a chunk of contiguous cache blocks that is not
+// necessarily an OS page.
+package mem
+
+import "fmt"
+
+// Addr is a byte address, virtual or physical depending on context.
+type Addr uint64
+
+// PC is the program counter of the instruction performing an access.
+type PC uint64
+
+const (
+	// BlockShift is log2 of the cache-block size.
+	BlockShift = 6
+	// BlockSize is the cache-block size in bytes (64 B everywhere in the
+	// paper's hierarchy).
+	BlockSize = 1 << BlockShift
+)
+
+// BlockNumber returns the cache-block number of a, i.e. a >> BlockShift.
+func (a Addr) BlockNumber() uint64 { return uint64(a) >> BlockShift }
+
+// BlockAlign rounds a down to the start of its cache block.
+func (a Addr) BlockAlign() Addr { return a &^ (BlockSize - 1) }
+
+// BlockOffset returns the byte offset of a within its cache block.
+func (a Addr) BlockOffset() uint64 { return uint64(a) & (BlockSize - 1) }
+
+// String renders the address in hexadecimal.
+func (a Addr) String() string { return fmt.Sprintf("%#x", uint64(a)) }
+
+// RegionConfig describes the geometry of spatial regions ("pages" in the
+// paper's wording). The zero value is not usable; call NewRegionConfig.
+type RegionConfig struct {
+	sizeBytes uint64
+	shift     uint
+	blocks    int
+}
+
+// NewRegionConfig builds a region geometry for the given region size in
+// bytes. The size must be a power of two and at least one cache block.
+func NewRegionConfig(sizeBytes uint64) (RegionConfig, error) {
+	if sizeBytes < BlockSize || sizeBytes&(sizeBytes-1) != 0 {
+		return RegionConfig{}, fmt.Errorf("mem: region size %d must be a power of two ≥ %d", sizeBytes, BlockSize)
+	}
+	shift := uint(0)
+	for s := sizeBytes; s > 1; s >>= 1 {
+		shift++
+	}
+	return RegionConfig{
+		sizeBytes: sizeBytes,
+		shift:     shift,
+		blocks:    int(sizeBytes >> BlockShift),
+	}, nil
+}
+
+// MustRegionConfig is NewRegionConfig that panics on invalid input; intended
+// for package-level defaults and tests.
+func MustRegionConfig(sizeBytes uint64) RegionConfig {
+	rc, err := NewRegionConfig(sizeBytes)
+	if err != nil {
+		panic(err)
+	}
+	return rc
+}
+
+// Size returns the region size in bytes.
+func (rc RegionConfig) Size() uint64 { return rc.sizeBytes }
+
+// Blocks returns the number of cache blocks per region.
+func (rc RegionConfig) Blocks() int { return rc.blocks }
+
+// Shift returns log2 of the region size.
+func (rc RegionConfig) Shift() uint { return rc.shift }
+
+// RegionNumber returns the region number containing a.
+func (rc RegionConfig) RegionNumber(a Addr) uint64 { return uint64(a) >> rc.shift }
+
+// RegionBase returns the address of the first byte of a's region.
+func (rc RegionConfig) RegionBase(a Addr) Addr { return a &^ Addr(rc.sizeBytes-1) }
+
+// BlockIndex returns the index of a's cache block within its region,
+// in [0, Blocks()).
+func (rc RegionConfig) BlockIndex(a Addr) int {
+	return int((uint64(a) >> BlockShift) & uint64(rc.blocks-1))
+}
+
+// BlockAddr returns the address of block idx within the region that
+// contains base.
+func (rc RegionConfig) BlockAddr(base Addr, idx int) Addr {
+	return rc.RegionBase(base) + Addr(idx)<<BlockShift
+}

@@ -1,0 +1,109 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBlockArithmetic(t *testing.T) {
+	cases := []struct {
+		addr   Addr
+		number uint64
+		align  Addr
+		offset uint64
+	}{
+		{0, 0, 0, 0},
+		{1, 0, 0, 1},
+		{63, 0, 0, 63},
+		{64, 1, 64, 0},
+		{130, 2, 128, 2},
+		{0xffff_ffff_ffff_ffff, 0x03ff_ffff_ffff_ffff, 0xffff_ffff_ffff_ffc0, 63},
+	}
+	for _, c := range cases {
+		if got := c.addr.BlockNumber(); got != c.number {
+			t.Errorf("BlockNumber(%v) = %d, want %d", c.addr, got, c.number)
+		}
+		if got := c.addr.BlockAlign(); got != c.align {
+			t.Errorf("BlockAlign(%v) = %v, want %v", c.addr, got, c.align)
+		}
+		if got := c.addr.BlockOffset(); got != c.offset {
+			t.Errorf("BlockOffset(%v) = %d, want %d", c.addr, got, c.offset)
+		}
+	}
+}
+
+func TestAddrString(t *testing.T) {
+	if got := Addr(0x1234).String(); got != "0x1234" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestNewRegionConfigErrors(t *testing.T) {
+	for _, size := range []uint64{0, 1, 32, 63, 100, 3000} {
+		if _, err := NewRegionConfig(size); err == nil {
+			t.Errorf("NewRegionConfig(%d) should fail", size)
+		}
+	}
+	for _, size := range []uint64{64, 128, 1024, 2048, 4096} {
+		if _, err := NewRegionConfig(size); err != nil {
+			t.Errorf("NewRegionConfig(%d): %v", size, err)
+		}
+	}
+}
+
+func TestMustRegionConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustRegionConfig(100) should panic")
+		}
+	}()
+	MustRegionConfig(100)
+}
+
+func TestRegionGeometry(t *testing.T) {
+	rc := MustRegionConfig(2048)
+	if rc.Size() != 2048 || rc.Blocks() != 32 || rc.Shift() != 11 {
+		t.Fatalf("geometry: size=%d blocks=%d shift=%d", rc.Size(), rc.Blocks(), rc.Shift())
+	}
+	a := Addr(5*2048 + 3*64 + 17)
+	if rc.RegionNumber(a) != 5 {
+		t.Errorf("RegionNumber = %d", rc.RegionNumber(a))
+	}
+	if rc.RegionBase(a) != Addr(5*2048) {
+		t.Errorf("RegionBase = %v", rc.RegionBase(a))
+	}
+	if rc.BlockIndex(a) != 3 {
+		t.Errorf("BlockIndex = %d", rc.BlockIndex(a))
+	}
+	if rc.BlockAddr(a, 7) != Addr(5*2048+7*64) {
+		t.Errorf("BlockAddr = %v", rc.BlockAddr(a, 7))
+	}
+}
+
+func TestRegionPropertyRoundTrip(t *testing.T) {
+	rc := MustRegionConfig(4096)
+	f := func(raw uint64) bool {
+		a := Addr(raw)
+		idx := rc.BlockIndex(a)
+		if idx < 0 || idx >= rc.Blocks() {
+			return false
+		}
+		// Rebuilding the block address from (base, index) must land on
+		// the block-aligned original.
+		return rc.BlockAddr(a, idx) == a.BlockAlign()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegionBaseIsAlignedProperty(t *testing.T) {
+	rc := MustRegionConfig(1024)
+	f := func(raw uint64) bool {
+		base := rc.RegionBase(Addr(raw))
+		return uint64(base)%rc.Size() == 0 && rc.RegionNumber(base) == rc.RegionNumber(Addr(raw))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,54 @@
+package mem
+
+// The table-indexing hashes below are deliberately cheap, deterministic
+// integer mixers (no seeds, no allocation): hardware tables index with a
+// few XOR/shift stages, and the simulator needs the same property so runs
+// are reproducible across machines.
+
+// Mix64 is a finalization-style 64-bit mixer (SplitMix64 finalizer). It has
+// full avalanche: every input bit affects every output bit, which is what a
+// set index derived from a folded PC+Offset needs.
+func Mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Mix2 mixes two words into one, used for (PC, address-component) events.
+func Mix2(a, b uint64) uint64 {
+	return Mix64(a*0x9e3779b97f4a7c15 ^ Mix64(b))
+}
+
+// FoldBits XOR-folds x down to the given number of low bits. Hardware
+// predictors fold long events into short indexes exactly this way.
+func FoldBits(x uint64, bits uint) uint64 {
+	if bits == 0 {
+		return 0
+	}
+	if bits >= 64 {
+		return x
+	}
+	mask := (uint64(1) << bits) - 1
+	folded := uint64(0)
+	for x != 0 {
+		folded ^= x & mask
+		x >>= bits
+	}
+	return folded
+}
+
+// IsPow2 reports whether v is a positive power of two.
+func IsPow2(v int) bool { return v > 0 && v&(v-1) == 0 }
+
+// Log2 returns floor(log2(v)) for v ≥ 1.
+func Log2(v uint64) uint {
+	n := uint(0)
+	for v > 1 {
+		v >>= 1
+		n++
+	}
+	return n
+}

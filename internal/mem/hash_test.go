@@ -1,0 +1,89 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMix64Deterministic(t *testing.T) {
+	if Mix64(42) != Mix64(42) {
+		t.Fatal("Mix64 not deterministic")
+	}
+	if Mix64(42) == Mix64(43) {
+		t.Fatal("Mix64(42) == Mix64(43): suspicious collision on neighbours")
+	}
+}
+
+func TestMix64Avalanche(t *testing.T) {
+	// Flipping one input bit should flip a substantial number of output
+	// bits — the property that keeps set indexes uniform.
+	base := Mix64(0x1234_5678_9abc_def0)
+	for bit := uint(0); bit < 64; bit++ {
+		flipped := Mix64(0x1234_5678_9abc_def0 ^ 1<<bit)
+		diff := popcount(base ^ flipped)
+		if diff < 10 {
+			t.Errorf("bit %d: only %d output bits changed", bit, diff)
+		}
+	}
+}
+
+func popcount(x uint64) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}
+
+func TestMix2OrderSensitive(t *testing.T) {
+	if Mix2(1, 2) == Mix2(2, 1) {
+		t.Fatal("Mix2 should not be symmetric")
+	}
+}
+
+func TestFoldBits(t *testing.T) {
+	if FoldBits(0xff00ff, 8) != 0xff^0x00^0xff {
+		t.Errorf("FoldBits(0xff00ff, 8) = %#x", FoldBits(0xff00ff, 8))
+	}
+	if FoldBits(123, 0) != 0 {
+		t.Error("FoldBits with 0 bits should be 0")
+	}
+	if FoldBits(123, 64) != 123 {
+		t.Error("FoldBits with 64 bits should be identity")
+	}
+	if FoldBits(123, 100) != 123 {
+		t.Error("FoldBits with >64 bits should be identity")
+	}
+}
+
+func TestFoldBitsRangeProperty(t *testing.T) {
+	f := func(x uint64) bool {
+		return FoldBits(x, 10) < 1<<10
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIsPow2(t *testing.T) {
+	for _, v := range []int{1, 2, 4, 1024, 1 << 30} {
+		if !IsPow2(v) {
+			t.Errorf("IsPow2(%d) = false", v)
+		}
+	}
+	for _, v := range []int{0, -1, -2, 3, 6, 1000} {
+		if IsPow2(v) {
+			t.Errorf("IsPow2(%d) = true", v)
+		}
+	}
+}
+
+func TestLog2(t *testing.T) {
+	cases := map[uint64]uint{1: 0, 2: 1, 3: 1, 4: 2, 1024: 10, 1 << 40: 40}
+	for v, want := range cases {
+		if got := Log2(v); got != want {
+			t.Errorf("Log2(%d) = %d, want %d", v, got, want)
+		}
+	}
+}

@@ -1,0 +1,53 @@
+package prefetch
+
+import (
+	"testing"
+
+	"bingo/internal/mem"
+)
+
+func BenchmarkFootprintRotate(b *testing.B) {
+	f := Footprint(0x0f0f_3040_1122)
+	for i := 0; i < b.N; i++ {
+		f = f.Rotate(i%32, (i+7)%32, 32)
+	}
+	_ = f
+}
+
+func BenchmarkFootprintAddrs(b *testing.B) {
+	rc := mem.MustRegionConfig(2048)
+	f := Footprint(0).With(1).With(3).With(9).With(17).With(30)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = f.Addrs(rc, mem.Addr(uint64(i)*2048), 1)
+	}
+}
+
+func BenchmarkTableLookup(b *testing.B) {
+	tbl := MustNewTable[uint64](16*1024, 16)
+	for k := uint64(0); k < 16*1024; k++ {
+		tbl.Insert(k, k)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tbl.Lookup(uint64(i)%(16*1024), true)
+	}
+}
+
+func BenchmarkTableInsertEvict(b *testing.B) {
+	tbl := MustNewTable[uint64](1024, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tbl.Insert(uint64(i), uint64(i))
+	}
+}
+
+func BenchmarkTrackerObserve(b *testing.B) {
+	rc := mem.MustRegionConfig(2048)
+	rt := MustNewRegionTracker(rc, 64, 128, 16)
+	rt.SetCompleteFunc(func(ActiveRegion) {})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rt.Observe(mem.PC(0x400), mem.Addr(uint64(i%1000)*2048+uint64(i%32)*64), false)
+	}
+}

@@ -1,0 +1,123 @@
+package prefetch
+
+import (
+	"testing"
+
+	"bingo/internal/mem"
+)
+
+func TestAllEventsOrder(t *testing.T) {
+	events := AllEvents()
+	want := []EventKind{EventPCAddress, EventPCOffset, EventAddress, EventPC, EventOffset}
+	if len(events) != len(want) {
+		t.Fatalf("AllEvents = %v", events)
+	}
+	for i := range want {
+		if events[i] != want[i] {
+			t.Fatalf("AllEvents[%d] = %v, want %v", i, events[i], want[i])
+		}
+	}
+}
+
+func TestEventStrings(t *testing.T) {
+	names := map[EventKind]string{
+		EventPCAddress: "PC+Address",
+		EventPCOffset:  "PC+Offset",
+		EventAddress:   "Address",
+		EventPC:        "PC",
+		EventOffset:    "Offset",
+	}
+	for k, want := range names {
+		if k.String() != want {
+			t.Errorf("%v.String() = %q", int(k), k.String())
+		}
+	}
+	if EventKind(99).String() == "" {
+		t.Error("unknown kind should still render")
+	}
+}
+
+func TestEventKeySelectivity(t *testing.T) {
+	rc := mem.MustRegionConfig(2048)
+	pc1, pc2 := mem.PC(0x400), mem.PC(0x404)
+	// Two addresses with the same offset in different regions.
+	a1 := mem.Addr(1*2048 + 5*64)
+	a2 := mem.Addr(9*2048 + 5*64)
+	// A third with a different offset.
+	a3 := mem.Addr(1*2048 + 6*64)
+
+	// PC+Offset ignores the region: same key for a1 and a2, different
+	// for a3 or another PC.
+	if EventPCOffset.Key(pc1, a1, rc) != EventPCOffset.Key(pc1, a2, rc) {
+		t.Error("PC+Offset should ignore the region")
+	}
+	if EventPCOffset.Key(pc1, a1, rc) == EventPCOffset.Key(pc1, a3, rc) {
+		t.Error("PC+Offset should depend on the offset")
+	}
+	if EventPCOffset.Key(pc1, a1, rc) == EventPCOffset.Key(pc2, a1, rc) {
+		t.Error("PC+Offset should depend on the PC")
+	}
+
+	// PC+Address distinguishes regions.
+	if EventPCAddress.Key(pc1, a1, rc) == EventPCAddress.Key(pc1, a2, rc) {
+		t.Error("PC+Address should depend on the full block address")
+	}
+
+	// Single-component events ignore the other component.
+	if EventPC.Key(pc1, a1, rc) != EventPC.Key(pc1, a2, rc) {
+		t.Error("PC event should ignore the address")
+	}
+	if EventOffset.Key(pc1, a1, rc) != EventOffset.Key(pc2, a2, rc) {
+		t.Error("Offset event should ignore PC and region")
+	}
+	if EventAddress.Key(pc1, a1, rc) != EventAddress.Key(pc2, a1, rc) {
+		t.Error("Address event should ignore the PC")
+	}
+}
+
+func TestEventKeyBlockGranular(t *testing.T) {
+	rc := mem.MustRegionConfig(2048)
+	a := mem.Addr(0x1234_5678)
+	if EventPCAddress.Key(1, a, rc) != EventPCAddress.Key(1, a.BlockAlign(), rc) {
+		t.Error("keys should be block-granular")
+	}
+}
+
+func TestEventBitsComposition(t *testing.T) {
+	rc := mem.MustRegionConfig(2048)
+	// Compound events cost at least as many tag bits as each component
+	// ("length" in the paper is the number of coinciding incidents, not
+	// raw bit width: Address alone is wider than PC+Offset).
+	if EventPCAddress.Bits(rc) < EventPC.Bits(rc) || EventPCAddress.Bits(rc) < EventAddress.Bits(rc) {
+		t.Error("PC+Address should cost at least its components")
+	}
+	if EventPCOffset.Bits(rc) < EventPC.Bits(rc) || EventPCOffset.Bits(rc) < EventOffset.Bits(rc) {
+		t.Error("PC+Offset should cost at least its components")
+	}
+	if EventPCAddress.Bits(rc) != EventPC.Bits(rc)+EventAddress.Bits(rc) {
+		t.Error("PC+Address tag should be the concatenation of PC and Address tags")
+	}
+	if EventKind(99).Bits(rc) != 0 {
+		t.Error("unknown kind should have 0 bits")
+	}
+}
+
+func TestEventKeyPanicsOnUnknown(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown kind should panic")
+		}
+	}()
+	EventKind(99).Key(1, 2, mem.MustRegionConfig(2048))
+}
+
+func TestNilPrefetcher(t *testing.T) {
+	var p Nil
+	if p.Name() != "none" || p.StorageBytes() != 0 {
+		t.Fatal("Nil prefetcher identity wrong")
+	}
+	if got := p.OnAccess(AccessEvent{Addr: 0x1000}); got != nil {
+		t.Fatal("Nil should never prefetch")
+	}
+	p.OnEviction(0x1000) // must not panic
+}

@@ -1,0 +1,102 @@
+package prefetch
+
+import (
+	"testing"
+	"testing/quick"
+
+	"bingo/internal/mem"
+)
+
+func TestFootprintBasics(t *testing.T) {
+	var f Footprint
+	f = f.With(0).With(5).With(31)
+	if !f.Test(0) || !f.Test(5) || !f.Test(31) || f.Test(1) {
+		t.Fatalf("Test wrong: %s", f.StringN(32))
+	}
+	if f.Count() != 3 {
+		t.Fatalf("Count = %d", f.Count())
+	}
+	blocks := f.Blocks()
+	if len(blocks) != 3 || blocks[0] != 0 || blocks[1] != 5 || blocks[2] != 31 {
+		t.Fatalf("Blocks = %v", blocks)
+	}
+}
+
+func TestFootprintString(t *testing.T) {
+	f := Footprint(0).With(1)
+	if got := f.StringN(4); got != "0100" {
+		t.Fatalf("StringN = %q", got)
+	}
+	if len(f.String()) != 64 {
+		t.Fatalf("String length = %d", len(f.String()))
+	}
+}
+
+func TestFootprintAddrs(t *testing.T) {
+	rc := mem.MustRegionConfig(2048)
+	f := Footprint(0).With(0).With(3).With(7)
+	base := mem.Addr(10 * 2048)
+	addrs := f.Addrs(rc, base, 3) // exclude block 3
+	if len(addrs) != 2 {
+		t.Fatalf("Addrs = %v", addrs)
+	}
+	if addrs[0] != base || addrs[1] != base+7*64 {
+		t.Fatalf("Addrs = %v", addrs)
+	}
+	if got := f.Addrs(rc, base, -1); len(got) != 3 {
+		t.Fatalf("exclude -1 should keep all: %v", got)
+	}
+}
+
+func TestRotateIdentity(t *testing.T) {
+	f := Footprint(0b1011)
+	if f.Rotate(5, 5, 32) != f {
+		t.Fatal("rotate to same offset should be identity")
+	}
+	if f.Rotate(0, 0, 0) != f {
+		t.Fatal("rotate with n<=0 should be identity")
+	}
+}
+
+func TestRotateAnchor(t *testing.T) {
+	// A pattern {4,5,6} anchored at trigger offset 4 and re-anchored at
+	// offset 10 becomes {10,11,12}.
+	f := Footprint(0).With(4).With(5).With(6)
+	got := f.Rotate(4, 10, 32)
+	want := Footprint(0).With(10).With(11).With(12)
+	if got != want {
+		t.Fatalf("Rotate = %s, want %s", got.StringN(32), want.StringN(32))
+	}
+}
+
+func TestRotateWraps(t *testing.T) {
+	f := Footprint(0).With(31)
+	got := f.Rotate(31, 0, 32)
+	if !got.Test(0) || got.Count() != 1 {
+		t.Fatalf("wrap rotate = %s", got.StringN(32))
+	}
+}
+
+func TestRotateRoundTripProperty(t *testing.T) {
+	rcBlocks := 32
+	f := func(raw uint32, from, to uint8) bool {
+		fp := Footprint(raw) // 32-bit pattern
+		a := int(from) % rcBlocks
+		b := int(to) % rcBlocks
+		rotated := fp.Rotate(a, b, rcBlocks)
+		// Count is preserved and rotating back restores the original.
+		return rotated.Count() == fp.Count() && rotated.Rotate(b, a, rcBlocks) == fp
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRotate64BlockRegion(t *testing.T) {
+	f := Footprint(1) | Footprint(1)<<63
+	got := f.Rotate(0, 1, 64)
+	want := Footprint(1)<<1 | Footprint(1)
+	if got != want {
+		t.Fatalf("64-block rotate = %x, want %x", uint64(got), uint64(want))
+	}
+}

@@ -1,0 +1,141 @@
+package prefetch
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTableValidation(t *testing.T) {
+	if _, err := NewTable[int](0, 4); err == nil {
+		t.Error("zero entries should fail")
+	}
+	if _, err := NewTable[int](10, 4); err == nil {
+		t.Error("entries not divisible by ways should fail")
+	}
+	if _, err := NewTable[int](24, 4); err == nil {
+		t.Error("non-pow2 set count should fail")
+	}
+	if _, err := NewTable[int](16, 4); err != nil {
+		t.Errorf("valid table rejected: %v", err)
+	}
+}
+
+func TestTableInsertLookup(t *testing.T) {
+	tbl := MustNewTable[string](16, 4)
+	tbl.Insert(1, "a")
+	tbl.Insert(2, "b")
+	if v, ok := tbl.Lookup(1, false); !ok || *v != "a" {
+		t.Fatalf("Lookup(1) = %v %v", v, ok)
+	}
+	if _, ok := tbl.Lookup(3, false); ok {
+		t.Fatal("Lookup(3) should miss")
+	}
+	if tbl.Len() != 2 || tbl.Capacity() != 16 || tbl.Ways() != 4 {
+		t.Fatalf("Len/Capacity/Ways = %d/%d/%d", tbl.Len(), tbl.Capacity(), tbl.Ways())
+	}
+}
+
+func TestTableReplaceSameKey(t *testing.T) {
+	tbl := MustNewTable[int](16, 4)
+	tbl.Insert(7, 1)
+	if _, _, evicted := tbl.Insert(7, 2); evicted {
+		t.Fatal("replacing the same key should not evict")
+	}
+	if v, _ := tbl.Lookup(7, false); *v != 2 {
+		t.Fatalf("value not replaced: %d", *v)
+	}
+	if tbl.Len() != 1 {
+		t.Fatalf("Len = %d", tbl.Len())
+	}
+}
+
+func TestTableLRUEviction(t *testing.T) {
+	// Single-set table: 4 ways, 4 entries.
+	tbl := MustNewTable[int](4, 4)
+	for k := uint64(0); k < 4; k++ {
+		tbl.Insert(k, int(k))
+	}
+	tbl.Lookup(0, true) // key 0 is now MRU; key 1 is LRU
+	key, val, evicted := tbl.Insert(100, 100)
+	if !evicted || key != 1 || val != 1 {
+		t.Fatalf("evicted %d/%d (%v), want key 1", key, val, evicted)
+	}
+	if _, ok := tbl.Lookup(0, false); !ok {
+		t.Fatal("recently touched key 0 should survive")
+	}
+}
+
+func TestTableLookupWithoutTouchDoesNotProtect(t *testing.T) {
+	tbl := MustNewTable[int](4, 4)
+	for k := uint64(0); k < 4; k++ {
+		tbl.Insert(k, int(k))
+	}
+	tbl.Lookup(0, false) // no recency update: key 0 stays LRU
+	key, _, evicted := tbl.Insert(100, 100)
+	if !evicted || key != 0 {
+		t.Fatalf("evicted key %d, want 0", key)
+	}
+}
+
+func TestTableErase(t *testing.T) {
+	tbl := MustNewTable[int](16, 4)
+	tbl.Insert(5, 50)
+	if v, ok := tbl.Erase(5); !ok || v != 50 {
+		t.Fatalf("Erase = %d %v", v, ok)
+	}
+	if _, ok := tbl.Lookup(5, false); ok {
+		t.Fatal("erased key should miss")
+	}
+	if _, ok := tbl.Erase(5); ok {
+		t.Fatal("double erase should miss")
+	}
+	if tbl.Len() != 0 {
+		t.Fatalf("Len = %d", tbl.Len())
+	}
+}
+
+func TestTableRange(t *testing.T) {
+	tbl := MustNewTable[int](16, 4)
+	for k := uint64(0); k < 5; k++ {
+		tbl.Insert(k, int(k)*10)
+	}
+	sum := 0
+	tbl.Range(func(key uint64, v *int) bool {
+		sum += *v
+		return true
+	})
+	if sum != 100 {
+		t.Fatalf("Range sum = %d", sum)
+	}
+	// Early termination.
+	n := 0
+	tbl.Range(func(uint64, *int) bool { n++; return false })
+	if n != 1 {
+		t.Fatalf("Range did not stop early: %d", n)
+	}
+}
+
+func TestTableNeverExceedsCapacityProperty(t *testing.T) {
+	tbl := MustNewTable[uint64](32, 4)
+	f := func(keys []uint64) bool {
+		for _, k := range keys {
+			tbl.Insert(k, k)
+		}
+		return tbl.Len() <= tbl.Capacity()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTableLookupReturnsInsertedProperty(t *testing.T) {
+	f := func(key, val uint64) bool {
+		tbl := MustNewTable[uint64](16, 4)
+		tbl.Insert(key, val)
+		got, ok := tbl.Lookup(key, false)
+		return ok && *got == val
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

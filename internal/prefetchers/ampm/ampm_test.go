@@ -1,0 +1,151 @@
+package ampm
+
+import (
+	"testing"
+
+	"bingo/internal/mem"
+	"bingo/internal/prefetch"
+)
+
+func smallConfig() Config {
+	cfg := DefaultConfig()
+	cfg.ZoneEntries = 64
+	cfg.ZoneWays = 4
+	return cfg
+}
+
+func access(a mem.Addr) prefetch.AccessEvent { return prefetch.AccessEvent{PC: 1, Addr: a} }
+
+func addr(zone uint64, block int) mem.Addr {
+	return mem.Addr(zone*4096 + uint64(block)*64)
+}
+
+func TestStrideDetection(t *testing.T) {
+	a := MustNew(smallConfig())
+	// Unit-stride: blocks 0, 1, 2 — after the third access the pattern
+	// (t-1, t-2 accessed) holds for stride 1 and block 3 is prefetched.
+	a.OnAccess(access(addr(5, 0)))
+	a.OnAccess(access(addr(5, 1)))
+	got := a.OnAccess(access(addr(5, 2)))
+	found := false
+	for _, p := range got {
+		if p == addr(5, 3) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("stride +1 should prefetch block 3, got %v", got)
+	}
+}
+
+func TestNonUnitStride(t *testing.T) {
+	a := MustNew(smallConfig())
+	a.OnAccess(access(addr(5, 0)))
+	a.OnAccess(access(addr(5, 4)))
+	got := a.OnAccess(access(addr(5, 8)))
+	found := false
+	for _, p := range got {
+		if p == addr(5, 12) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("stride +4 should prefetch block 12, got %v", got)
+	}
+}
+
+func TestBackwardStride(t *testing.T) {
+	a := MustNew(smallConfig())
+	a.OnAccess(access(addr(5, 60)))
+	a.OnAccess(access(addr(5, 59)))
+	got := a.OnAccess(access(addr(5, 58)))
+	found := false
+	for _, p := range got {
+		if p == addr(5, 57) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("stride -1 should prefetch block 57, got %v", got)
+	}
+}
+
+func TestNoPrefetchWithoutPattern(t *testing.T) {
+	a := MustNew(smallConfig())
+	a.OnAccess(access(addr(5, 0)))
+	if got := a.OnAccess(access(addr(5, 30))); got != nil {
+		t.Fatalf("no stride pattern yet, got %v", got)
+	}
+}
+
+func TestZoneBoundaryRespected(t *testing.T) {
+	a := MustNew(smallConfig())
+	a.OnAccess(access(addr(5, 61)))
+	a.OnAccess(access(addr(5, 62)))
+	got := a.OnAccess(access(addr(5, 63)))
+	for _, p := range got {
+		if p >= addr(6, 0) {
+			t.Fatalf("prefetch %v crosses the zone boundary", p)
+		}
+	}
+}
+
+func TestNoDuplicatePrefetch(t *testing.T) {
+	a := MustNew(smallConfig())
+	a.OnAccess(access(addr(5, 0)))
+	a.OnAccess(access(addr(5, 1)))
+	a.OnAccess(access(addr(5, 2)))
+	// Re-access block 2: block 3 was already marked prefetched.
+	got := a.OnAccess(access(addr(5, 2)))
+	for _, p := range got {
+		if p == addr(5, 3) {
+			t.Fatal("block 3 prefetched twice")
+		}
+	}
+}
+
+func TestDegreeBound(t *testing.T) {
+	cfg := smallConfig()
+	cfg.MaxDegree = 1
+	a := MustNew(cfg)
+	// Build a dense history so many strides qualify.
+	for b := 0; b < 16; b++ {
+		a.OnAccess(access(addr(5, b)))
+	}
+	if got := a.OnAccess(access(addr(5, 16))); len(got) > 1 {
+		t.Fatalf("degree 1 exceeded: %v", got)
+	}
+}
+
+func TestZonesIndependent(t *testing.T) {
+	a := MustNew(smallConfig())
+	a.OnAccess(access(addr(5, 0)))
+	a.OnAccess(access(addr(5, 1)))
+	// Zone 9 has no history: first access there must not prefetch.
+	if got := a.OnAccess(access(addr(9, 2))); got != nil {
+		t.Fatalf("fresh zone should not prefetch, got %v", got)
+	}
+}
+
+func TestEvictionIsNoOp(t *testing.T) {
+	a := MustNew(smallConfig())
+	a.OnEviction(addr(5, 0)) // must not panic
+}
+
+func TestStorageAndName(t *testing.T) {
+	a := MustNew(DefaultConfig())
+	if a.Name() != "ampm" {
+		t.Fatal("name wrong")
+	}
+	if a.StorageBytes() <= 0 {
+		t.Fatal("storage should be positive")
+	}
+}
+
+func TestBadConfig(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ZoneBytes = 3000
+	if _, err := New(cfg); err == nil {
+		t.Fatal("bad zone size should fail")
+	}
+}

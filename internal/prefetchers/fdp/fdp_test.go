@@ -1,0 +1,133 @@
+package fdp
+
+import (
+	"testing"
+
+	"bingo/internal/mem"
+	"bingo/internal/prefetch"
+)
+
+// burstInner always predicts a fixed burst of n blocks.
+type burstInner struct {
+	n         int
+	evictions int
+}
+
+func (b *burstInner) Name() string { return "burst" }
+
+func (b *burstInner) OnAccess(ev prefetch.AccessEvent) []mem.Addr {
+	out := make([]mem.Addr, b.n)
+	block := ev.Addr.BlockNumber()
+	for i := range out {
+		out[i] = mem.Addr((block + uint64(i) + 1) << mem.BlockShift)
+	}
+	return out
+}
+
+func (b *burstInner) OnEviction(mem.Addr) { b.evictions++ }
+
+func (b *burstInner) StorageBytes() int { return 100 }
+
+func feed(f *FDP, n int, useful bool) {
+	for i := 0; i < n; i++ {
+		f.OnPrefetchOutcome(useful)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	bad := []func(*Config){
+		func(c *Config) { c.EpochOutcomes = 0 },
+		func(c *Config) { c.LowAccuracy = 0.95 },
+		func(c *Config) { c.HighAccuracy = 1.5 },
+		func(c *Config) { c.MinDegree = 0 },
+		func(c *Config) { c.MaxDegree = 0 },
+	}
+	for i, mutate := range bad {
+		cfg := DefaultConfig()
+		mutate(&cfg)
+		if _, err := New(cfg, &burstInner{n: 4}); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+	if _, err := New(DefaultConfig(), nil); err == nil {
+		t.Error("nil inner should fail")
+	}
+}
+
+func TestStartsAtMaxDegree(t *testing.T) {
+	f := MustNew(DefaultConfig(), &burstInner{n: 64})
+	if f.Degree() != DefaultConfig().MaxDegree {
+		t.Fatalf("initial degree = %d", f.Degree())
+	}
+	got := f.OnAccess(prefetch.AccessEvent{Addr: 0x1000})
+	if len(got) != DefaultConfig().MaxDegree {
+		t.Fatalf("issued %d, want the max-degree cap", len(got))
+	}
+	if f.Stats().Truncated == 0 {
+		t.Fatal("truncation should be counted")
+	}
+}
+
+func TestThrottlesDownOnBadAccuracy(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.EpochOutcomes = 16
+	f := MustNew(cfg, &burstInner{n: 64})
+	start := f.Degree()
+	feed(f, 64, false) // several epochs of pure junk
+	if f.Degree() >= start {
+		t.Fatalf("degree did not drop: %d", f.Degree())
+	}
+	if f.Stats().Lowered == 0 {
+		t.Fatal("lowering should be counted")
+	}
+}
+
+func TestRecoversOnGoodAccuracy(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.EpochOutcomes = 16
+	f := MustNew(cfg, &burstInner{n: 64})
+	feed(f, 256, false)
+	low := f.Degree()
+	if low != cfg.MinDegree {
+		t.Fatalf("sustained junk should floor the degree, got %d", low)
+	}
+	feed(f, 512, true)
+	if f.Degree() <= low {
+		t.Fatalf("degree did not recover: %d", f.Degree())
+	}
+	if f.Stats().Raised == 0 {
+		t.Fatal("raising should be counted")
+	}
+}
+
+func TestDegreeBounds(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.EpochOutcomes = 8
+	f := MustNew(cfg, &burstInner{n: 64})
+	feed(f, 10_000, false)
+	if f.Degree() < cfg.MinDegree {
+		t.Fatalf("degree under floor: %d", f.Degree())
+	}
+	feed(f, 10_000, true)
+	if f.Degree() > cfg.MaxDegree {
+		t.Fatalf("degree over ceiling: %d", f.Degree())
+	}
+}
+
+func TestDelegation(t *testing.T) {
+	inner := &burstInner{n: 2}
+	f := MustNew(DefaultConfig(), inner)
+	if f.Name() != "fdp(burst)" {
+		t.Fatalf("name = %q", f.Name())
+	}
+	if f.StorageBytes() != 108 {
+		t.Fatalf("storage = %d", f.StorageBytes())
+	}
+	f.OnEviction(0x40)
+	if inner.evictions != 1 {
+		t.Fatal("eviction not delegated")
+	}
+	if got := f.OnAccess(prefetch.AccessEvent{Addr: 0}); len(got) != 2 {
+		t.Fatalf("under-cap prediction should pass through, got %d", len(got))
+	}
+}

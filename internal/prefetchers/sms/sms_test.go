@@ -1,0 +1,122 @@
+package sms
+
+import (
+	"testing"
+
+	"bingo/internal/mem"
+	"bingo/internal/prefetch"
+)
+
+func smallConfig() Config {
+	cfg := DefaultConfig()
+	cfg.FilterEntries = 16
+	cfg.AccumEntries = 32
+	cfg.TrackerWays = 4
+	cfg.HistoryEntries = 256
+	cfg.HistoryWays = 4
+	return cfg
+}
+
+func addr(region uint64, block int) mem.Addr {
+	return mem.Addr(region*2048 + uint64(block)*64)
+}
+
+func access(pc mem.PC, a mem.Addr) prefetch.AccessEvent {
+	return prefetch.AccessEvent{PC: pc, Addr: a}
+}
+
+func train(s *SMS, pc mem.PC, region uint64, blocks []int) {
+	for i, blk := range blocks {
+		p := pc
+		if i > 0 {
+			p += mem.PC(i)
+		}
+		s.OnAccess(access(p, addr(region, blk)))
+	}
+	s.OnEviction(addr(region, blocks[0]))
+}
+
+func TestLearnAndGeneralise(t *testing.T) {
+	s := MustNew(smallConfig())
+	train(s, 0x400, 7, []int{2, 5, 9})
+
+	// SMS keys on PC+Offset only: a brand-new region with the same
+	// trigger PC and offset gets the learned footprint.
+	got := s.OnAccess(access(0x400, addr(300, 2)))
+	if len(got) != 2 {
+		t.Fatalf("prefetches = %v", got)
+	}
+	want := map[mem.Addr]bool{addr(300, 5): true, addr(300, 9): true}
+	for _, a := range got {
+		if !want[a] {
+			t.Errorf("unexpected prefetch %v", a)
+		}
+	}
+	if s.Triggers != 2 || s.Matches != 1 {
+		t.Fatalf("triggers=%d matches=%d", s.Triggers, s.Matches)
+	}
+}
+
+func TestNoCrossPCGeneralisation(t *testing.T) {
+	s := MustNew(smallConfig())
+	train(s, 0x400, 7, []int{2, 5})
+	if got := s.OnAccess(access(0x999, addr(300, 2))); got != nil {
+		t.Fatalf("different trigger PC should not match, got %v", got)
+	}
+}
+
+func TestLatestFootprintWins(t *testing.T) {
+	// Unlike Bingo's voting, SMS keeps one footprint per PC+Offset key:
+	// retraining replaces it.
+	s := MustNew(smallConfig())
+	train(s, 0x400, 7, []int{2, 5})
+	train(s, 0x400, 8, []int{2, 9})
+	got := s.OnAccess(access(0x400, addr(300, 2)))
+	if len(got) != 1 || got[0] != addr(300, 9) {
+		t.Fatalf("latest footprint should win, got %v", got)
+	}
+}
+
+func TestMaxDegree(t *testing.T) {
+	cfg := smallConfig()
+	cfg.MaxDegree = 1
+	s := MustNew(cfg)
+	train(s, 0x400, 7, []int{0, 3, 6, 9})
+	if got := s.OnAccess(access(0x400, addr(300, 0))); len(got) != 1 {
+		t.Fatalf("MaxDegree=1 but issued %d", len(got))
+	}
+}
+
+func TestStorageAndName(t *testing.T) {
+	s := MustNew(DefaultConfig())
+	if s.Name() != "sms" {
+		t.Fatal("name wrong")
+	}
+	kb := float64(s.StorageBytes()) / 1024
+	if kb < 80 || kb > 160 {
+		t.Fatalf("storage = %.1f KB, expected a 16K-entry-table budget", kb)
+	}
+}
+
+func TestBadConfig(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.RegionBytes = 3000
+	if _, err := New(cfg); err == nil {
+		t.Fatal("bad region should fail")
+	}
+	cfg = DefaultConfig()
+	cfg.HistoryEntries = 7
+	if _, err := New(cfg); err == nil {
+		t.Fatal("bad history geometry should fail")
+	}
+}
+
+func TestFactoryIndependence(t *testing.T) {
+	f := Factory(smallConfig())
+	a := f(0).(*SMS)
+	b := f(1).(*SMS)
+	train(a, 0x400, 7, []int{2, 5})
+	if got := b.OnAccess(access(0x400, addr(300, 2))); got != nil {
+		t.Fatal("instances must not share metadata")
+	}
+}

@@ -1,0 +1,154 @@
+package spp
+
+import (
+	"testing"
+
+	"bingo/internal/mem"
+	"bingo/internal/prefetch"
+)
+
+func access(a mem.Addr) prefetch.AccessEvent { return prefetch.AccessEvent{PC: 1, Addr: a} }
+
+func pageAddr(page uint64, block int) mem.Addr {
+	return mem.Addr(page*4096 + uint64(block)*64)
+}
+
+func TestLearnsUnitStride(t *testing.T) {
+	s := MustNew(DefaultConfig())
+	// Train a unit-delta pattern across several pages.
+	for p := uint64(0); p < 8; p++ {
+		for b := 0; b < 10; b++ {
+			s.OnAccess(access(pageAddr(p, b)))
+		}
+	}
+	// Fresh page: after two accesses establishing delta 1, lookahead
+	// should prefetch ahead.
+	s.OnAccess(access(pageAddr(100, 0)))
+	got := s.OnAccess(access(pageAddr(100, 1)))
+	if len(got) == 0 {
+		t.Fatal("trained SPP should prefetch on a recognised delta")
+	}
+	for i, a := range got {
+		if want := pageAddr(100, 2+i); a != want {
+			t.Fatalf("prefetch[%d] = %v, want %v", i, a, want)
+		}
+	}
+}
+
+func TestLookaheadBoundedByConfidence(t *testing.T) {
+	// A deterministic stream keeps path confidence at 1.0, so only
+	// MaxLookahead bounds it; a *mixed* delta pattern (half +1, half +2
+	// after the same signature) halves the confidence per step and a 90%
+	// threshold must then prune the path immediately.
+	cfg := DefaultConfig()
+	cfg.Threshold = 0.9
+	s := MustNew(cfg)
+	for p := uint64(0); p < 16; p++ {
+		d := 1 + int(p%2)
+		s.OnAccess(access(pageAddr(p, 0)))
+		s.OnAccess(access(pageAddr(p, d)))
+	}
+	s.OnAccess(access(pageAddr(100, 0)))
+	got := s.OnAccess(access(pageAddr(100, 1)))
+	if len(got) != 0 {
+		t.Fatalf("≈50%% confident delta must not pass a 90%% threshold, got %v", got)
+	}
+}
+
+func TestLookaheadBoundedByMaxDepth(t *testing.T) {
+	cfg := DefaultConfig()
+	s := MustNew(cfg)
+	for p := uint64(0); p < 8; p++ {
+		for b := 0; b < 30; b++ {
+			s.OnAccess(access(pageAddr(p, b)))
+		}
+	}
+	s.OnAccess(access(pageAddr(100, 0)))
+	got := s.OnAccess(access(pageAddr(100, 1)))
+	if len(got) > cfg.MaxLookahead {
+		t.Fatalf("lookahead %d exceeded MaxLookahead %d", len(got), cfg.MaxLookahead)
+	}
+}
+
+func TestAggressiveDeeper(t *testing.T) {
+	train := func(s *SPP) int {
+		for p := uint64(0); p < 8; p++ {
+			for b := 0; b < 30; b++ {
+				s.OnAccess(access(pageAddr(p, b)))
+			}
+		}
+		s.OnAccess(access(pageAddr(100, 0)))
+		return len(s.OnAccess(access(pageAddr(100, 1))))
+	}
+	normal := train(MustNew(DefaultConfig()))
+	aggressive := train(MustNew(AggressiveConfig()))
+	if aggressive <= normal {
+		t.Fatalf("aggressive (%d) should look further than default (%d)", aggressive, normal)
+	}
+}
+
+func TestFilterSuppressesDuplicates(t *testing.T) {
+	s := MustNew(DefaultConfig())
+	for p := uint64(0); p < 8; p++ {
+		for b := 0; b < 10; b++ {
+			s.OnAccess(access(pageAddr(p, b)))
+		}
+	}
+	s.OnAccess(access(pageAddr(100, 0)))
+	first := s.OnAccess(access(pageAddr(100, 1)))
+	// Revisiting the same position must not re-issue the same blocks.
+	s.OnAccess(access(pageAddr(100, 0)))
+	second := s.OnAccess(access(pageAddr(100, 1)))
+	if len(second) >= len(first) && len(first) > 0 {
+		t.Fatalf("filter should suppress duplicates: first=%d second=%d", len(first), len(second))
+	}
+}
+
+func TestPageBoundaryStopsLookahead(t *testing.T) {
+	s := MustNew(DefaultConfig())
+	for p := uint64(0); p < 8; p++ {
+		for b := 0; b < 64; b++ {
+			s.OnAccess(access(pageAddr(p, b)))
+		}
+	}
+	s.OnAccess(access(pageAddr(100, 62)))
+	got := s.OnAccess(access(pageAddr(100, 63)))
+	for _, a := range got {
+		if a >= pageAddr(101, 0) {
+			t.Fatalf("prefetch %v crossed the page", a)
+		}
+	}
+}
+
+func TestSignatureUpdate(t *testing.T) {
+	s0 := updateSig(0, 1)
+	s1 := updateSig(s0, 1)
+	if s0 == 0 || s1 == s0 {
+		t.Fatalf("signature should evolve: %x %x", s0, s1)
+	}
+	if updateSig(0, 1) != s0 {
+		t.Fatal("signature update must be deterministic")
+	}
+	if s := updateSig(0xfff, 5); s&^sigMask != 0 {
+		t.Fatalf("signature exceeded %d bits: %x", sigBits, s)
+	}
+}
+
+func TestSameBlockNoDelta(t *testing.T) {
+	s := MustNew(DefaultConfig())
+	s.OnAccess(access(pageAddr(5, 3)))
+	if got := s.OnAccess(access(pageAddr(5, 3))); got != nil {
+		t.Fatalf("zero delta should not prefetch: %v", got)
+	}
+}
+
+func TestIdentity(t *testing.T) {
+	s := MustNew(DefaultConfig())
+	if s.Name() != "spp" || s.StorageBytes() <= 0 {
+		t.Fatal("identity wrong")
+	}
+	if MustNew(AggressiveConfig()).Name() != "spp-aggr" {
+		t.Fatal("aggressive name wrong")
+	}
+	s.OnEviction(0x1000) // no-op
+}

@@ -1,0 +1,99 @@
+package stride
+
+import (
+	"testing"
+
+	"bingo/internal/mem"
+	"bingo/internal/prefetch"
+)
+
+func access(pc mem.PC, block uint64) prefetch.AccessEvent {
+	return prefetch.AccessEvent{PC: pc, Addr: mem.Addr(block << mem.BlockShift)}
+}
+
+func TestStrideLearnsAfterConfidence(t *testing.T) {
+	s := MustNew(DefaultConfig())
+	var got []mem.Addr
+	// Stride 5 stream from one PC: first few accesses build confidence.
+	for i := uint64(0); i < 6; i++ {
+		got = s.OnAccess(access(0x400, 100+i*5))
+	}
+	if len(got) != 2 {
+		t.Fatalf("confident stride should prefetch degree 2, got %v", got)
+	}
+	if got[0] != mem.Addr((130)<<mem.BlockShift) || got[1] != mem.Addr((135)<<mem.BlockShift) {
+		t.Fatalf("prefetches = %v", got)
+	}
+}
+
+func TestNoPrefetchBeforeConfidence(t *testing.T) {
+	s := MustNew(DefaultConfig())
+	if got := s.OnAccess(access(0x400, 100)); got != nil {
+		t.Fatal("first access should not prefetch")
+	}
+	if got := s.OnAccess(access(0x400, 105)); got != nil {
+		t.Fatal("second access should not prefetch (stride just learned)")
+	}
+}
+
+func TestStrideChangeResetsConfidence(t *testing.T) {
+	s := MustNew(DefaultConfig())
+	for i := uint64(0); i < 6; i++ {
+		s.OnAccess(access(0x400, 100+i*5))
+	}
+	// Break the stride twice: confidence decays below threshold.
+	s.OnAccess(access(0x400, 1000))
+	got := s.OnAccess(access(0x400, 5000))
+	if got != nil {
+		t.Fatalf("broken stride should stop prefetching, got %v", got)
+	}
+}
+
+func TestPerPCIsolation(t *testing.T) {
+	s := MustNew(DefaultConfig())
+	for i := uint64(0); i < 6; i++ {
+		s.OnAccess(access(0x400, 100+i*5))
+	}
+	if got := s.OnAccess(access(0x999, 200)); got != nil {
+		t.Fatal("a different PC has no history")
+	}
+}
+
+func TestZeroStrideNeverPrefetches(t *testing.T) {
+	s := MustNew(DefaultConfig())
+	var got []mem.Addr
+	for i := 0; i < 8; i++ {
+		got = s.OnAccess(access(0x400, 100))
+	}
+	if got != nil {
+		t.Fatalf("zero stride prefetched %v", got)
+	}
+}
+
+func TestStrideIdentity(t *testing.T) {
+	s := MustNew(DefaultConfig())
+	if s.Name() != "stride" || s.StorageBytes() <= 0 {
+		t.Fatal("identity wrong")
+	}
+	s.OnEviction(0)
+}
+
+func TestNextLine(t *testing.T) {
+	p := NextLine{N: 3}
+	got := p.OnAccess(access(1, 10))
+	if len(got) != 3 {
+		t.Fatalf("NextLine{3} issued %d", len(got))
+	}
+	for i, a := range got {
+		if a != mem.Addr((11+uint64(i))<<mem.BlockShift) {
+			t.Fatalf("prefetch[%d] = %v", i, a)
+		}
+	}
+	if got := (NextLine{}).OnAccess(access(1, 10)); len(got) != 1 {
+		t.Fatal("zero N should default to 1")
+	}
+	if (NextLine{}).Name() != "nextline" || (NextLine{}).StorageBytes() != 0 {
+		t.Fatal("identity wrong")
+	}
+	NextLine{}.OnEviction(0)
+}

@@ -1,0 +1,142 @@
+package vldp
+
+import (
+	"testing"
+
+	"bingo/internal/mem"
+	"bingo/internal/prefetch"
+)
+
+func access(a mem.Addr) prefetch.AccessEvent { return prefetch.AccessEvent{PC: 1, Addr: a} }
+
+func pageAddr(page uint64, block int) mem.Addr {
+	return mem.Addr(page*4096 + uint64(block)*64)
+}
+
+func TestLearnsDeltaChain(t *testing.T) {
+	v := MustNew(DefaultConfig())
+	// Train delta 2 on a few pages.
+	for p := uint64(0); p < 4; p++ {
+		for b := 0; b < 20; b += 2 {
+			v.OnAccess(access(pageAddr(p, b)))
+		}
+	}
+	// Fresh page: once delta 2 is observed, chained predictions follow.
+	v.OnAccess(access(pageAddr(50, 0)))
+	got := v.OnAccess(access(pageAddr(50, 2)))
+	if len(got) == 0 {
+		t.Fatal("trained VLDP should prefetch")
+	}
+	for i, a := range got {
+		if want := pageAddr(50, 4+2*i); a != want {
+			t.Fatalf("prefetch[%d] = %v, want %v", i, a, want)
+		}
+	}
+	if len(got) > DefaultConfig().Degree {
+		t.Fatalf("degree exceeded: %d", len(got))
+	}
+}
+
+func TestOPTPredictsFirstDelta(t *testing.T) {
+	v := MustNew(DefaultConfig())
+	// Teach the OPT: pages first touched at block 0 continue with +3.
+	for p := uint64(0); p < 4; p++ {
+		v.OnAccess(access(pageAddr(p, 0)))
+		v.OnAccess(access(pageAddr(p, 3)))
+	}
+	// First access to a fresh page at offset 0: OPT suggests +3.
+	got := v.OnAccess(access(pageAddr(50, 0)))
+	if len(got) != 1 || got[0] != pageAddr(50, 3) {
+		t.Fatalf("OPT prediction = %v, want block 3", got)
+	}
+}
+
+func TestLongerHistoryWins(t *testing.T) {
+	v := MustNew(DefaultConfig())
+	// Pattern: after deltas (1,1) comes 4; after a single delta 1 comes 1
+	// most of the time. The 2-history table must override the 1-history.
+	for p := uint64(0); p < 6; p++ {
+		v.OnAccess(access(pageAddr(p, 0)))
+		v.OnAccess(access(pageAddr(p, 1)))
+		v.OnAccess(access(pageAddr(p, 2)))
+		v.OnAccess(access(pageAddr(p, 6))) // (1,1) -> 4
+	}
+	v.OnAccess(access(pageAddr(50, 0)))
+	v.OnAccess(access(pageAddr(50, 1)))
+	got := v.OnAccess(access(pageAddr(50, 2)))
+	if len(got) == 0 || got[0] != pageAddr(50, 6) {
+		t.Fatalf("2-delta history should predict +4, got %v", got)
+	}
+}
+
+func TestAggressiveDegree(t *testing.T) {
+	v := MustNew(AggressiveConfig())
+	for p := uint64(0); p < 4; p++ {
+		for b := 0; b < 30; b++ {
+			v.OnAccess(access(pageAddr(p, b)))
+		}
+	}
+	v.OnAccess(access(pageAddr(50, 0)))
+	got := v.OnAccess(access(pageAddr(50, 1)))
+	if len(got) <= DefaultConfig().Degree {
+		t.Fatalf("aggressive VLDP should chain deeper: %d", len(got))
+	}
+	if v.Name() != "vldp-aggr" {
+		t.Fatalf("name = %q", v.Name())
+	}
+}
+
+func TestPageBoundaryStopsChaining(t *testing.T) {
+	v := MustNew(DefaultConfig())
+	for p := uint64(0); p < 4; p++ {
+		for b := 0; b < 64; b++ {
+			v.OnAccess(access(pageAddr(p, b)))
+		}
+	}
+	v.OnAccess(access(pageAddr(50, 62)))
+	got := v.OnAccess(access(pageAddr(50, 63)))
+	for _, a := range got {
+		if a >= pageAddr(51, 0) {
+			t.Fatalf("prefetch %v crossed the page", a)
+		}
+	}
+}
+
+func TestZeroDeltaIgnored(t *testing.T) {
+	v := MustNew(DefaultConfig())
+	v.OnAccess(access(pageAddr(5, 3)))
+	if got := v.OnAccess(access(pageAddr(5, 3))); got != nil {
+		t.Fatalf("repeat access should not prefetch: %v", got)
+	}
+}
+
+func TestHistoryKey(t *testing.T) {
+	if historyKey([]int{1}) == historyKey([]int{2}) {
+		t.Fatal("different deltas should differ")
+	}
+	if historyKey([]int{1, 2}) == historyKey([]int{2, 1}) {
+		t.Fatal("order should matter")
+	}
+	if historyKey([]int{1}) == historyKey([]int{1, 0}) {
+		t.Fatal("length should matter")
+	}
+	if historyKey([]int{-1}) == historyKey([]int{1}) {
+		t.Fatal("sign should matter")
+	}
+}
+
+func TestIdentity(t *testing.T) {
+	v := MustNew(DefaultConfig())
+	if v.Name() != "vldp" || v.StorageBytes() <= 0 {
+		t.Fatal("identity wrong")
+	}
+	v.OnEviction(0x1000)
+}
+
+func TestBadConfig(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.PageBytes = 3000
+	if _, err := New(cfg); err == nil {
+		t.Fatal("bad page size should fail")
+	}
+}

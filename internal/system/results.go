@@ -1,0 +1,166 @@
+package system
+
+import (
+	"fmt"
+	"strings"
+
+	"bingo/internal/cache"
+	"bingo/internal/cpu"
+	"bingo/internal/dram"
+)
+
+// CoreResult is the measured outcome for one core.
+type CoreResult struct {
+	Instructions uint64
+	Cycles       uint64
+	IPC          float64
+	MemStall     uint64
+	Loads        uint64
+	Stores       uint64
+}
+
+// Results is everything a run produced.
+type Results struct {
+	PrefetcherName  string
+	StorageBytes    int
+	PerCore         []CoreResult
+	L1              []cache.Stats
+	LLC             cache.Stats
+	DRAM            dram.Stats
+	TotalCycles     uint64 // longest per-core measurement interval
+	PrefetchDropped uint64 // prefetches dropped by the full prefetch queue
+	// WindowInstructions is the total number of instructions retired by
+	// all cores over the whole measurement window (cores keep running —
+	// and generating cache traffic — until the slowest finishes, so cache
+	// and DRAM counters must be normalised by this, not by the per-core
+	// snapshot sum).
+	WindowInstructions uint64
+}
+
+// coreSnapshot freezes a core's counters at the cycle it completed its
+// measurement budget.
+type coreSnapshot struct {
+	taken bool
+	cycle uint64
+	stats cpu.Stats
+}
+
+func (s *System) collect(start uint64, snaps []coreSnapshot) Results {
+	r := Results{PrefetcherName: "none", PrefetchDropped: s.pfDropped}
+	if s.pfs != nil {
+		r.PrefetcherName = s.pfs[0].Name()
+		r.StorageBytes = s.pfs[0].StorageBytes()
+	}
+	for i := range s.cores {
+		st := snaps[i].stats
+		cycles := snaps[i].cycle - start
+		if cycles == 0 {
+			cycles = 1
+		}
+		r.PerCore = append(r.PerCore, CoreResult{
+			Instructions: st.Instructions,
+			Cycles:       cycles,
+			IPC:          float64(st.Instructions) / float64(cycles),
+			MemStall:     st.MemStall,
+			Loads:        st.Loads,
+			Stores:       st.Stores,
+		})
+		if cycles > r.TotalCycles {
+			r.TotalCycles = cycles
+		}
+		r.L1 = append(r.L1, s.l1s[i].Stats())
+		r.WindowInstructions += s.cores[i].Stats().Instructions
+	}
+	r.LLC = s.llc.Stats()
+	r.DRAM = s.dram.Stats()
+	return r
+}
+
+// Throughput is the system IPC: the sum of per-core IPCs. Speedups in the
+// figures are ratios of this quantity between prefetcher and baseline
+// runs of the identical trace.
+func (r Results) Throughput() float64 {
+	var t float64
+	for _, c := range r.PerCore {
+		t += c.IPC
+	}
+	return t
+}
+
+// TotalInstructions sums retired instructions across cores.
+func (r Results) TotalInstructions() uint64 {
+	var t uint64
+	for _, c := range r.PerCore {
+		t += c.Instructions
+	}
+	return t
+}
+
+// LLCMPKI is LLC demand misses per kilo-instruction across all cores,
+// normalised over the whole measurement window.
+func (r Results) LLCMPKI() float64 {
+	return r.LLC.MPKI(r.WindowInstructions)
+}
+
+// Coverage is the fraction of would-be misses eliminated by prefetching,
+// computed against this run's own demand stream: useful prefetches over
+// (demand misses + useful prefetches). With a deterministic trace this
+// equals the paper's "covered misses / baseline misses" to within the
+// second-order effect of prefetching perturbing residencies.
+func (r Results) Coverage() float64 {
+	denom := r.LLC.Misses + r.LLC.UsefulPrefetch
+	if denom == 0 {
+		return 0
+	}
+	return float64(r.LLC.UsefulPrefetch) / float64(denom)
+}
+
+// CoverageVsBaseline is the paper's Figure 7 metric: the fraction of the
+// baseline (no-prefetcher) misses of the identical trace that the
+// prefetcher eliminated — computed as miss reduction, which is robust to
+// where in the warm-up/measurement window the covering prefetch was
+// issued. Clamped to [0, 1] (a polluting prefetcher can increase misses).
+func (r Results) CoverageVsBaseline(baselineMisses uint64) float64 {
+	if baselineMisses == 0 {
+		return 0
+	}
+	c := 1 - float64(r.LLC.Misses)/float64(baselineMisses)
+	if c < 0 {
+		c = 0
+	}
+	if c > 1 {
+		c = 1
+	}
+	return c
+}
+
+// Overprediction is Figure 7's overprediction metric: prefetched blocks
+// never used before eviction, normalised to baseline misses.
+func (r Results) Overprediction(baselineMisses uint64) float64 {
+	if baselineMisses == 0 {
+		return 0
+	}
+	return float64(r.LLC.UnusedPrefetch) / float64(baselineMisses)
+}
+
+// Accuracy is useful prefetches over issued prefetch fills.
+func (r Results) Accuracy() float64 {
+	if r.LLC.PrefetchFills == 0 {
+		return 0
+	}
+	return float64(r.LLC.UsefulPrefetch) / float64(r.LLC.PrefetchFills)
+}
+
+// String renders a compact human-readable summary.
+func (r Results) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "prefetcher=%s storage=%dB\n", r.PrefetcherName, r.StorageBytes)
+	for i, c := range r.PerCore {
+		fmt.Fprintf(&b, "  core%d: instr=%d cycles=%d ipc=%.3f\n", i, c.Instructions, c.Cycles, c.IPC)
+	}
+	fmt.Fprintf(&b, "  llc: acc=%d miss=%d mpki=%.2f cov=%.1f%% acc(pf)=%.1f%%\n",
+		r.LLC.Accesses, r.LLC.Misses, r.LLCMPKI(), r.Coverage()*100, r.Accuracy()*100)
+	fmt.Fprintf(&b, "  dram: reads=%d writes=%d rowhit=%.1f%%\n",
+		r.DRAM.Reads, r.DRAM.Writes, r.DRAM.RowHitRate()*100)
+	return b.String()
+}

@@ -1,0 +1,327 @@
+package system
+
+import (
+	"fmt"
+
+	"bingo/internal/cache"
+	"bingo/internal/cpu"
+	"bingo/internal/dram"
+	"bingo/internal/mem"
+	"bingo/internal/prefetch"
+	"bingo/internal/trace"
+	"bingo/internal/vm"
+)
+
+// System is one assembled machine instance. Build it with New, provide a
+// trace source per core, then call Run once.
+type System struct {
+	cfg   Config
+	xlat  *vm.Translator
+	dram  *dram.DRAM
+	llc   *cache.Cache
+	l1s   []*cache.Cache
+	cores []*cpu.Core
+	pfs   []prefetch.Prefetcher
+	clock uint64
+
+	// Per-core in-flight prefetch completion times: the prefetch queue.
+	// When a core's queue is full, further predictions are dropped —
+	// exactly what a hardware prefetch queue does under bandwidth
+	// pressure, and the mechanism that keeps an over-eager prefetcher
+	// from monopolising DRAM.
+	pfInflight [][]uint64
+	pfDropped  uint64
+}
+
+// New assembles a system. sources must have one trace source per core;
+// factory may be nil for the no-prefetcher baseline.
+func New(cfg Config, sources []trace.Source, factory prefetch.Factory) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(sources) != cfg.NumCores {
+		return nil, fmt.Errorf("system: %d trace sources for %d cores", len(sources), cfg.NumCores)
+	}
+
+	d, err := dram.New(cfg.DRAM)
+	if err != nil {
+		return nil, err
+	}
+	llc, err := cache.New(cfg.LLC, cache.MemoryLevel{Mem: d})
+	if err != nil {
+		return nil, err
+	}
+	xlat, err := vm.NewTranslator(cfg.MemoryBytes, cfg.PageBytes, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+
+	s := &System{cfg: cfg, xlat: xlat, dram: d, llc: llc}
+
+	if factory != nil {
+		s.pfs = make([]prefetch.Prefetcher, cfg.NumCores)
+		s.pfInflight = make([][]uint64, cfg.NumCores)
+		for i := range s.pfs {
+			s.pfs[i] = factory(i)
+			s.pfInflight[i] = make([]uint64, 0, cfg.PrefetchQueue)
+		}
+		if cfg.PrefetchAt == AttachLLC {
+			llc.SetEvictionListener(evictionBroadcast{pfs: s.pfs})
+			llc.SetOutcomeFunc(s.routeOutcome)
+		}
+	}
+
+	for i := 0; i < cfg.NumCores; i++ {
+		l1cfg := cfg.L1
+		l1cfg.Name = fmt.Sprintf("L1[%d]", i)
+		l1, err := cache.New(l1cfg, llcPort{sys: s})
+		if err != nil {
+			return nil, err
+		}
+		s.l1s = append(s.l1s, l1)
+		var port cache.Level = l1
+		if s.pfs != nil && cfg.PrefetchAt == AttachL1 {
+			// The prefetcher observes this core's L1 accesses and fills
+			// into the L1; residencies end on L1 evictions.
+			l1.SetEvictionListener(s.pfs[i])
+			l1.SetOutcomeFunc(s.routeOutcome)
+			port = l1Port{sys: s, core: i, l1: l1}
+		}
+		core, err := cpu.New(cfg.Core, i, sources[i], xlat, port)
+		if err != nil {
+			return nil, err
+		}
+		s.cores = append(s.cores, core)
+	}
+	return s, nil
+}
+
+// l1Port wraps a core's private L1 with its prefetcher (AttachL1 mode).
+type l1Port struct {
+	sys  *System
+	core int
+	l1   *cache.Cache
+}
+
+// Access implements cache.Level.
+func (p l1Port) Access(now uint64, req cache.Request) cache.Result {
+	s := p.sys
+	hit := p.l1.Contains(req.Addr)
+	res := p.l1.Access(now, req)
+	pf := s.pfs[p.core]
+	addrs := pf.OnAccess(prefetch.AccessEvent{
+		Addr:  req.Addr,
+		PC:    req.PC,
+		Core:  req.Core,
+		Write: req.Kind == cache.Write,
+		Hit:   hit,
+	})
+	for i, a := range addrs {
+		if !s.pfReserve(p.core, now) {
+			s.pfDropped += uint64(len(addrs) - i)
+			break
+		}
+		pres := p.l1.Access(now, cache.Request{Addr: a, PC: req.PC, Core: req.Core, Kind: cache.Prefetch})
+		s.pfInflight[p.core] = append(s.pfInflight[p.core], pres.CompleteAt)
+	}
+	return res
+}
+
+// MustNew panics on configuration error.
+func MustNew(cfg Config, sources []trace.Source, factory prefetch.Factory) *System {
+	s, err := New(cfg, sources, factory)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// evictionBroadcast fans LLC evictions out to every per-core prefetcher:
+// each checks its own residency tracker (paper: private prefetchers, no
+// metadata sharing). When a factory hands the same instance to several
+// cores (the shared-metadata ablation), the instance is notified once.
+type evictionBroadcast struct {
+	pfs []prefetch.Prefetcher
+}
+
+func (b evictionBroadcast) OnEviction(addr mem.Addr) {
+	for i, p := range b.pfs {
+		duplicate := false
+		for j := 0; j < i; j++ {
+			if b.pfs[j] == p {
+				duplicate = true
+				break
+			}
+		}
+		if !duplicate {
+			p.OnEviction(addr)
+		}
+	}
+}
+
+// llcPort is what each L1 forwards misses to: the shared LLC, with the
+// requesting core's prefetcher observing every demand access and its
+// predictions issued back into the LLC immediately (prefetch directly
+// into the LLC, no prefetch buffer — paper §V-B).
+type llcPort struct {
+	sys *System
+}
+
+// Access implements cache.Level.
+func (p llcPort) Access(now uint64, req cache.Request) cache.Result {
+	s := p.sys
+	hit := s.llc.Contains(req.Addr)
+	res := s.llc.Access(now, req)
+	if s.pfs == nil || req.Kind == cache.Prefetch || s.cfg.PrefetchAt != AttachLLC {
+		return res
+	}
+	pf := s.pfs[req.Core]
+	addrs := pf.OnAccess(prefetch.AccessEvent{
+		Addr:  req.Addr,
+		PC:    req.PC,
+		Core:  req.Core,
+		Write: req.Kind == cache.Write,
+		Hit:   hit,
+	})
+	for i, a := range addrs {
+		if !s.pfReserve(req.Core, now) {
+			s.pfDropped += uint64(len(addrs) - i)
+			break
+		}
+		pres := s.llc.Access(now, cache.Request{Addr: a, PC: req.PC, Core: req.Core, Kind: cache.Prefetch})
+		s.pfInflight[req.Core] = append(s.pfInflight[req.Core], pres.CompleteAt)
+	}
+	return res
+}
+
+// routeOutcome delivers a prefetched line's fate to the issuing core's
+// prefetcher when it opted in via prefetch.OutcomeObserver.
+func (s *System) routeOutcome(core int, useful bool) {
+	if core < 0 || core >= len(s.pfs) {
+		return
+	}
+	if obs, ok := s.pfs[core].(prefetch.OutcomeObserver); ok {
+		obs.OnPrefetchOutcome(useful)
+	}
+}
+
+// pfReserve admits a new in-flight prefetch for the core if its queue has
+// room, compacting completed entries lazily.
+func (s *System) pfReserve(core int, now uint64) bool {
+	q := s.pfInflight[core]
+	if len(q) < s.cfg.PrefetchQueue {
+		return true
+	}
+	live := q[:0]
+	for _, t := range q {
+		if t > now {
+			live = append(live, t)
+		}
+	}
+	s.pfInflight[core] = live
+	return len(live) < s.cfg.PrefetchQueue
+}
+
+// LLC exposes the shared cache (read-only use intended).
+func (s *System) LLC() *cache.Cache { return s.llc }
+
+// DRAM exposes the memory model.
+func (s *System) DRAM() *dram.DRAM { return s.dram }
+
+// Prefetchers returns the per-core prefetcher instances (nil when running
+// the baseline).
+func (s *System) Prefetchers() []prefetch.Prefetcher { return s.pfs }
+
+// Cores returns the core models.
+func (s *System) Cores() []*cpu.Core { return s.cores }
+
+// Clock returns the current cycle.
+func (s *System) Clock() uint64 { return s.clock }
+
+// Run executes warm-up then measurement and returns the results. It may
+// be called once per System.
+//
+// Measurement follows the usual multi-programmed methodology: every core
+// keeps executing (so shared-resource contention stays realistic) until
+// all cores have retired their budget, but each core's instruction count
+// and cycle interval are snapshotted the moment it reaches its own budget.
+func (s *System) Run() Results {
+	// Warm-up: run until every core has retired WarmupInstr (or drained).
+	if s.cfg.WarmupInstr > 0 {
+		s.runUntil(func(i int) bool {
+			return s.cores[i].Stats().Instructions >= s.cfg.WarmupInstr
+		})
+	}
+	for _, c := range s.cores {
+		c.ResetStats()
+	}
+	for _, l1 := range s.l1s {
+		l1.ResetStats()
+	}
+	s.llc.ResetStats()
+	s.dram.ResetStats()
+
+	start := s.clock
+	snaps := make([]coreSnapshot, len(s.cores))
+	s.runUntilMark(func(i int) bool {
+		return s.cores[i].Stats().Instructions >= s.cfg.MeasureInstr
+	}, func(i int, cycle uint64) {
+		if !snaps[i].taken {
+			snaps[i] = coreSnapshot{taken: true, cycle: cycle, stats: s.cores[i].Stats()}
+		}
+	})
+	for i := range snaps {
+		if !snaps[i].taken { // trace exhausted before reaching budget
+			snaps[i] = coreSnapshot{taken: true, cycle: s.clock, stats: s.cores[i].Stats()}
+		}
+	}
+	return s.collect(start, snaps)
+}
+
+// runUntil advances the clock until pred holds for every core or all
+// cores drain.
+func (s *System) runUntil(pred func(core int) bool) {
+	s.runUntilMark(pred, func(int, uint64) {})
+}
+
+// runUntilMark additionally reports, once per core, the first cycle at
+// which pred became true for it.
+func (s *System) runUntilMark(pred func(core int) bool, mark func(core int, cycle uint64)) {
+	reached := make([]bool, len(s.cores))
+	for {
+		allReached := true
+		allDone := true
+		for i, c := range s.cores {
+			if !c.Done() {
+				allDone = false
+				c.Tick(s.clock)
+			}
+			if !reached[i] && (pred(i) || c.Done()) {
+				reached[i] = true
+				mark(i, s.clock)
+			}
+			if !reached[i] {
+				allReached = false
+			}
+		}
+		if allReached || allDone {
+			return
+		}
+		s.clock = s.nextCycle()
+	}
+}
+
+// nextCycle returns the next cycle to simulate, fast-forwarding when every
+// core is provably stalled past it.
+func (s *System) nextCycle() uint64 {
+	next := ^uint64(0)
+	for _, c := range s.cores {
+		if e := c.NextEventAt(s.clock); e < next {
+			next = e
+		}
+	}
+	if next == ^uint64(0) || next <= s.clock {
+		return s.clock + 1
+	}
+	return next
+}

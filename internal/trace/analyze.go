@@ -1,0 +1,163 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"bingo/internal/mem"
+)
+
+// Summary holds the offline statistics of a trace, as produced by Analyze
+// and printed by cmd/traceinfo. It characterises a workload without
+// simulating it: instruction mix, address-space footprint, dependence
+// density, and the spatial footprint distribution over regions that
+// spatial prefetchers will see.
+type Summary struct {
+	Records      uint64
+	Instructions uint64
+	Loads        uint64
+	Stores       uint64
+	Dependent    uint64 // address-dependent accesses (pointer chasing)
+
+	UniquePCs    int
+	UniqueBlocks int
+	UniquePages  int // 4 KB OS pages
+	FootprintMB  float64
+
+	// Region-level spatial structure (2 KB regions, the prefetchers'
+	// training granularity): how densely regions are used.
+	UniqueRegions   int
+	MeanRegionFill  float64 // mean fraction of a touched region's blocks used
+	DenseRegions    float64 // fraction of regions with >50% of blocks used
+	SingletonRegion float64 // fraction of regions with exactly one block used
+}
+
+// MemRatio returns memory accesses per instruction.
+func (s Summary) MemRatio() float64 {
+	if s.Instructions == 0 {
+		return 0
+	}
+	return float64(s.Records) / float64(s.Instructions)
+}
+
+// DependentRatio returns the fraction of accesses that are
+// address-dependent on a prior load.
+func (s Summary) DependentRatio() float64 {
+	if s.Records == 0 {
+		return 0
+	}
+	return float64(s.Dependent) / float64(s.Records)
+}
+
+// String renders the summary as an aligned report.
+func (s Summary) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "records:        %d (%d loads, %d stores)\n", s.Records, s.Loads, s.Stores)
+	fmt.Fprintf(&b, "instructions:   %d (%.3f mem/instr)\n", s.Instructions, s.MemRatio())
+	fmt.Fprintf(&b, "dependent:      %d (%.1f%% of accesses)\n", s.Dependent, s.DependentRatio()*100)
+	fmt.Fprintf(&b, "unique PCs:     %d\n", s.UniquePCs)
+	fmt.Fprintf(&b, "unique blocks:  %d (%.1f MB footprint)\n", s.UniqueBlocks, s.FootprintMB)
+	fmt.Fprintf(&b, "unique pages:   %d (4 KB)\n", s.UniquePages)
+	fmt.Fprintf(&b, "regions (2 KB): %d touched, mean fill %.1f%%, dense(>50%%) %.1f%%, singleton %.1f%%\n",
+		s.UniqueRegions, s.MeanRegionFill*100, s.DenseRegions*100, s.SingletonRegion*100)
+	return b.String()
+}
+
+// Analyze drains up to max records from src (max ≤ 0 means all) and
+// computes the summary.
+func Analyze(src Source, max int) Summary {
+	var s Summary
+	pcs := make(map[mem.PC]struct{})
+	blocks := make(map[uint64]struct{})
+	pages := make(map[uint64]struct{})
+	regions := make(map[uint64]uint64) // region -> footprint bits
+
+	rc := mem.MustRegionConfig(2048)
+	for {
+		if max > 0 && s.Records >= uint64(max) {
+			break
+		}
+		rec, ok := src.Next()
+		if !ok {
+			break
+		}
+		s.Records++
+		s.Instructions += rec.Instructions()
+		if rec.Kind == Store {
+			s.Stores++
+		} else {
+			s.Loads++
+		}
+		if rec.Dep {
+			s.Dependent++
+		}
+		pcs[rec.PC] = struct{}{}
+		blocks[rec.Addr.BlockNumber()] = struct{}{}
+		pages[uint64(rec.Addr)>>12] = struct{}{}
+		regions[rc.RegionNumber(rec.Addr)] |= 1 << uint(rc.BlockIndex(rec.Addr))
+	}
+
+	s.UniquePCs = len(pcs)
+	s.UniqueBlocks = len(blocks)
+	s.UniquePages = len(pages)
+	s.FootprintMB = float64(len(blocks)) * mem.BlockSize / (1 << 20)
+	s.UniqueRegions = len(regions)
+
+	if len(regions) > 0 {
+		var fillSum float64
+		var dense, single int
+		for _, bits := range regions {
+			n := popcount(bits)
+			fillSum += float64(n) / float64(rc.Blocks())
+			if n > rc.Blocks()/2 {
+				dense++
+			}
+			if n == 1 {
+				single++
+			}
+		}
+		s.MeanRegionFill = fillSum / float64(len(regions))
+		s.DenseRegions = float64(dense) / float64(len(regions))
+		s.SingletonRegion = float64(single) / float64(len(regions))
+	}
+	return s
+}
+
+func popcount(x uint64) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}
+
+// TopPCs returns the n most frequent PCs of a recorded trace with their
+// access counts, sorted descending. It re-reads the given records.
+func TopPCs(recs []Record, n int) []PCCount {
+	counts := make(map[mem.PC]uint64)
+	for _, r := range recs {
+		counts[r.PC]++
+	}
+	out := make([]PCCount, 0, len(counts))
+	for pc, c := range counts {
+		out = append(out, PCCount{PC: pc, Count: c})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].PC < out[j].PC
+	})
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// PCCount pairs a PC with its access count.
+type PCCount struct {
+	PC    mem.PC
+	Count uint64
+}

@@ -1,0 +1,94 @@
+package trace
+
+import (
+	"testing"
+
+	"bingo/internal/mem"
+)
+
+func TestAnalyzeBasics(t *testing.T) {
+	recs := []Record{
+		{PC: 1, Addr: 0, Kind: Load, NonMem: 9},
+		{PC: 1, Addr: 64, Kind: Load},
+		{PC: 2, Addr: 4096, Kind: Store, Dep: true},
+		{PC: 3, Addr: 64, Kind: Load}, // repeat block
+	}
+	s := Analyze(NewSliceSource(recs), 0)
+	if s.Records != 4 || s.Loads != 3 || s.Stores != 1 || s.Dependent != 1 {
+		t.Fatalf("counts: %+v", s)
+	}
+	if s.Instructions != 9+4 {
+		t.Fatalf("instructions = %d", s.Instructions)
+	}
+	if s.UniquePCs != 3 || s.UniqueBlocks != 3 || s.UniquePages != 2 {
+		t.Fatalf("uniques: %+v", s)
+	}
+	if s.UniqueRegions != 2 {
+		t.Fatalf("regions = %d", s.UniqueRegions)
+	}
+	if s.MemRatio() <= 0 || s.DependentRatio() != 0.25 {
+		t.Fatalf("ratios: %v %v", s.MemRatio(), s.DependentRatio())
+	}
+	if s.String() == "" {
+		t.Fatal("String should render")
+	}
+}
+
+func TestAnalyzeRegionFill(t *testing.T) {
+	// One region fully used, one with a single block.
+	var recs []Record
+	for b := 0; b < 32; b++ {
+		recs = append(recs, Record{PC: 1, Addr: mem.Addr(b * 64)})
+	}
+	recs = append(recs, Record{PC: 1, Addr: mem.Addr(10 * 2048)})
+	s := Analyze(NewSliceSource(recs), 0)
+	if s.UniqueRegions != 2 {
+		t.Fatalf("regions = %d", s.UniqueRegions)
+	}
+	if s.DenseRegions != 0.5 || s.SingletonRegion != 0.5 {
+		t.Fatalf("fill stats: dense=%v singleton=%v", s.DenseRegions, s.SingletonRegion)
+	}
+	wantMean := (1.0 + 1.0/32) / 2
+	if diff := s.MeanRegionFill - wantMean; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("mean fill = %v, want %v", s.MeanRegionFill, wantMean)
+	}
+}
+
+func TestAnalyzeMax(t *testing.T) {
+	recs := make([]Record, 100)
+	for i := range recs {
+		recs[i] = Record{PC: mem.PC(i), Addr: mem.Addr(i * 64)}
+	}
+	s := Analyze(NewSliceSource(recs), 10)
+	if s.Records != 10 {
+		t.Fatalf("max not honoured: %d", s.Records)
+	}
+}
+
+func TestAnalyzeEmpty(t *testing.T) {
+	s := Analyze(NewSliceSource(nil), 0)
+	if s.Records != 0 || s.MemRatio() != 0 || s.DependentRatio() != 0 {
+		t.Fatalf("empty summary: %+v", s)
+	}
+}
+
+func TestTopPCs(t *testing.T) {
+	recs := []Record{
+		{PC: 5}, {PC: 5}, {PC: 5},
+		{PC: 7}, {PC: 7},
+		{PC: 9},
+	}
+	top := TopPCs(recs, 2)
+	if len(top) != 2 || top[0].PC != 5 || top[0].Count != 3 || top[1].PC != 7 {
+		t.Fatalf("top = %+v", top)
+	}
+	all := TopPCs(recs, 0)
+	if len(all) != 3 {
+		t.Fatalf("unbounded top = %+v", all)
+	}
+	// Deterministic tie-break by PC.
+	ties := TopPCs([]Record{{PC: 3}, {PC: 1}, {PC: 2}}, 0)
+	if ties[0].PC != 1 || ties[1].PC != 2 || ties[2].PC != 3 {
+		t.Fatalf("tie-break: %+v", ties)
+	}
+}

@@ -1,0 +1,118 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+
+	"bingo/internal/mem"
+)
+
+func sampleRecords(n int) []Record {
+	recs := make([]Record, n)
+	for i := range recs {
+		recs[i] = Record{
+			PC:     mem.PC(0x400 + i%16),
+			Addr:   mem.Addr(i * 64),
+			Kind:   Kind(i % 2),
+			NonMem: uint32(i % 9),
+			Dep:    i%3 == 0,
+		}
+	}
+	return recs
+}
+
+func TestGzipRoundTrip(t *testing.T) {
+	recs := sampleRecords(500)
+	var buf bytes.Buffer
+	w, err := NewGzipWriter(&buf, uint64(len(recs)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, closer, err := NewAutoReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if closer == nil {
+		t.Fatal("gzip stream should return a closer")
+	}
+	defer closer.Close()
+	got := Collect(r, 0)
+	if len(got) != len(recs) {
+		t.Fatalf("read %d records, want %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if got[i] != recs[i] {
+			t.Fatalf("record %d mismatch: %+v vs %+v", i, got[i], recs[i])
+		}
+	}
+}
+
+func TestGzipCompresses(t *testing.T) {
+	recs := sampleRecords(5000)
+	var plain, compressed bytes.Buffer
+
+	pw, _ := NewWriter(&plain, uint64(len(recs)))
+	gw, _ := NewGzipWriter(&compressed, uint64(len(recs)))
+	for _, r := range recs {
+		pw.Write(r)
+		gw.Write(r)
+	}
+	pw.Close()
+	if err := gw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if compressed.Len() >= plain.Len()/2 {
+		t.Fatalf("gzip should at least halve a regular trace: %d vs %d bytes",
+			compressed.Len(), plain.Len())
+	}
+}
+
+func TestAutoReaderPlain(t *testing.T) {
+	recs := sampleRecords(10)
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, uint64(len(recs)))
+	for _, r := range recs {
+		w.Write(r)
+	}
+	w.Close()
+	r, closer, err := NewAutoReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if closer != nil {
+		t.Fatal("plain stream needs no closer")
+	}
+	if got := Collect(r, 0); len(got) != 10 {
+		t.Fatalf("read %d records", len(got))
+	}
+}
+
+func TestAutoReaderGarbage(t *testing.T) {
+	if _, _, err := NewAutoReader(bytes.NewReader([]byte("XYZZYXYZZYXYZZYXYZZY"))); err == nil {
+		t.Fatal("garbage should not open")
+	}
+	if _, _, err := NewAutoReader(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty stream should not open")
+	}
+}
+
+func TestGzipWriterShortfall(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewGzipWriter(&buf, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Write(Record{})
+	if err := w.Close(); err == nil {
+		t.Fatal("Close with missing records should fail")
+	}
+}

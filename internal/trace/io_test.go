@@ -1,0 +1,152 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"bingo/internal/mem"
+)
+
+func roundTrip(t *testing.T, recs []Record) []Record {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, uint64(len(recs)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Remaining() != uint64(len(recs)) {
+		t.Fatalf("Remaining = %d, want %d", r.Remaining(), len(recs))
+	}
+	out := Collect(r, 0)
+	if err := r.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestRoundTrip(t *testing.T) {
+	recs := []Record{
+		{PC: 0x400000, Addr: 0x7fff_0040, Kind: Load, NonMem: 3},
+		{PC: 0x400004, Addr: 0x7fff_0080, Kind: Store, NonMem: 0, Dep: true},
+		{PC: 0, Addr: 0, Kind: Load, NonMem: 1<<32 - 1},
+	}
+	got := roundTrip(t, recs)
+	if !reflect.DeepEqual(got, recs) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, recs)
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(pc, addr uint64, store, dep bool, nonmem uint32) bool {
+		rec := Record{PC: mem.PC(pc), Addr: mem.Addr(addr), NonMem: nonmem, Dep: dep}
+		if store {
+			rec.Kind = Store
+		}
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf, 1)
+		if err != nil {
+			return false
+		}
+		if w.Write(rec) != nil || w.Close() != nil {
+			return false
+		}
+		r, err := NewReader(&buf)
+		if err != nil {
+			return false
+		}
+		got, ok := r.Next()
+		return ok && got == rec
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(1))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriterCountEnforced(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Write(Record{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Write(Record{}); err == nil {
+		t.Fatal("writing past the declared count should fail")
+	}
+}
+
+func TestWriterCloseShortfall(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Write(Record{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err == nil {
+		t.Fatal("Close with missing records should fail")
+	}
+}
+
+func TestReaderBadMagic(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader(append([]byte("NOTATRCE"), make([]byte, 12)...))); err != ErrBadMagic {
+		t.Fatalf("err = %v, want ErrBadMagic", err)
+	}
+}
+
+func TestReaderTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Write(Record{PC: 1})
+	w.Write(Record{PC: 2})
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()[:buf.Len()-5] // chop the last record short
+	r, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := r.Next(); !ok {
+		t.Fatal("first record should read")
+	}
+	if _, ok := r.Next(); ok {
+		t.Fatal("truncated record should not read")
+	}
+	if r.Err() == nil {
+		t.Fatal("Err should report truncation")
+	}
+}
+
+func TestReaderBadVersion(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write(traceMagic[:])
+	buf.Write([]byte{9, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0})
+	if _, err := NewReader(&buf); err == nil {
+		t.Fatal("unsupported version should fail")
+	}
+}
+
+func TestReaderIsSource(t *testing.T) {
+	var _ Source = (*Reader)(nil)
+}

@@ -1,0 +1,85 @@
+package trace
+
+import (
+	"testing"
+
+	"bingo/internal/mem"
+)
+
+func TestKindString(t *testing.T) {
+	if Load.String() != "load" || Store.String() != "store" {
+		t.Fatalf("Kind strings: %q %q", Load, Store)
+	}
+}
+
+func TestRecordInstructions(t *testing.T) {
+	r := Record{NonMem: 9}
+	if r.Instructions() != 10 {
+		t.Fatalf("Instructions = %d, want 10", r.Instructions())
+	}
+	if (Record{}).Instructions() != 1 {
+		t.Fatal("bare memory instruction should count as 1")
+	}
+}
+
+func TestSliceSource(t *testing.T) {
+	recs := []Record{
+		{PC: 1, Addr: 64},
+		{PC: 2, Addr: 128, Kind: Store},
+	}
+	s := NewSliceSource(recs)
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	r1, ok := s.Next()
+	if !ok || r1.PC != 1 {
+		t.Fatalf("first: %+v ok=%v", r1, ok)
+	}
+	r2, ok := s.Next()
+	if !ok || r2.Kind != Store {
+		t.Fatalf("second: %+v ok=%v", r2, ok)
+	}
+	if _, ok := s.Next(); ok {
+		t.Fatal("exhausted source should return ok=false")
+	}
+	s.Reset()
+	if r, ok := s.Next(); !ok || r.PC != 1 {
+		t.Fatal("Reset should rewind")
+	}
+}
+
+func TestFuncSource(t *testing.T) {
+	n := 0
+	src := FuncSource(func() (Record, bool) {
+		n++
+		if n > 3 {
+			return Record{}, false
+		}
+		return Record{PC: mem.PC(n)}, true
+	})
+	got := Collect(src, 0)
+	if len(got) != 3 || got[2].PC != 3 {
+		t.Fatalf("Collect = %+v", got)
+	}
+}
+
+func TestLimit(t *testing.T) {
+	inf := FuncSource(func() (Record, bool) { return Record{PC: 7}, true })
+	l := NewLimit(inf, 5)
+	got := Collect(l, 0)
+	if len(got) != 5 {
+		t.Fatalf("Limit yielded %d records", len(got))
+	}
+	// Limit over a shorter source ends at the source.
+	l2 := NewLimit(NewSliceSource([]Record{{PC: 1}}), 10)
+	if got := Collect(l2, 0); len(got) != 1 {
+		t.Fatalf("Limit over short source yielded %d", len(got))
+	}
+}
+
+func TestCollectMax(t *testing.T) {
+	inf := FuncSource(func() (Record, bool) { return Record{}, true })
+	if got := Collect(inf, 7); len(got) != 7 {
+		t.Fatalf("Collect max: %d", len(got))
+	}
+}

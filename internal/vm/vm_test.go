@@ -1,0 +1,110 @@
+package vm
+
+import (
+	"testing"
+	"testing/quick"
+
+	"bingo/internal/mem"
+)
+
+func TestTranslatorErrors(t *testing.T) {
+	if _, err := NewTranslator(1<<20, 3000, 1); err == nil {
+		t.Error("non-pow2 page size should fail")
+	}
+	if _, err := NewTranslator(1024, 4096, 1); err == nil {
+		t.Error("memory smaller than a page should fail")
+	}
+}
+
+func TestMustTranslatorPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustTranslator should panic on bad config")
+		}
+	}()
+	MustTranslator(0, 4096, 1)
+}
+
+func TestPageOffsetPreserved(t *testing.T) {
+	tr := MustTranslator(1<<24, 4096, 1)
+	va := mem.Addr(0x1234_5678)
+	pa := tr.Translate(va)
+	if uint64(pa)&4095 != uint64(va)&4095 {
+		t.Fatalf("page offset not preserved: va=%v pa=%v", va, pa)
+	}
+}
+
+func TestStableMapping(t *testing.T) {
+	tr := MustTranslator(1<<24, 4096, 1)
+	va := mem.Addr(0x8000_0000)
+	first := tr.Translate(va)
+	for i := 0; i < 10; i++ {
+		if got := tr.Translate(va + mem.Addr(i*64)); got>>12 != first>>12 {
+			t.Fatalf("same virtual page translated to different frames")
+		}
+	}
+	if tr.MappedPages() != 1 {
+		t.Fatalf("MappedPages = %d, want 1", tr.MappedPages())
+	}
+}
+
+func TestDeterministicAcrossInstances(t *testing.T) {
+	a := MustTranslator(1<<24, 4096, 7)
+	b := MustTranslator(1<<24, 4096, 7)
+	for i := 0; i < 100; i++ {
+		va := mem.Addr(i * 4096)
+		if a.Translate(va) != b.Translate(va) {
+			t.Fatal("same seed should produce identical mappings")
+		}
+	}
+	c := MustTranslator(1<<24, 4096, 8)
+	same := 0
+	for i := 0; i < 100; i++ {
+		va := mem.Addr(i * 4096)
+		if a.Translate(va) == c.Translate(va) {
+			same++
+		}
+	}
+	if same > 20 {
+		t.Fatalf("different seeds mapped %d/100 pages identically", same)
+	}
+}
+
+func TestFramesUnique(t *testing.T) {
+	tr := MustTranslator(1<<26, 4096, 3)
+	seen := make(map[uint64]bool)
+	for i := 0; i < 5000; i++ {
+		pa := tr.Translate(mem.Addr(uint64(i) * 4096))
+		frame := uint64(pa) >> 12
+		if seen[frame] {
+			t.Fatalf("frame %d assigned twice", frame)
+		}
+		seen[frame] = true
+	}
+}
+
+func TestBeyondPhysicalMemorySynthesises(t *testing.T) {
+	tr := MustTranslator(1<<16, 4096, 2) // only 16 frames
+	for i := 0; i < 100; i++ {
+		tr.Translate(mem.Addr(uint64(i) * 4096)) // must not panic or loop
+	}
+	if tr.MappedPages() != 100 {
+		t.Fatalf("MappedPages = %d", tr.MappedPages())
+	}
+}
+
+func TestIdentity(t *testing.T) {
+	f := func(raw uint64) bool {
+		return Identity{}.Translate(mem.Addr(raw)) == mem.Addr(raw)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPageSize(t *testing.T) {
+	tr := MustTranslator(1<<24, 8192, 1)
+	if tr.PageSize() != 8192 {
+		t.Fatalf("PageSize = %d", tr.PageSize())
+	}
+}

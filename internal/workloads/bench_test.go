@@ -1,0 +1,19 @@
+package workloads
+
+import "testing"
+
+// Generator throughput matters because trace generation is inlined into
+// the simulation loop.
+func BenchmarkGenerators(b *testing.B) {
+	for _, spec := range All() {
+		b.Run(spec.Name, func(b *testing.B) {
+			src := spec.Sources(1, 1)[0]
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, ok := src.Next(); !ok {
+					b.Fatal("source ended")
+				}
+			}
+		})
+	}
+}

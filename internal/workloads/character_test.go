@@ -1,0 +1,104 @@
+package workloads
+
+import (
+	"testing"
+
+	"bingo/internal/trace"
+)
+
+// These tests pin the spatial character of each generator to its design
+// intent (DESIGN.md §2): the properties the paper's analysis depends on
+// must hold in the synthetic stand-ins, or the reproduction argument
+// falls apart silently.
+
+func analyze(t *testing.T, name string, n int) trace.Summary {
+	t.Helper()
+	spec, ok := ByName(name)
+	if !ok {
+		t.Fatalf("unknown workload %s", name)
+	}
+	return trace.Analyze(spec.Sources(1, 1)[0], n)
+}
+
+func TestStreamingIsSpatiallyDense(t *testing.T) {
+	s := analyze(t, "Streaming", 200_000)
+	// Media streams fill their regions: most touched regions become dense.
+	if s.MeanRegionFill < 0.5 {
+		t.Fatalf("streaming mean region fill = %.2f, want dense", s.MeanRegionFill)
+	}
+	if s.SingletonRegion > 0.2 {
+		t.Fatalf("streaming singleton regions = %.2f, want few", s.SingletonRegion)
+	}
+}
+
+func TestZeusIsSpatiallySparse(t *testing.T) {
+	s := analyze(t, "Zeus", 200_000)
+	// The pointer chain scatters: regions see isolated blocks.
+	if s.MeanRegionFill > 0.4 {
+		t.Fatalf("zeus mean region fill = %.2f, want sparse", s.MeanRegionFill)
+	}
+	if s.SingletonRegion < 0.3 {
+		t.Fatalf("zeus singleton regions = %.2f, want many", s.SingletonRegion)
+	}
+}
+
+func TestEM3DIsDenseAndDependent(t *testing.T) {
+	s := analyze(t, "em3d", 200_000)
+	if s.MeanRegionFill < 0.5 {
+		t.Fatalf("em3d mean region fill = %.2f, want dense sweeps", s.MeanRegionFill)
+	}
+	// Neighbour dereferences are pointer-dependent.
+	if s.DependentRatio() < 0.3 {
+		t.Fatalf("em3d dependent ratio = %.2f, want heavy chasing", s.DependentRatio())
+	}
+}
+
+func TestSATSolverIsLightOnMemoryFootprint(t *testing.T) {
+	s := analyze(t, "SATSolver", 200_000)
+	// Dominated by the small hot variable area: tiny unique footprint
+	// relative to accesses.
+	if s.FootprintMB > 16 {
+		t.Fatalf("satsolver footprint = %.1f MB, want small", s.FootprintMB)
+	}
+}
+
+func TestDataServingHasManyTriggerSites(t *testing.T) {
+	spec, _ := ByName("DataServing")
+	recs := trace.Collect(spec.Sources(1, 1)[0], 200_000)
+	pcs := trace.TopPCs(recs, 0)
+	// Call-site diversity: the history-capacity experiment (Figure 6)
+	// needs many distinct trigger PCs.
+	if len(pcs) < 100 {
+		t.Fatalf("dataserving distinct PCs = %d, want >100", len(pcs))
+	}
+}
+
+func TestWorkloadsAreMemoryIntensive(t *testing.T) {
+	// Every Table II workload must actually generate memory traffic in a
+	// plausible band (the paper's workloads are all memory-sensitive).
+	for _, spec := range All() {
+		s := trace.Analyze(spec.Sources(1, 1)[0], 50_000)
+		if r := s.MemRatio(); r < 0.001 || r > 0.5 {
+			t.Errorf("%s memory ratio %.4f out of plausible band", spec.Name, r)
+		}
+		if s.FootprintMB < 0.1 {
+			t.Errorf("%s footprint %.2f MB suspiciously small", spec.Name, s.FootprintMB)
+		}
+	}
+}
+
+func TestMixKernelsDiffer(t *testing.T) {
+	// The stream-heavy kernels must be dense; the pointer-heavy sparse.
+	dense, _ := KernelByName("libquantum", 1, 0)
+	sparse, _ := KernelByName("omnetpp", 1, 0)
+	ds := trace.Analyze(dense, 100_000)
+	ss := trace.Analyze(sparse, 100_000)
+	if ds.MeanRegionFill <= ss.MeanRegionFill {
+		t.Fatalf("libquantum fill %.2f should exceed omnetpp %.2f",
+			ds.MeanRegionFill, ss.MeanRegionFill)
+	}
+	if ss.DependentRatio() <= ds.DependentRatio() {
+		t.Fatalf("omnetpp dependence %.2f should exceed libquantum %.2f",
+			ss.DependentRatio(), ds.DependentRatio())
+	}
+}

@@ -1,0 +1,398 @@
+package workloads
+
+import (
+	"math/rand"
+
+	"bingo/internal/mem"
+	"bingo/internal/trace"
+)
+
+// SPEC-like kernels used by the five mixes of Table II. Each reproduces
+// the dominant memory idiom of its namesake benchmark as characterised in
+// the prefetching literature: streaming stencils (lbm, zeusmp, GemsFDTD,
+// libquantum, milc), sparse/strided solvers (soplex, sphinx3), pointer
+// chasers (omnetpp, astar), neighbour-list kernels (gromacs), and mostly
+// cache-resident codes (perlbench, tonto).
+
+type kernelBuilder func(seed int64, vbase uint64) trace.Source
+
+var specKernels = map[string]kernelBuilder{
+	"lbm":        newLBM,
+	"libquantum": newLibquantum,
+	"sphinx3":    newSphinx3,
+	"omnetpp":    newOmnetpp,
+	"soplex":     newSoplex,
+	"milc":       newMilc,
+	"perlbench":  newPerlbench,
+	"astar":      newAstar,
+	"tonto":      newTonto,
+	"gromacs":    newGromacs,
+	"zeusmp":     newZeusmp,
+	"GemsFDTD":   newGemsFDTD,
+}
+
+// multiStream sweeps several parallel arrays at fixed block strides — the
+// shared skeleton of the stencil/stream kernels.
+type multiStream struct {
+	filler
+	rng     *rand.Rand
+	vbase   uint64
+	cursor  uint64
+	extent  uint64 // blocks per array
+	streams []streamDesc
+	pcBase  uint64
+	gap     uint32
+	stride  uint64 // cursor advance per quantum, in blocks
+}
+
+type streamDesc struct {
+	arrayOffset uint64 // separate array windows (bytes)
+	blockDelta  int64  // offset from cursor, in blocks
+	store       bool
+}
+
+func (g *multiStream) generate() {
+	for i, s := range g.streams {
+		blk := int64(g.cursor) + s.blockDelta
+		if blk < 0 {
+			blk = 0
+		}
+		addr := g.vbase + s.arrayOffset + uint64(blk)%g.extent<<mem.BlockShift
+		kind := trace.Load
+		if s.store {
+			kind = trace.Store
+		}
+		g.emit(g.pcBase+uint64(i), addr, kind, g.gap)
+	}
+	g.cursor += g.stride
+}
+
+// lbm: lattice-Boltzmann — several in-order streams through two large
+// lattices plus a stored result stream. High MPKI, perfectly spatial.
+func newLBM(seed int64, vbase uint64) trace.Source {
+	g := &multiStream{
+		rng:    newRNG(seed),
+		vbase:  vbase,
+		extent: 48 << 20 >> mem.BlockShift,
+		pcBase: 0x51000,
+		gap:    34,
+		stride: 1,
+		streams: []streamDesc{
+			{arrayOffset: 0 << 30, blockDelta: 0},
+			{arrayOffset: 0 << 30, blockDelta: 8},
+			{arrayOffset: 0 << 30, blockDelta: -8},
+			{arrayOffset: 1 << 30, blockDelta: 0, store: true},
+		},
+	}
+	g.fill = g.generate
+	return g
+}
+
+// libquantum: one huge sequential read-modify-write stream.
+func newLibquantum(seed int64, vbase uint64) trace.Source {
+	g := &multiStream{
+		rng:    newRNG(seed),
+		vbase:  vbase,
+		extent: 64 << 20 >> mem.BlockShift,
+		pcBase: 0x52000,
+		gap:    40,
+		stride: 1,
+		streams: []streamDesc{
+			{blockDelta: 0},
+			{blockDelta: 0, store: true},
+		},
+	}
+	g.fill = g.generate
+	return g
+}
+
+// zeusmp: three-array stencil sweep.
+func newZeusmp(seed int64, vbase uint64) trace.Source {
+	g := &multiStream{
+		rng:    newRNG(seed),
+		vbase:  vbase,
+		extent: 32 << 20 >> mem.BlockShift,
+		pcBase: 0x53000,
+		gap:    38,
+		stride: 1,
+		streams: []streamDesc{
+			{arrayOffset: 0 << 30, blockDelta: 0},
+			{arrayOffset: 1 << 30, blockDelta: 0},
+			{arrayOffset: 1 << 30, blockDelta: 64},
+			{arrayOffset: 2 << 30, blockDelta: 0, store: true},
+		},
+	}
+	g.fill = g.generate
+	return g
+}
+
+// GemsFDTD: six field arrays swept with large inter-stream offsets.
+func newGemsFDTD(seed int64, vbase uint64) trace.Source {
+	streams := make([]streamDesc, 0, 6)
+	for i := 0; i < 5; i++ {
+		streams = append(streams, streamDesc{arrayOffset: uint64(i) << 29, blockDelta: int64(i * 3)})
+	}
+	streams = append(streams, streamDesc{arrayOffset: 5 << 29, blockDelta: 0, store: true})
+	g := &multiStream{
+		rng:     newRNG(seed),
+		vbase:   vbase,
+		extent:  24 << 20 >> mem.BlockShift,
+		pcBase:  0x54000,
+		gap:     42,
+		stride:  1,
+		streams: streams,
+	}
+	g.fill = g.generate
+	return g
+}
+
+// milc: 4-D lattice QCD — constant-stride (non-unit) sweeps.
+func newMilc(seed int64, vbase uint64) trace.Source {
+	g := &multiStream{
+		rng:    newRNG(seed),
+		vbase:  vbase,
+		extent: 64 << 20 >> mem.BlockShift,
+		pcBase: 0x55000,
+		gap:    36,
+		stride: 4, // stride-4 blocks: the t-direction walk
+		streams: []streamDesc{
+			{arrayOffset: 0 << 30, blockDelta: 0},
+			{arrayOffset: 1 << 30, blockDelta: 0},
+			{arrayOffset: 0 << 30, blockDelta: 0, store: true},
+		},
+	}
+	g.fill = g.generate
+	return g
+}
+
+// sphinx3: acoustic scoring — a sequential feature stream plus strided
+// gaussian-table reads with a zipfian hot set.
+type sphinx3 struct {
+	filler
+	rng    *rand.Rand
+	vbase  uint64
+	cursor uint64
+	zipf   *rand.Zipf
+}
+
+func newSphinx3(seed int64, vbase uint64) trace.Source {
+	g := &sphinx3{rng: newRNG(seed), vbase: vbase}
+	g.zipf = zipfOver(g.rng, 8192) // senone hot set
+	g.fill = g.generate
+	return g
+}
+
+func (g *sphinx3) generate() {
+	const pc = 0x56000
+	featBlocks := uint64(8 << 20 >> mem.BlockShift)
+	g.emit(pc, g.vbase+g.cursor%featBlocks<<mem.BlockShift, trace.Load, 30)
+	g.cursor++
+	// Gaussian tables: 32 MB, strided within a senone's row.
+	senone := g.zipf.Uint64()
+	rowBase := g.vbase + (1 << 36) + senone*4096
+	for i := 0; i < 3; i++ {
+		if i == 0 {
+			g.emitDep(pc+1, rowBase, trace.Load, 28)
+			continue
+		}
+		g.emit(pc+1+uint64(i), rowBase+uint64(i)*2*mem.BlockSize, trace.Load, 28)
+	}
+}
+
+// omnetpp: discrete event simulation — pointer-heavy heap with a large
+// zipfian event set; single-block visits, poor spatial structure.
+type omnetpp struct {
+	filler
+	rng   *rand.Rand
+	vbase uint64
+	zipf  *rand.Zipf
+}
+
+func newOmnetpp(seed int64, vbase uint64) trace.Source {
+	g := &omnetpp{rng: newRNG(seed), vbase: vbase}
+	g.zipf = zipfOver(g.rng, 48<<20>>mem.BlockShift) // 48 MB event heap
+	g.fill = g.generate
+	return g
+}
+
+func (g *omnetpp) generate() {
+	const pc = 0x57000
+	// Pop event, follow two module pointers, push new event: each hop
+	// dereferences the previous load (serial pointer chase).
+	for i := 0; i < 3; i++ {
+		blk := g.zipf.Uint64()
+		g.emitDep(pc+uint64(i), g.vbase+blk<<mem.BlockShift, trace.Load, 32)
+	}
+	blk := g.zipf.Uint64()
+	g.emit(pc+8, g.vbase+blk<<mem.BlockShift, trace.Store, 36)
+}
+
+// soplex: simplex LP solver — sparse column walks: short bursts of
+// small-strided reads at irregular column starts.
+type soplex struct {
+	filler
+	rng   *rand.Rand
+	vbase uint64
+}
+
+func newSoplex(seed int64, vbase uint64) trace.Source {
+	g := &soplex{rng: newRNG(seed), vbase: vbase}
+	g.fill = g.generate
+	return g
+}
+
+func (g *soplex) generate() {
+	const pc = 0x58000
+	matBlocks := uint64(40 << 20 >> mem.BlockShift)
+	col := g.rng.Uint64() % matBlocks
+	stride := uint64(1 + g.rng.Intn(3))
+	n := 3 + g.rng.Intn(4)
+	// CSR traversal: each nonzero's position is read from the index
+	// array just loaded, so the whole column walk is a dependent chain.
+	for i := 0; i < n; i++ {
+		blk := (col + uint64(i)*stride) % matBlocks
+		g.emitDep(pc+uint64(i%4), g.vbase+blk<<mem.BlockShift, trace.Load, 30)
+	}
+	// Dense vector update (hot).
+	vecBlocks := uint64(1 << 20 >> mem.BlockShift)
+	g.emit(pc+8, g.vbase+(1<<36)+(g.rng.Uint64()%vecBlocks)<<mem.BlockShift, trace.Store, 34)
+}
+
+// perlbench: mostly cache-resident interpreter state with rare cold
+// excursions — the low-MPKI member of the mixes.
+type perlbench struct {
+	filler
+	rng   *rand.Rand
+	vbase uint64
+}
+
+func newPerlbench(seed int64, vbase uint64) trace.Source {
+	g := &perlbench{rng: newRNG(seed), vbase: vbase}
+	g.fill = g.generate
+	return g
+}
+
+func (g *perlbench) generate() {
+	const pc = 0x59000
+	hotBlocks := uint64(3 << 20 >> mem.BlockShift)
+	for i := 0; i < 5; i++ {
+		g.emit(pc+uint64(i), g.vbase+(g.rng.Uint64()%hotBlocks)<<mem.BlockShift, trace.Load, 42)
+	}
+	if g.rng.Intn(100) < 8 {
+		coldBlocks := uint64(32 << 20 >> mem.BlockShift)
+		g.emit(pc+8, g.vbase+(1<<36)+(g.rng.Uint64()%coldBlocks)<<mem.BlockShift, trace.Load, 38)
+	}
+}
+
+// astar: pathfinding over a grid — a random walk with strong 2-D
+// locality: neighbours one block or one row-stride away.
+type astar struct {
+	filler
+	rng   *rand.Rand
+	vbase uint64
+	pos   uint64
+}
+
+func newAstar(seed int64, vbase uint64) trace.Source {
+	g := &astar{rng: newRNG(seed), vbase: vbase, pos: 1 << 18}
+	g.fill = g.generate
+	return g
+}
+
+func (g *astar) generate() {
+	const (
+		pc        = 0x5a000
+		rowStride = 512 // blocks per grid row
+	)
+	gridBlocks := uint64(32 << 20 >> mem.BlockShift)
+	// Expand current node: read 4 neighbours, move to one of them.
+	deltas := [4]int64{1, -1, rowStride, -rowStride}
+	next := g.pos
+	for i, d := range deltas {
+		n := uint64(int64(g.pos)+d) % gridBlocks
+		g.emitDep(pc+uint64(i), g.vbase+n<<mem.BlockShift, trace.Load, 30)
+		if g.rng.Intn(4) == i {
+			next = n
+		}
+	}
+	// Open-list bookkeeping in a hot area.
+	hotBlocks := uint64(2 << 20 >> mem.BlockShift)
+	g.emit(pc+8, g.vbase+(1<<36)+(g.rng.Uint64()%hotBlocks)<<mem.BlockShift, trace.Store, 34)
+	g.pos = next
+	if g.rng.Intn(1000) == 0 { // restart from a random frontier node
+		g.pos = g.rng.Uint64() % gridBlocks
+	}
+}
+
+// tonto: quantum chemistry — blocked dense algebra: long phases of hot
+// panel reuse punctuated by sequential fetch of the next panel.
+type tonto struct {
+	filler
+	rng     *rand.Rand
+	vbase   uint64
+	panel   uint64
+	inPanel int
+}
+
+func newTonto(seed int64, vbase uint64) trace.Source {
+	g := &tonto{rng: newRNG(seed), vbase: vbase}
+	g.fill = g.generate
+	return g
+}
+
+func (g *tonto) generate() {
+	const (
+		pc          = 0x5b000
+		panelBlocks = 128 // 8 KB panel
+	)
+	matBlocks := uint64(24 << 20 >> mem.BlockShift)
+	if g.inPanel == 0 {
+		// Fetch the next panel sequentially.
+		for i := 0; i < panelBlocks/8; i++ {
+			blk := (g.panel*panelBlocks + uint64(i)*8) % matBlocks
+			g.emit(pc, g.vbase+blk<<mem.BlockShift, trace.Load, 36)
+		}
+		g.panel++
+		g.inPanel = 40
+		return
+	}
+	// Reuse the current (cached) panel heavily.
+	blk := (g.panel*panelBlocks + g.rng.Uint64()%panelBlocks) % matBlocks
+	g.emit(pc+1, g.vbase+blk<<mem.BlockShift, trace.Load, 44)
+	g.inPanel--
+}
+
+// gromacs: molecular dynamics — per-particle neighbour-list walks: small
+// clusters of contiguous blocks at semi-random positions.
+type gromacs struct {
+	filler
+	rng      *rand.Rand
+	vbase    uint64
+	particle uint64
+}
+
+func newGromacs(seed int64, vbase uint64) trace.Source {
+	g := &gromacs{rng: newRNG(seed), vbase: vbase}
+	g.fill = g.generate
+	return g
+}
+
+func (g *gromacs) generate() {
+	const pc = 0x5c000
+	partBlocks := uint64(24 << 20 >> mem.BlockShift)
+	// This particle's own data (sweeps sequentially).
+	g.emit(pc, g.vbase+g.particle%partBlocks<<mem.BlockShift, trace.Load, 28)
+	// Three neighbours, each a 2-block cluster.
+	for i := 0; i < 3; i++ {
+		n := g.rng.Uint64() % partBlocks
+		if i == 0 {
+			g.emitDep(pc+1, g.vbase+n<<mem.BlockShift, trace.Load, 26)
+		} else {
+			g.emit(pc+1+uint64(i), g.vbase+n<<mem.BlockShift, trace.Load, 26)
+		}
+		g.emit(pc+4+uint64(i), g.vbase+(n+1)%partBlocks<<mem.BlockShift, trace.Load, 24)
+	}
+	// Force accumulation write.
+	g.emit(pc+8, g.vbase+g.particle%partBlocks<<mem.BlockShift, trace.Store, 30)
+	g.particle++
+}
