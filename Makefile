@@ -1,0 +1,30 @@
+GO ?= go
+
+.PHONY: all build test short race vet bench bench-runner
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+short:
+	$(GO) test -short ./...
+
+# The parallel experiment engine, matrix singleflight, and workload
+# generators all run concurrently under the race detector here.
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerates BENCH_runner.json: sequential vs parallel warm of the
+# fast-budget benchmark matrix subset on this machine.
+bench-runner:
+	BENCH_RUNNER_JSON=$(CURDIR)/BENCH_runner.json $(GO) test -run TestEmitRunnerBench -v ./internal/harness/

@@ -43,7 +43,7 @@ func BenchmarkTable2MPKI(b *testing.B) {
 
 func BenchmarkFig2Events(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := harness.Fig2(benchOptions()); err != nil {
+		if _, err := harness.Fig2(harness.NewMatrix(benchOptions())); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -60,7 +60,7 @@ func BenchmarkFig3MultiEvent(b *testing.B) {
 
 func BenchmarkFig4Redundancy(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := harness.Fig4(benchOptions()); err != nil {
+		if _, err := harness.Fig4(harness.NewMatrix(benchOptions())); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -159,7 +159,7 @@ func BenchmarkAblateSharing(b *testing.B) {
 
 func BenchmarkAblateQueue(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := harness.AblateQueue(benchOptions()); err != nil {
+		if _, err := harness.AblateQueue(harness.NewMatrix(benchOptions())); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -167,7 +167,7 @@ func BenchmarkAblateQueue(b *testing.B) {
 
 func BenchmarkAblateBandwidth(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := harness.AblateBandwidth(benchOptions()); err != nil {
+		if _, err := harness.AblateBandwidth(harness.NewMatrix(benchOptions())); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -8,17 +8,24 @@
 //	experiments -exp fig8             # one artefact
 //	experiments -exp fig7,fig8,fig9   # several (they share runs)
 //	experiments -fast                 # reduced instruction budgets
+//	experiments -exp all -fast -j 8   # warm the run matrix on 8 workers
 //
 // Artefact names: table1 table2 fig2 fig3 fig4 fig6 fig7 fig8 fig9 fig10
-// ablate-vote ablate-region.
+// ablate-vote ablate-region ablate-sharing ablate-queue ablate-bandwidth
+// ablate-level ablate-tags extras seeds.
+//
+// The rendered tables on stdout are byte-identical for every -j value
+// (and across repeated runs); timings and the per-cell run report go to
+// stderr.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
-	"time"
 
 	"bingo/internal/harness"
 )
@@ -29,6 +36,8 @@ func main() {
 		fastFlag   = flag.Bool("fast", false, "use reduced instruction budgets")
 		seedFlag   = flag.Int64("seed", 1, "workload generator seed")
 		formatFlag = flag.String("format", "text", "output format: text, csv, or markdown")
+		jobsFlag   = flag.Int("j", 0, "simulation workers; 1 = sequential, 0 = GOMAXPROCS")
+		quietFlag  = flag.Bool("quiet", false, "suppress the stderr run report")
 	)
 	flag.Parse()
 
@@ -38,46 +47,25 @@ func main() {
 	}
 	opts.Seed = *seedFlag
 
-	order := []string{"table1", "table2", "fig2", "fig3", "fig4", "fig6",
-		"fig7", "fig8", "fig9", "fig10", "ablate-vote", "ablate-region",
-		"ablate-sharing", "ablate-queue", "ablate-bandwidth", "ablate-level", "ablate-tags", "extras", "seeds"}
-	want := map[string]bool{}
-	if *expFlag == "all" {
-		for _, e := range order {
-			want[e] = true
-		}
-	} else {
-		for _, e := range strings.Split(*expFlag, ",") {
-			want[strings.TrimSpace(e)] = true
-		}
+	var report io.Writer = os.Stderr
+	if *quietFlag {
+		report = nil
 	}
-
-	m := harness.NewMatrix(opts)
-	for _, exp := range order {
-		if !want[exp] {
-			continue
-		}
-		delete(want, exp)
-		t0 := time.Now()
-		table, err := runExperiment(exp, m, opts)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", exp, err)
-			os.Exit(1)
-		}
-		table.AddNote("generated in %.0fs (seed %d, %s budgets)",
-			time.Since(t0).Seconds(), opts.Seed, budgetName(*fastFlag))
-		switch *formatFlag {
-		case "csv":
-			table.RenderCSV(os.Stdout)
-		case "markdown":
-			table.RenderMarkdown(os.Stdout)
-		default:
-			table.Render(os.Stdout)
-		}
+	cfg := harness.SuiteConfig{
+		Experiments: strings.Split(*expFlag, ","),
+		Opts:        opts,
+		Jobs:        *jobsFlag,
+		Format:      *formatFlag,
+		BudgetLabel: budgetName(*fastFlag),
+		Report:      report,
 	}
-	for unknown := range want {
-		fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q (have %v)\n", unknown, order)
-		os.Exit(2)
+	if err := harness.RunSuite(os.Stdout, cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		var unknown harness.UnknownExperimentError
+		if errors.As(err, &unknown) {
+			os.Exit(2)
+		}
+		os.Exit(1)
 	}
 }
 
@@ -86,49 +74,4 @@ func budgetName(fast bool) string {
 		return "fast"
 	}
 	return "full"
-}
-
-func runExperiment(name string, m *harness.Matrix, opts harness.RunOptions) (harness.Table, error) {
-	switch name {
-	case "table1":
-		return harness.Table1(opts), nil
-	case "table2":
-		return harness.Table2(m)
-	case "fig2":
-		return harness.Fig2(opts)
-	case "fig3":
-		return harness.Fig3(m)
-	case "fig4":
-		return harness.Fig4(opts)
-	case "fig6":
-		return harness.Fig6(m, nil)
-	case "fig7":
-		return harness.Fig7(m)
-	case "fig8":
-		return harness.Fig8(m)
-	case "fig9":
-		return harness.Fig9(m, harness.DefaultAreaModel())
-	case "fig10":
-		return harness.Fig10(m)
-	case "ablate-vote":
-		return harness.AblateVote(m)
-	case "ablate-region":
-		return harness.AblateRegion(m)
-	case "ablate-sharing":
-		return harness.AblateSharing(m)
-	case "ablate-queue":
-		return harness.AblateQueue(opts)
-	case "ablate-bandwidth":
-		return harness.AblateBandwidth(opts)
-	case "ablate-level":
-		return harness.AblateLevel(opts)
-	case "ablate-tags":
-		return harness.AblateTags(m)
-	case "extras":
-		return harness.Extras(m)
-	case "seeds":
-		return harness.SeedSweep("bingo", opts, nil)
-	default:
-		return harness.Table{}, fmt.Errorf("unknown experiment %q", name)
-	}
 }

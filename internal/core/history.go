@@ -7,6 +7,7 @@ package core
 
 import (
 	"fmt"
+	"math/bits"
 
 	"bingo/internal/mem"
 	"bingo/internal/prefetch"
@@ -246,8 +247,11 @@ func (h *HistoryTable) Lookup(pc mem.PC, addr mem.Addr, triggerOffset int) (pref
 		matches++
 		h.clock++
 		e.lru = h.clock
-		for _, b := range e.footprint.Blocks() {
-			votes[b]++
+		// Iterate set bits in place: materialising a []int per matching
+		// entry (Footprint.Blocks) allocated on every short-vote lookup,
+		// the hottest path of the whole simulation.
+		for v := uint64(e.footprint); v != 0; v &= v - 1 {
+			votes[bits.TrailingZeros64(v)]++
 		}
 	}
 	if matches == 0 {

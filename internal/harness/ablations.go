@@ -5,9 +5,15 @@ import (
 	"math"
 
 	"bingo/internal/core"
+	"bingo/internal/prefetch"
 	"bingo/internal/system"
 	"bingo/internal/workloads"
 )
+
+// tagWidths is the partial-tag ablation sweep.
+var tagWidths = []int{23, 16, 12}
+
+func tagCellLabel(bits int) string { return fmt.Sprintf("bingo[tags=%d]", bits) }
 
 // Extra sensitivity studies beyond the paper's figures, each anchored to a
 // design discussion in the text: the bandwidth wall (§I motivates accuracy
@@ -15,34 +21,47 @@ import (
 // depth that throttles over-eager prefetchers, and the private-vs-shared
 // metadata choice (§V-B).
 
+// bandwidthScales is the DRAM bandwidth sweep (BusCycles multipliers).
+var bandwidthScales = []struct {
+	label string
+	mult  uint64
+}{
+	{"2x (75 GB/s)", 7},
+	{"1x (37.5 GB/s)", 14},
+	{"1/2x (18.8 GB/s)", 28},
+	{"1/4x (9.4 GB/s)", 56},
+}
+
+// bandwidthPrefetchers are the prefetchers the bandwidth sweep compares.
+var bandwidthPrefetchers = []string{"bingo", "sms", "vldp-aggr"}
+
+// bandwidthOpts returns the modified options and cell variant for one
+// bandwidth point.
+func bandwidthOpts(base RunOptions, mult uint64) (RunOptions, string) {
+	o := base
+	o.System.DRAM.BusCycles = mult
+	return o, fmt.Sprintf("bus=%d", mult)
+}
+
 // AblateBandwidth reruns the headline comparison while scaling DRAM
 // bandwidth, showing that accurate prefetching (Bingo) degrades gracefully
 // while aggressive inaccurate prefetching collapses when bandwidth halves.
-func AblateBandwidth(opts RunOptions) (Table, error) {
+func AblateBandwidth(m *Matrix) (Table, error) {
 	t := Table{
 		Title:   "Ablation: DRAM Bandwidth Sensitivity (GMean speedup)",
 		Headers: []string{"Peak Bandwidth", "bingo", "sms", "vldp-aggr"},
 	}
-	for _, scale := range []struct {
-		label string
-		mult  uint64
-	}{
-		{"2x (75 GB/s)", 7},
-		{"1x (37.5 GB/s)", 14},
-		{"1/2x (18.8 GB/s)", 28},
-		{"1/4x (9.4 GB/s)", 56},
-	} {
-		o := opts
-		o.System.DRAM.BusCycles = scale.mult
+	for _, scale := range bandwidthScales {
+		o, variant := bandwidthOpts(m.Options(), scale.mult)
 		row := []string{scale.label}
-		for _, pf := range []string{"bingo", "sms", "vldp-aggr"} {
+		for _, pf := range bandwidthPrefetchers {
 			var logsum float64
 			for _, w := range workloads.All() {
-				base, err := Run(w, nil, o)
+				base, err := m.GetOpts(w, "none", variant, o)
 				if err != nil {
 					return Table{}, err
 				}
-				res, err := RunNamed(w, pf, o)
+				res, err := m.GetOpts(w, pf, variant, o)
 				if err != nil {
 					return Table{}, err
 				}
@@ -56,23 +75,33 @@ func AblateBandwidth(opts RunOptions) (Table, error) {
 	return t, nil
 }
 
+// queueDepths is the prefetch-queue sweep.
+var queueDepths = []int{8, 16, 32, 64, 128}
+
+// queueOpts returns the modified options and cell variant for one queue
+// depth.
+func queueOpts(base RunOptions, depth int) (RunOptions, string) {
+	o := base
+	o.System.PrefetchQueue = depth
+	return o, fmt.Sprintf("queue=%d", depth)
+}
+
 // AblateQueue sweeps the per-core prefetch queue depth, the throttle that
 // bounds how much bandwidth a burst of spatial prefetches may claim.
-func AblateQueue(opts RunOptions) (Table, error) {
+func AblateQueue(m *Matrix) (Table, error) {
 	t := Table{
 		Title:   "Ablation: Prefetch Queue Depth (Bingo)",
 		Headers: []string{"Queue", "GMean Speedup", "Coverage", "Dropped/KI"},
 	}
-	for _, depth := range []int{8, 16, 32, 64, 128} {
-		o := opts
-		o.System.PrefetchQueue = depth
+	for _, depth := range queueDepths {
+		o, variant := queueOpts(m.Options(), depth)
 		var logsum, covSum, dropSum float64
 		for _, w := range workloads.All() {
-			base, err := Run(w, nil, o)
+			base, err := m.GetOpts(w, "none", variant, o)
 			if err != nil {
 				return Table{}, err
 			}
-			res, err := RunNamed(w, "bingo", o)
+			res, err := m.GetOpts(w, "bingo", variant, o)
 			if err != nil {
 				return Table{}, err
 			}
@@ -125,24 +154,34 @@ func AblateSharing(m *Matrix) (Table, error) {
 	return t, nil
 }
 
+// attachLevels is the attach-level sweep (the paper's LLC choice first).
+var attachLevels = []system.AttachLevel{system.AttachLLC, system.AttachL1}
+
+// levelOpts returns the modified options and cell variant for one attach
+// level.
+func levelOpts(base RunOptions, level system.AttachLevel) (RunOptions, string) {
+	o := base
+	o.System.PrefetchAt = level
+	return o, "level=" + level.String()
+}
+
 // AblateLevel compares prefetching at the LLC (the paper's §V-B choice)
 // against attaching the same prefetcher at each core's L1: the short L1
 // residency truncates footprints before they are fully observed.
-func AblateLevel(opts RunOptions) (Table, error) {
+func AblateLevel(m *Matrix) (Table, error) {
 	t := Table{
 		Title:   "Ablation: Prefetcher Attach Level (Bingo)",
 		Headers: []string{"Attach", "GMean Speedup", "Coverage (LLC misses)"},
 	}
-	for _, level := range []system.AttachLevel{system.AttachLLC, system.AttachL1} {
-		o := opts
-		o.System.PrefetchAt = level
+	for _, level := range attachLevels {
+		o, variant := levelOpts(m.Options(), level)
 		var logsum, covSum float64
 		for _, w := range workloads.All() {
-			base, err := Run(w, nil, o)
+			base, err := m.GetOpts(w, "none", variant, o)
 			if err != nil {
 				return Table{}, err
 			}
-			res, err := RunNamed(w, "bingo", o)
+			res, err := m.GetOpts(w, "bingo", variant, o)
 			if err != nil {
 				return Table{}, err
 			}
@@ -165,16 +204,20 @@ func AblateTags(m *Matrix) (Table, error) {
 		Title:   "Ablation: History Tag Width (Bingo)",
 		Headers: []string{"Tags", "GMean Speedup", "Coverage", "Overprediction"},
 	}
-	full, err := ablationRow(m, "full-width", nil)
+	full, err := ablationRow(m, "full-width", "", nil)
 	if err != nil {
 		return Table{}, err
 	}
 	t.Rows = append(t.Rows, full)
-	for _, bits := range []int{23, 16, 12} {
-		cfg := core.DefaultConfig()
-		cfg.TruncateTags = true
-		cfg.LongTagBits = bits
-		row, err := ablationRow(m, fmt.Sprintf("%d-bit", bits), core.Factory(cfg))
+	for _, bits := range tagWidths {
+		bits := bits
+		row, err := ablationRow(m, fmt.Sprintf("%d-bit", bits), tagCellLabel(bits),
+			func() (prefetch.Factory, error) {
+				cfg := core.DefaultConfig()
+				cfg.TruncateTags = true
+				cfg.LongTagBits = bits
+				return core.Factory(cfg), nil
+			})
 		if err != nil {
 			return Table{}, err
 		}
@@ -184,6 +227,9 @@ func AblateTags(m *Matrix) (Table, error) {
 	return t, nil
 }
 
+// extrasPrefetchers lists the beyond-the-paper reference prefetchers.
+var extrasPrefetchers = []string{"nextline", "stride", "ghb", "fdp-sms", "fdp-vldp-aggr", "bingo-shared", "bingo"}
+
 // Extras compares the reference prefetchers beyond the paper's six —
 // GHB PC/DC, per-PC stride, next-line, the feedback-throttled variants,
 // and shared-metadata Bingo — against Bingo on the same matrix.
@@ -192,7 +238,7 @@ func Extras(m *Matrix) (Table, error) {
 		Title:   "Beyond the Paper: Reference Prefetchers",
 		Headers: []string{"Prefetcher", "GMean Speedup", "Coverage", "Overprediction", "Storage/core"},
 	}
-	for _, pf := range []string{"nextline", "stride", "ghb", "fdp-sms", "fdp-vldp-aggr", "bingo-shared", "bingo"} {
+	for _, pf := range extrasPrefetchers {
 		var logsum, covSum, overSum float64
 		storage := 0
 		for _, w := range workloads.All() {

@@ -3,6 +3,7 @@ package harness
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"bingo/internal/core"
 	"bingo/internal/prefetch"
@@ -10,35 +11,55 @@ import (
 	"bingo/internal/workloads"
 )
 
-// Matrix memoises (workload × prefetcher) runs so experiments that share
-// runs — Figures 7, 8, and 9 are three views of the same matrix — pay for
-// each simulation once.
+// Matrix memoises every simulation of the experiment suite, keyed by
+// CellKey — registry (workload × prefetcher) runs, custom-config variants
+// (Figure 6's history sweep, the ablations), and runs under modified
+// system options. Experiments that share runs — Figures 7, 8, and 9 are
+// three views of the same matrix — pay for each simulation once.
+//
+// Matrix is safe for concurrent use: Get and the other accessors may be
+// called from any number of goroutines. Two callers requesting the same
+// cell share one in-flight simulation (singleflight) instead of racing
+// or duplicating work, which is what lets the parallel engine warm cells
+// out of order while renderers still observe exactly one deterministic
+// result per cell.
 type Matrix struct {
 	opts RunOptions
-	runs map[string]map[string]system.Results
+
+	mu          sync.Mutex
+	cells       map[CellKey]*cellState
+	stats       []CellStat
+	trackAllocs bool
 }
 
 // NewMatrix creates an empty memoised run matrix.
 func NewMatrix(opts RunOptions) *Matrix {
-	return &Matrix{opts: opts, runs: make(map[string]map[string]system.Results)}
+	return &Matrix{opts: opts, cells: make(map[CellKey]*cellState)}
 }
+
+// Options returns the base run options every non-variant cell uses.
+func (m *Matrix) Options() RunOptions { return m.opts }
 
 // Get runs (or recalls) workload w under the named prefetcher ("none" for
 // the baseline).
 func (m *Matrix) Get(w workloads.Spec, prefetcher string) (system.Results, error) {
-	if byPf, ok := m.runs[w.Name]; ok {
-		if r, ok := byPf[prefetcher]; ok {
-			return r, nil
-		}
-	} else {
-		m.runs[w.Name] = make(map[string]system.Results)
-	}
-	r, err := RunNamed(w, prefetcher, m.opts)
-	if err != nil {
-		return system.Results{}, err
-	}
-	m.runs[w.Name][prefetcher] = r
-	return r, nil
+	key := CellKey{Workload: w.Name, Prefetcher: prefetcher}
+	res, _, err := m.RunCell(key, m.opts, func() (prefetch.Factory, error) {
+		return FactoryByName(prefetcher)
+	}, nil)
+	return res, err
+}
+
+// GetOpts runs (or recalls) workload w under the named prefetcher with
+// modified run options. variant must uniquely encode the deviation from
+// the base options (e.g. "queue=16") so the cell cannot collide with a
+// base-options run.
+func (m *Matrix) GetOpts(w workloads.Spec, prefetcher, variant string, opts RunOptions) (system.Results, error) {
+	key := CellKey{Workload: w.Name, Prefetcher: prefetcher, Variant: variant}
+	res, _, err := m.RunCell(key, opts, func() (prefetch.Factory, error) {
+		return FactoryByName(prefetcher)
+	}, nil)
+	return res, err
 }
 
 // Baseline is Get(w, "none").
@@ -88,30 +109,47 @@ func Table2(m *Matrix) (Table, error) {
 // ---------------------------------------------------------------------------
 // Figure 2 — accuracy and match probability of single-event heuristics.
 
+// fig2Counters is the instrumented payload of one Figure 2 cell.
+type fig2Counters struct{ predicted, lookups uint64 }
+
+// fig2Cell runs (or recalls) the single-event prefetcher for kind on w.
+func (m *Matrix) fig2Cell(kind prefetch.EventKind, w workloads.Spec) (system.Results, fig2Counters, error) {
+	key := CellKey{Workload: w.Name, Prefetcher: fmt.Sprintf("multievent1[event=%s]", kind)}
+	res, aux, err := m.RunCell(key, m.opts, func() (prefetch.Factory, error) {
+		cfg := core.DefaultMultiEventConfig(1)
+		cfg.Events = []prefetch.EventKind{kind}
+		return core.MultiEventFactory(cfg), nil
+	}, func(sys *system.System) any {
+		p, l := multiEventLookups(sys)
+		return fig2Counters{predicted: p, lookups: l}
+	})
+	if err != nil {
+		return system.Results{}, fig2Counters{}, err
+	}
+	return res, aux.(fig2Counters), nil
+}
+
 // Fig2 runs one single-event spatial prefetcher per event kind over every
 // workload and reports the aggregate prefetch accuracy and history match
 // probability — the longest-to-shortest tension motivating Bingo.
 // Aggregates are ratio-of-sums across workloads (per-workload means would
 // be poisoned by workloads where a rare event almost never fires).
-func Fig2(opts RunOptions) (Table, error) {
+func Fig2(m *Matrix) (Table, error) {
 	t := Table{
 		Title:   "Figure 2: Accuracy and Match Probability per Event Heuristic (aggregate across workloads)",
 		Headers: []string{"Event", "Accuracy", "Match Probability"},
 	}
 	for _, kind := range prefetch.AllEvents() {
-		cfg := core.DefaultMultiEventConfig(1)
-		cfg.Events = []prefetch.EventKind{kind}
 		var useful, fills, predicted, lookups uint64
 		for _, w := range workloads.All() {
-			sys, res, err := RunWithSystem(w, core.MultiEventFactory(cfg), opts)
+			res, c, err := m.fig2Cell(kind, w)
 			if err != nil {
 				return Table{}, err
 			}
 			useful += res.LLC.UsefulPrefetch
 			fills += res.LLC.PrefetchFills
-			p, l := multiEventLookups(sys)
-			predicted += p
-			lookups += l
+			predicted += c.predicted
+			lookups += c.lookups
 		}
 		t.AddRow(kind.String(), pct(ratio(useful, fills)), pct(ratio(predicted, lookups)))
 	}
@@ -176,31 +214,49 @@ func Fig3(m *Matrix) (Table, error) {
 // ---------------------------------------------------------------------------
 // Figure 4 — redundancy in cascaded TAGE-like history tables.
 
+// fig4Counters is the instrumented payload of one Figure 4 cell.
+type fig4Counters struct{ both, identical uint64 }
+
+// fig4Cell runs (or recalls) the redundancy-probing dual-event prefetcher
+// on w.
+func (m *Matrix) fig4Cell(w workloads.Spec) (fig4Counters, error) {
+	key := CellKey{Workload: w.Name, Prefetcher: "multievent2[probe]"}
+	_, aux, err := m.RunCell(key, m.opts, func() (prefetch.Factory, error) {
+		cfg := core.DefaultMultiEventConfig(2)
+		cfg.ProbeRedundant = true
+		return core.MultiEventFactory(cfg), nil
+	}, func(sys *system.System) any {
+		var c fig4Counters
+		for _, p := range sys.Prefetchers() {
+			if me, ok := p.(*core.MultiEvent); ok {
+				c.both += me.BothHit
+				c.identical += me.Identical
+			}
+		}
+		return c
+	})
+	if err != nil {
+		return fig4Counters{}, err
+	}
+	return aux.(fig4Counters), nil
+}
+
 // Fig4 runs the dual-table probe and reports, per workload, the fraction
 // of dual-hit lookups whose long and short predictions were identical.
-func Fig4(opts RunOptions) (Table, error) {
+func Fig4(m *Matrix) (Table, error) {
 	t := Table{
 		Title:   "Figure 4: Redundancy in TAGE-Like History Metadata",
 		Headers: []string{"Workload", "Redundancy"},
 	}
-	cfg := core.DefaultMultiEventConfig(2)
-	cfg.ProbeRedundant = true
 	var sum float64
 	for _, w := range workloads.All() {
-		sys, _, err := RunWithSystem(w, core.MultiEventFactory(cfg), opts)
+		c, err := m.fig4Cell(w)
 		if err != nil {
 			return Table{}, err
 		}
-		var both, ident uint64
-		for _, p := range sys.Prefetchers() {
-			if me, ok := p.(*core.MultiEvent); ok {
-				both += me.BothHit
-				ident += me.Identical
-			}
-		}
 		red := 0.0
-		if both > 0 {
-			red = float64(ident) / float64(both)
+		if c.both > 0 {
+			red = float64(c.identical) / float64(c.both)
 		}
 		sum += red
 		t.AddRow(w.Name, pct(red))
@@ -215,6 +271,17 @@ func Fig4(opts RunOptions) (Table, error) {
 
 // Fig6Sizes is the paper's sweep of history-table entry counts.
 var Fig6Sizes = []int{1024, 2048, 4096, 8192, 16384, 32768, 65536}
+
+// fig6Cell runs (or recalls) Bingo with a resized history table on w.
+func (m *Matrix) fig6Cell(w workloads.Spec, size int) (system.Results, error) {
+	key := CellKey{Workload: w.Name, Prefetcher: fmt.Sprintf("bingo[hist=%d]", size)}
+	res, _, err := m.RunCell(key, m.opts, func() (prefetch.Factory, error) {
+		cfg := core.DefaultConfig()
+		cfg.HistoryEntries = size
+		return core.Factory(cfg), nil
+	}, nil)
+	return res, err
+}
 
 // Fig6 sweeps Bingo's history capacity and reports per-workload coverage.
 func Fig6(m *Matrix, sizes []int) (Table, error) {
@@ -233,9 +300,7 @@ func Fig6(m *Matrix, sizes []int) (Table, error) {
 		}
 		row := []string{w.Name}
 		for _, size := range sizes {
-			cfg := core.DefaultConfig()
-			cfg.HistoryEntries = size
-			res, err := Run(w, core.Factory(cfg), m.opts)
+			res, err := m.fig6Cell(w, size)
 			if err != nil {
 				return Table{}, err
 			}
@@ -355,6 +420,10 @@ func Fig9(m *Matrix, area AreaModel) (Table, error) {
 // ---------------------------------------------------------------------------
 // Figure 10 — ISO-degree comparison.
 
+// fig10Variants lists the original and aggressive prefetcher variants of
+// the ISO-degree comparison.
+var fig10Variants = []string{"bop", "bop-aggr", "spp", "spp-aggr", "vldp", "vldp-aggr", "ampm", "sms", "bingo"}
+
 // Fig10 compares the original and aggressive (unthrottled-degree) variants
 // of the SHH prefetchers against Bingo, reporting speedup plus the
 // coverage/overprediction callouts of the paper's figure.
@@ -363,8 +432,7 @@ func Fig10(m *Matrix) (Table, error) {
 		Title:   "Figure 10: ISO-Degree Comparison",
 		Headers: []string{"Prefetcher", "GMean Speedup", "Coverage", "Overprediction"},
 	}
-	variants := []string{"bop", "bop-aggr", "spp", "spp-aggr", "vldp", "vldp-aggr", "ampm", "sms", "bingo"}
-	for _, pf := range variants {
+	for _, pf := range fig10Variants {
 		var logsum, covSum, overSum float64
 		for _, w := range workloads.All() {
 			base, err := m.Baseline(w)
@@ -395,19 +463,26 @@ func AblateVote(m *Matrix) (Table, error) {
 		Title:   "Ablation: Bingo Vote Threshold",
 		Headers: []string{"Threshold", "GMean Speedup", "Coverage", "Overprediction"},
 	}
-	for _, th := range []float64{0.10, 0.20, 0.33, 0.50, 1.00} {
-		cfg := core.DefaultConfig()
-		cfg.VoteThreshold = th
-		row, err := ablationRow(m, fmt.Sprintf("%.0f%%", th*100), core.Factory(cfg))
+	for _, th := range voteThresholds {
+		th := th
+		row, err := ablationRow(m, fmt.Sprintf("%.0f%%", th*100), voteCellLabel(th),
+			func() (prefetch.Factory, error) {
+				cfg := core.DefaultConfig()
+				cfg.VoteThreshold = th
+				return core.Factory(cfg), nil
+			})
 		if err != nil {
 			return Table{}, err
 		}
 		t.Rows = append(t.Rows, row)
 	}
 	// The rejected most-recent heuristic for reference.
-	cfg := core.DefaultConfig()
-	cfg.MostRecent = true
-	row, err := ablationRow(m, "most-recent", core.Factory(cfg))
+	row, err := ablationRow(m, "most-recent", "bingo[recent]",
+		func() (prefetch.Factory, error) {
+			cfg := core.DefaultConfig()
+			cfg.MostRecent = true
+			return core.Factory(cfg), nil
+		})
 	if err != nil {
 		return Table{}, err
 	}
@@ -415,16 +490,25 @@ func AblateVote(m *Matrix) (Table, error) {
 	return t, nil
 }
 
+// voteThresholds is the vote-ablation sweep (0.20 is the paper's choice).
+var voteThresholds = []float64{0.10, 0.20, 0.33, 0.50, 1.00}
+
+func voteCellLabel(th float64) string { return fmt.Sprintf("bingo[vote=%.2f]", th) }
+
 // AblateRegion sweeps Bingo's spatial region size.
 func AblateRegion(m *Matrix) (Table, error) {
 	t := Table{
 		Title:   "Ablation: Bingo Region Size",
 		Headers: []string{"Region", "GMean Speedup", "Coverage", "Overprediction"},
 	}
-	for _, size := range []uint64{1024, 2048, 4096} {
-		cfg := core.DefaultConfig()
-		cfg.RegionBytes = size
-		row, err := ablationRow(m, fmt.Sprintf("%d KB", size/1024), core.Factory(cfg))
+	for _, size := range regionSizes {
+		size := size
+		row, err := ablationRow(m, fmt.Sprintf("%d KB", size/1024), regionCellLabel(size),
+			func() (prefetch.Factory, error) {
+				cfg := core.DefaultConfig()
+				cfg.RegionBytes = size
+				return core.Factory(cfg), nil
+			})
 		if err != nil {
 			return Table{}, err
 		}
@@ -433,9 +517,23 @@ func AblateRegion(m *Matrix) (Table, error) {
 	return t, nil
 }
 
+// regionSizes is the region-size ablation sweep (2 KB is the paper's).
+var regionSizes = []uint64{1024, 2048, 4096}
+
+func regionCellLabel(size uint64) string { return fmt.Sprintf("bingo[region=%d]", size) }
+
+// variantCell runs (or recalls) a custom-config prefetcher labelled pf on
+// w under the matrix's base options. build must construct a fresh factory
+// per call so concurrent cells never share mutable prefetcher state.
+func (m *Matrix) variantCell(w workloads.Spec, pf string, build func() (prefetch.Factory, error)) (system.Results, error) {
+	res, _, err := m.RunCell(CellKey{Workload: w.Name, Prefetcher: pf}, m.opts, build, nil)
+	return res, err
+}
+
 // ablationRow runs a Bingo variant over all workloads and summarises it.
-// A nil factory means the registry's default Bingo (memoised in m).
-func ablationRow(m *Matrix, label string, factory prefetch.Factory) ([]string, error) {
+// A nil build means the registry's default Bingo; otherwise the variant
+// is memoised in m under the cellLabel prefetcher name.
+func ablationRow(m *Matrix, label, cellLabel string, build func() (prefetch.Factory, error)) ([]string, error) {
 	var logsum, covSum, overSum float64
 	for _, w := range workloads.All() {
 		base, err := m.Baseline(w)
@@ -443,10 +541,10 @@ func ablationRow(m *Matrix, label string, factory prefetch.Factory) ([]string, e
 			return nil, err
 		}
 		var res system.Results
-		if factory == nil {
+		if build == nil {
 			res, err = m.Get(w, "bingo")
 		} else {
-			res, err = Run(w, factory, m.opts)
+			res, err = m.variantCell(w, cellLabel, build)
 		}
 		if err != nil {
 			return nil, err

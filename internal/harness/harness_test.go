@@ -227,7 +227,7 @@ func TestFig4Smoke(t *testing.T) {
 	if testing.Short() {
 		t.Skip("skipped in -short")
 	}
-	tbl, err := Fig4(tinyOptions())
+	tbl, err := Fig4(NewMatrix(tinyOptions()))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -326,7 +326,7 @@ func TestAblateLevelSmoke(t *testing.T) {
 	if testing.Short() {
 		t.Skip("skipped in -short")
 	}
-	tbl, err := AblateLevel(tinyOptions())
+	tbl, err := AblateLevel(NewMatrix(tinyOptions()))
 	if err != nil {
 		t.Fatal(err)
 	}

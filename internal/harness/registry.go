@@ -28,6 +28,14 @@ func PaperPrefetchers() []string {
 
 // registry maps names to factories. Entries must be deterministic: every
 // call with the same name yields an equivalent configuration.
+//
+// Concurrency contract: the map is never mutated after package init, so
+// FactoryByName may be called from any number of goroutines. Each call
+// must return a *fresh* Factory value whose prefetcher instances are
+// disjoint from every earlier call's — concurrent simulations each
+// resolve their own factory, so a registry entry that cached prefetcher
+// state across calls (rather than per Factory, like bingo-shared does)
+// would leak state between parallel runs.
 var registry = map[string]func() prefetch.Factory{
 	"none":         func() prefetch.Factory { return nil },
 	"bingo":        func() prefetch.Factory { return core.Factory(core.DefaultConfig()) },

@@ -44,6 +44,16 @@ func newSeedStats(samples []float64) SeedStats {
 	return st
 }
 
+// defaultSeeds is the seed sweep used when the caller passes none.
+func defaultSeeds() []int64 { return []int64{1, 2, 3, 4, 5} }
+
+// seedOpts returns the modified options and cell variant for one seed.
+func seedOpts(base RunOptions, seed int64) (RunOptions, string) {
+	o := base
+	o.Seed = seed
+	return o, fmt.Sprintf("seed=%d", seed)
+}
+
 // SpeedupOverSeeds runs a (workload, prefetcher) comparison under several
 // workload seeds and returns the speedup distribution — the statistical
 // robustness check behind the single-seed figures (the paper's SimFlex
@@ -51,12 +61,11 @@ func newSeedStats(samples []float64) SeedStats {
 // the role of checkpoints here).
 func SpeedupOverSeeds(w workloads.Spec, prefetcher string, opts RunOptions, seeds []int64) (SeedStats, error) {
 	if len(seeds) == 0 {
-		seeds = []int64{1, 2, 3, 4, 5}
+		seeds = defaultSeeds()
 	}
 	samples := make([]float64, 0, len(seeds))
 	for _, seed := range seeds {
-		o := opts
-		o.Seed = seed
+		o, _ := seedOpts(opts, seed)
 		base, err := Run(w, nil, o)
 		if err != nil {
 			return SeedStats{}, err
@@ -70,17 +79,41 @@ func SpeedupOverSeeds(w workloads.Spec, prefetcher string, opts RunOptions, seed
 	return newSeedStats(samples), nil
 }
 
-// SeedSweep renders the multi-seed robustness table for one prefetcher.
-func SeedSweep(prefetcher string, opts RunOptions, seeds []int64) (Table, error) {
+// seedSample returns the memoised speedup of prefetcher over the baseline
+// on w under one seed.
+func (m *Matrix) seedSample(w workloads.Spec, prefetcher string, seed int64) (float64, error) {
+	o, variant := seedOpts(m.Options(), seed)
+	base, err := m.GetOpts(w, "none", variant, o)
+	if err != nil {
+		return 0, err
+	}
+	res, err := m.GetOpts(w, prefetcher, variant, o)
+	if err != nil {
+		return 0, err
+	}
+	return res.Throughput() / base.Throughput(), nil
+}
+
+// SeedSweep renders the multi-seed robustness table for one prefetcher,
+// memoising each seeded run in m.
+func SeedSweep(m *Matrix, prefetcher string, seeds []int64) (Table, error) {
+	if len(seeds) == 0 {
+		seeds = defaultSeeds()
+	}
 	t := Table{
 		Title:   fmt.Sprintf("Multi-Seed Robustness: %s speedup across workload seeds", prefetcher),
 		Headers: []string{"Workload", "Speedup (mean ± stddev)", "Min", "Max"},
 	}
 	for _, w := range workloads.All() {
-		st, err := SpeedupOverSeeds(w, prefetcher, opts, seeds)
-		if err != nil {
-			return Table{}, err
+		samples := make([]float64, 0, len(seeds))
+		for _, seed := range seeds {
+			sp, err := m.seedSample(w, prefetcher, seed)
+			if err != nil {
+				return Table{}, err
+			}
+			samples = append(samples, sp)
 		}
+		st := newSeedStats(samples)
 		t.AddRow(w.Name,
 			fmt.Sprintf("%+.1f%% ± %.1f", (st.Mean-1)*100, st.StdDev*100),
 			speedupPct(st.Min), speedupPct(st.Max))

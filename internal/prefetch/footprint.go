@@ -36,14 +36,21 @@ func (f Footprint) Blocks() []int {
 // Addrs expands the footprint into block addresses within the region
 // containing base, excluding block excludeIdx (pass -1 to keep all).
 func (f Footprint) Addrs(rc mem.RegionConfig, base mem.Addr, excludeIdx int) []mem.Addr {
-	out := make([]mem.Addr, 0, f.Count())
-	for _, i := range f.Blocks() {
+	return f.AppendAddrs(make([]mem.Addr, 0, f.Count()), rc, base, excludeIdx)
+}
+
+// AppendAddrs is Addrs appending into dst, for callers that reuse a
+// buffer across accesses on the issue hot path. Bits are iterated in
+// place, so the only allocation is dst's own growth.
+func (f Footprint) AppendAddrs(dst []mem.Addr, rc mem.RegionConfig, base mem.Addr, excludeIdx int) []mem.Addr {
+	for v := uint64(f); v != 0; v &= v - 1 {
+		i := bits.TrailingZeros64(v)
 		if i == excludeIdx {
 			continue
 		}
-		out = append(out, rc.BlockAddr(base, i))
+		dst = append(dst, rc.BlockAddr(base, i))
 	}
-	return out
+	return dst
 }
 
 // String renders the footprint as a bit string, LSB (block 0) first, over

@@ -14,6 +14,16 @@ import (
 
 // System is one assembled machine instance. Build it with New, provide a
 // trace source per core, then call Run once.
+//
+// A System is single-goroutine: one simulation advances on one goroutine
+// from construction through Run. Distinct System instances are fully
+// independent and safe to run concurrently — the parallel experiment
+// engine relies on this. Audit note: all mutable simulation state
+// (caches, DRAM banks, translator RNG, prefetcher metadata, the
+// replacement policy's RNG in internal/cache) hangs off the System built
+// by New; neither this package nor its dependencies keep package-level
+// mutable state, which is what keeps `go test -race` clean over the
+// parallel harness.
 type System struct {
 	cfg   Config
 	xlat  *vm.Translator

@@ -54,6 +54,14 @@ func (r Record) Instructions() uint64 { return uint64(r.NonMem) + 1 }
 // Source yields a stream of records. Next returns ok=false when the
 // stream is exhausted. Implementations need not be safe for concurrent
 // use; the simulator drives each core's source from a single goroutine.
+//
+// Distinct Source instances must, however, not share mutable state
+// (package-level RNGs, reused buffers): the parallel experiment engine
+// runs many simulations concurrently, each driving its own sources.
+// Audit note: every implementation in this package and in package
+// workloads keeps all mutable state (RNGs, queues, gzip buffers)
+// instance-local, so concurrently running systems never touch shared
+// memory through their traces.
 type Source interface {
 	// Next returns the next record of the stream.
 	Next() (Record, bool)

@@ -12,6 +12,14 @@
 // bounds runs by instruction budget. Per-core streams use disjoint
 // virtual address spaces (cores do not share data; prefetchers are
 // per-core in the paper, so sharing is not load-bearing).
+//
+// Concurrency: Spec.Sources and every generator constructor may be
+// called from any number of goroutines — the parallel experiment engine
+// materialises traces for many simulations at once. Each generator owns
+// its RNG (math/rand.Rand seeded per instance; the package never touches
+// the global rand source) and its emit queue, so two concurrently
+// running simulations of the same workload share no mutable state and
+// produce bit-identical streams for equal (seed, core) pairs.
 package workloads
 
 import (
