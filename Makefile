@@ -1,8 +1,12 @@
 GO ?= go
 
-.PHONY: all build test short race vet bench bench-runner
+# Wall-clock budget for the full lint suite; the lint target warns when
+# exceeded so future PRs notice a regression.
+LINT_BUDGET_SECONDS ?= 60
 
-all: build vet test
+.PHONY: all build test short race race-harness vet lint simlint bench bench-runner
+
+all: build lint test
 
 build:
 	$(GO) build ./...
@@ -18,8 +22,42 @@ short:
 race:
 	$(GO) test -race ./...
 
+# The harness package hosts all goroutine orchestration; CI runs this
+# focused race pass on every push in addition to the full `race` target.
+race-harness:
+	$(GO) test -race ./internal/harness/
+
 vet:
 	$(GO) vet ./...
+
+# simlint is the project-specific invariant suite (determinism,
+# address-unit safety, concurrency contracts, parameter hygiene); see
+# README.md "Static analysis & invariants".
+simlint:
+	$(GO) run ./cmd/simlint ./...
+
+# lint runs every static gate: go vet, simlint, and — when installed —
+# staticcheck and govulncheck (the repo carries no dependency on either;
+# CI installs them, laptops may not). The elapsed wall time is printed so
+# regressions past the budget are visible in every run's output.
+lint:
+	@start=$$(date +%s); \
+	set -e; \
+	echo ">> go vet ./..."; \
+	$(GO) vet ./...; \
+	echo ">> simlint ./..."; \
+	$(GO) run ./cmd/simlint ./...; \
+	if command -v staticcheck >/dev/null 2>&1; then \
+		echo ">> staticcheck ./..."; staticcheck ./...; \
+	else echo ">> staticcheck not installed; skipping"; fi; \
+	if command -v govulncheck >/dev/null 2>&1; then \
+		echo ">> govulncheck ./..."; govulncheck ./...; \
+	else echo ">> govulncheck not installed; skipping"; fi; \
+	end=$$(date +%s); dur=$$((end - start)); \
+	echo "lint completed in $${dur}s (budget: $(LINT_BUDGET_SECONDS)s)"; \
+	if [ $$dur -gt $(LINT_BUDGET_SECONDS) ]; then \
+		echo "WARNING: make lint exceeded its $(LINT_BUDGET_SECONDS)s budget — investigate before it rots"; \
+	fi
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

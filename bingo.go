@@ -40,6 +40,16 @@ type Addr = mem.Addr
 // PC is the program counter of an accessing instruction.
 type PC = mem.PC
 
+// Block geometry of the simulated hierarchy, re-exported so custom
+// prefetchers can do address math in named units (see internal/mem for
+// the full helper set on Addr).
+const (
+	// BlockShift is log2 of the cache-block size.
+	BlockShift = mem.BlockShift
+	// BlockSize is the cache-block size in bytes.
+	BlockSize = mem.BlockSize
+)
+
 // AccessEvent is one demand access observed by a prefetcher.
 type AccessEvent = prefetch.AccessEvent
 

@@ -1,0 +1,89 @@
+// Command simlint runs the simulator's invariant suite — detlint,
+// unitlint, contractlint, paramlint — over the repository. It is the
+// project-specific complement to go vet: the analyzers encode contracts
+// (determinism, address-unit safety, concurrency documentation, parameter
+// hygiene) that generic tooling cannot know about.
+//
+// Usage:
+//
+//	simlint [-only name,name] [-list] [packages]
+//
+// Packages default to ./... relative to the enclosing module. Exit status
+// is 0 when no findings are reported, 1 on findings, 2 on usage or load
+// errors. Suppress a single finding with
+//
+//	//lint:ignore <analyzer> <reason>
+//
+// on the offending line or the line above it, or a whole file with
+// //lint:file-ignore. The reason is mandatory.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"bingo/internal/lint"
+	"bingo/internal/lint/analysis"
+)
+
+func main() {
+	only := flag.String("only", "", "comma-separated subset of analyzers to run")
+	list := flag.Bool("list", false, "list the analyzers in the suite and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: simlint [-only name,name] [-list] [packages]\n\nAnalyzers:\n")
+		for _, a := range lint.Suite() {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-13s %s\n", a.Name, a.Doc)
+		}
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	suite := lint.Suite()
+	if *list {
+		for _, a := range suite {
+			fmt.Printf("%-13s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *only != "" {
+		byName := map[string]*analysis.Analyzer{}
+		for _, a := range suite {
+			byName[a.Name] = a
+		}
+		suite = suite[:0]
+		for _, name := range strings.Split(*only, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "simlint: unknown analyzer %q\n", name)
+				os.Exit(2)
+			}
+			suite = append(suite, a)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simlint:", err)
+		os.Exit(2)
+	}
+	root, err := analysis.FindModuleRoot(cwd)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simlint:", err)
+		os.Exit(2)
+	}
+	n, err := lint.Check(os.Stdout, root, patterns, suite)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simlint:", err)
+		os.Exit(2)
+	}
+	if n > 0 {
+		fmt.Fprintf(os.Stderr, "simlint: %d finding(s)\n", n)
+		os.Exit(1)
+	}
+}

@@ -20,11 +20,11 @@ type nextTwo struct {
 func (p *nextTwo) Name() string { return "next-two" }
 
 func (p *nextTwo) OnAccess(ev bingo.AccessEvent) []bingo.Addr {
-	block := ev.Addr.BlockNumber()
+	base := ev.Addr.BlockAlign()
 	p.issued += 2
 	return []bingo.Addr{
-		bingo.Addr((block + 1) << 6),
-		bingo.Addr((block + 2) << 6),
+		base + 1*bingo.BlockSize,
+		base + 2*bingo.BlockSize,
 	}
 }
 

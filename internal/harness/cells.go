@@ -83,9 +83,10 @@ func (m *Matrix) run(key CellKey, fn cellFunc) (system.Results, any, error) {
 	if trackAllocs {
 		runtime.ReadMemStats(&before)
 	}
+	//lint:ignore detlint wall clock times cell execution for the run report; no simulated state depends on it
 	t0 := time.Now()
 	cs.res, cs.aux, cs.err = fn()
-	dur := time.Since(t0)
+	dur := time.Since(t0) //lint:ignore detlint same reporting-only timing as t0 above
 	allocBytes := int64(-1)
 	if trackAllocs {
 		var after runtime.MemStats

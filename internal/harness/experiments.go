@@ -269,7 +269,9 @@ func Fig4(m *Matrix) (Table, error) {
 // ---------------------------------------------------------------------------
 // Figure 6 — Bingo miss coverage vs history table capacity.
 
-// Fig6Sizes is the paper's sweep of history-table entry counts.
+// Fig6Sizes is the paper's sweep of history-table entry counts. It is
+// immutable after init: experiment builders on any number of engine
+// workers read it concurrently and must never mutate it.
 var Fig6Sizes = []int{1024, 2048, 4096, 8192, 16384, 32768, 65536}
 
 // fig6Cell runs (or recalls) Bingo with a resized history table on w.

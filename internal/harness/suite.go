@@ -1,3 +1,8 @@
+// All wall-clock reads in this file time the experiment driver itself
+// (warm-up wall time, per-table render time) for the human-facing run
+// report; simulated results never depend on them.
+//
+//lint:file-ignore detlint wall clock used for run-report timing only, never in simulated paths
 package harness
 
 import (

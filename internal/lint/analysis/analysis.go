@@ -1,0 +1,114 @@
+// Package analysis is a self-contained, dependency-free re-implementation
+// of the core of golang.org/x/tools/go/analysis, sized for this repository.
+// The repo deliberately carries no module dependencies (go.mod has no
+// require block), so the invariant suite in internal/lint is built on this
+// mini framework instead of x/tools: the Analyzer / Pass / Diagnostic
+// surface mirrors the upstream API closely enough that an analyzer written
+// here ports to a real multichecker by changing one import.
+//
+// The framework loads packages with the standard library only: go/parser
+// for syntax, go/types for type checking, and go/importer's source
+// importer for standard-library dependencies. Module-local imports
+// (bingo/...) are resolved by the Loader itself so that fixtures and the
+// repository's own packages share one type-checked world.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer describes one invariant checker. It mirrors
+// golang.org/x/tools/go/analysis.Analyzer minus Requires/Facts, which the
+// suite does not need.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //lint:ignore directives.
+	Name string
+	// Doc is a one-paragraph description of the invariant the analyzer
+	// guards, shown by `simlint -help`.
+	Doc string
+	// Run applies the analyzer to one package.
+	Run func(*Pass) error
+}
+
+// Diagnostic is a finding at a source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+	// Analyzer is the reporting analyzer's name; filled in by the runner.
+	Analyzer string
+}
+
+// Pass carries one type-checked package through one analyzer, mirroring
+// golang.org/x/tools/go/analysis.Pass.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      pos,
+		Message:  fmt.Sprintf(format, args...),
+		Analyzer: p.Analyzer.Name,
+	})
+}
+
+// TypeOf returns the type of e, or nil if unknown.
+func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.Info.TypeOf(e) }
+
+// ObjectOf returns the object denoted by ident, consulting both uses and
+// definitions, or nil.
+func (p *Pass) ObjectOf(id *ast.Ident) types.Object { return p.Info.ObjectOf(id) }
+
+// Run applies every analyzer to pkg and returns the surviving diagnostics:
+// findings at lines covered by a matching //lint:ignore directive (or in a
+// file with a matching //lint:file-ignore) are dropped. Diagnostics are
+// ordered by position, then analyzer name, so output is byte-stable.
+func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+			diags:    &diags,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.ImportPath, err)
+		}
+	}
+	diags = filterSuppressed(pkg, diags)
+	sortDiagnostics(pkg.Fset, diags)
+	return diags, nil
+}
+
+func sortDiagnostics(fset *token.FileSet, diags []Diagnostic) {
+	sort.SliceStable(diags, func(i, j int) bool { return diagLess(fset, diags[i], diags[j]) })
+}
+
+func diagLess(fset *token.FileSet, a, b Diagnostic) bool {
+	pa, pb := fset.Position(a.Pos), fset.Position(b.Pos)
+	if pa.Filename != pb.Filename {
+		return pa.Filename < pb.Filename
+	}
+	if pa.Line != pb.Line {
+		return pa.Line < pb.Line
+	}
+	if pa.Column != pb.Column {
+		return pa.Column < pb.Column
+	}
+	return a.Analyzer < b.Analyzer
+}

@@ -1,0 +1,97 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// Suppression directives follow the staticcheck convention:
+//
+//	//lint:ignore <analyzer> <reason>
+//
+// suppresses findings of <analyzer> on the directive's own line and on the
+// line immediately below it (so the directive can trail the offending
+// statement or sit on its own line above it), and
+//
+//	//lint:file-ignore <analyzer> <reason>
+//
+// anywhere in a file suppresses the analyzer for that whole file. The
+// analyzer field may be a comma-separated list; the reason is mandatory —
+// a directive without one is ignored, so the justification is always on
+// record next to the exemption.
+
+type ignoreKey struct {
+	file string
+	line int
+	name string
+}
+
+type fileIgnoreKey struct {
+	file string
+	name string
+}
+
+type suppressions struct {
+	lines map[ignoreKey]bool
+	files map[fileIgnoreKey]bool
+}
+
+func collectSuppressions(pkg *Package) suppressions {
+	s := suppressions{lines: map[ignoreKey]bool{}, files: map[fileIgnoreKey]bool{}}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				s.record(pkg, c)
+			}
+		}
+	}
+	return s
+}
+
+func (s suppressions) record(pkg *Package, c *ast.Comment) {
+	text, ok := strings.CutPrefix(c.Text, "//lint:")
+	if !ok {
+		return
+	}
+	fields := strings.Fields(text)
+	// fields[0] is the directive, fields[1] the analyzer list; a reason
+	// (≥1 further field) is required for the directive to take effect.
+	if len(fields) < 3 {
+		return
+	}
+	pos := pkg.Fset.Position(c.Pos())
+	for _, name := range strings.Split(fields[1], ",") {
+		switch fields[0] {
+		case "ignore":
+			s.lines[ignoreKey{pos.Filename, pos.Line, name}] = true
+		case "file-ignore":
+			s.files[fileIgnoreKey{pos.Filename, name}] = true
+		}
+	}
+}
+
+func (s suppressions) covers(pkg *Package, d Diagnostic) bool {
+	pos := pkg.Fset.Position(d.Pos)
+	if s.files[fileIgnoreKey{pos.Filename, d.Analyzer}] {
+		return true
+	}
+	return s.lines[ignoreKey{pos.Filename, pos.Line, d.Analyzer}] ||
+		s.lines[ignoreKey{pos.Filename, pos.Line - 1, d.Analyzer}]
+}
+
+func filterSuppressed(pkg *Package, diags []Diagnostic) []Diagnostic {
+	if len(diags) == 0 {
+		return diags
+	}
+	s := collectSuppressions(pkg)
+	if len(s.lines) == 0 && len(s.files) == 0 {
+		return diags
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		if !s.covers(pkg, d) {
+			kept = append(kept, d)
+		}
+	}
+	return kept
+}

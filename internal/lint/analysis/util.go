@@ -1,0 +1,89 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+)
+
+// ConstInt returns the constant integer value of e, if it has one.
+func (p *Pass) ConstInt(e ast.Expr) (int64, bool) {
+	tv, ok := p.Info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+		return 0, false
+	}
+	return constant.Int64Val(tv.Value)
+}
+
+// RefersToPackage reports whether any identifier inside e resolves to an
+// object exported from the package with the given import path.
+func (p *Pass) RefersToPackage(e ast.Expr, pkgPath string) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || found {
+			return !found
+		}
+		if obj := p.Info.Uses[id]; obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// RefersToObject reports whether any identifier inside n resolves to obj.
+func (p *Pass) RefersToObject(n ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || found {
+			return !found
+		}
+		if p.Info.ObjectOf(id) == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// WalkStmtLists invokes fn on every statement list in f (block bodies,
+// switch/select clause bodies), giving analyzers sibling context: fn sees
+// each list whole, so a check on list[i] can look ahead at list[i+1:].
+func WalkStmtLists(f *ast.File, fn func(list []ast.Stmt)) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BlockStmt:
+			fn(n.List)
+		case *ast.CaseClause:
+			fn(n.Body)
+		case *ast.CommClause:
+			fn(n.Body)
+		}
+		return true
+	})
+}
+
+// CalleeFunc resolves the called function or method of call, or nil.
+func (p *Pass) CalleeFunc(call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := p.Info.Uses[id].(*types.Func)
+	return fn
+}
+
+// IsPackageFunc reports whether call invokes the package-level function
+// pkgPath.name (not a method).
+func (p *Pass) IsPackageFunc(call *ast.CallExpr, pkgPath, name string) bool {
+	fn := p.CalleeFunc(call)
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == pkgPath &&
+		fn.Name() == name && fn.Type().(*types.Signature).Recv() == nil
+}

@@ -1,0 +1,108 @@
+// Package analysistest runs an analyzer over fixture packages and checks
+// its diagnostics against expectations embedded in the fixtures, mirroring
+// golang.org/x/tools/go/analysis/analysistest on this repo's mini
+// framework.
+//
+// A fixture file marks each line where a diagnostic is expected with a
+// trailing comment:
+//
+//	pages[a>>12] = true // want `raw page shift`
+//
+// The backquoted text is a regular expression matched against the
+// diagnostic message; several `want` comments may share a line by
+// repeating the backquoted block:
+//
+//	x, y := f() // want `first` `second`
+//
+// Lines without a want comment must produce no diagnostic. Suppression
+// directives (//lint:ignore) are honored exactly as in the real driver, so
+// fixtures also lock down the suppression path.
+package analysistest
+
+import (
+	"regexp"
+	"testing"
+
+	"bingo/internal/lint/analysis"
+)
+
+var (
+	wantRe       = regexp.MustCompile("`([^`]*)`")
+	wantMarkerRe = regexp.MustCompile(`^//\s*want\s`)
+)
+
+// Run loads the package in dir under the synthetic import path importPath
+// (chosen by the caller to land inside the analyzer's package scope),
+// applies the analyzer, and reports expectation mismatches on t. It
+// returns the diagnostics for callers that want extra assertions.
+func Run(t *testing.T, moduleRoot, dir, importPath string, a *analysis.Analyzer) []analysis.Diagnostic {
+	t.Helper()
+	loader, err := analysis.NewLoader(moduleRoot)
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	loader.Override(importPath, dir)
+	pkg, err := loader.Load(importPath)
+	if err != nil {
+		t.Fatalf("load %s (%s): %v", importPath, dir, err)
+	}
+	diags, err := analysis.Run(pkg, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("run %s: %v", a.Name, err)
+	}
+
+	type key struct {
+		file string
+		line int
+	}
+	// Collect want expectations from comments.
+	wants := map[key][]*regexp.Regexp{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				if !wantComment(text) {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				k := key{pos.Filename, pos.Line}
+				for _, m := range wantRe.FindAllStringSubmatch(text, -1) {
+					re, err := regexp.Compile(m[1])
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, m[1], err)
+					}
+					wants[k] = append(wants[k], re)
+				}
+			}
+		}
+	}
+
+	matched := map[key]int{}
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		k := key{pos.Filename, pos.Line}
+		res := wants[k]
+		if matched[k] >= len(res) {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", pos.Filename, pos.Line, d.Message)
+			continue
+		}
+		re := res[matched[k]]
+		if !re.MatchString(d.Message) {
+			t.Errorf("%s:%d: diagnostic %q does not match want /%s/", pos.Filename, pos.Line, d.Message, re)
+		}
+		matched[k]++
+	}
+	for k, res := range wants {
+		if got := matched[k]; got < len(res) {
+			for _, re := range res[got:] {
+				t.Errorf("%s:%d: expected diagnostic matching /%s/, got none", k.file, k.line, re)
+			}
+		}
+	}
+	return diags
+}
+
+// wantComment reports whether the comment carries a want expectation.
+func wantComment(text string) bool {
+	return wantMarkerRe.MatchString(text)
+}

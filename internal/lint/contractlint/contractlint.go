@@ -1,0 +1,183 @@
+// Package contractlint enforces the concurrency contracts of the packages
+// that actually run goroutines: internal/harness (the parallel experiment
+// engine) and internal/system (the simulated machine the engine runs many
+// instances of concurrently). Three rules:
+//
+//  1. Exported package-level vars are shared mutable state by default, so
+//     their doc comment must state the contract — that they are immutable
+//     / read-only after init, or which lock guards them. (Findings are
+//     fixed by writing the contract down, which is the point.)
+//
+//  2. Exported types whose struct carries a lock (sync.Mutex, RWMutex,
+//     WaitGroup, Once, sync.Map — directly or via an embedded value) must
+//     likewise document their concurrency contract.
+//
+//  3. Lock-bearing types must not be copied: methods with value receivers
+//     and function parameters passed by value both duplicate the lock,
+//     which is the classic deadlock/lost-update footgun `go vet`'s
+//     copylocks only partially covers.
+//
+// A doc comment "states a contract" when it mentions concurrency
+// vocabulary: "concurren*", "goroutine", "mutex", "lock", "immutable",
+// "read-only"/"read only", "not safe", or "must not be mutated".
+package contractlint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"bingo/internal/lint/analysis"
+)
+
+// Analyzer enforces documented concurrency contracts in harness/system.
+var Analyzer = &analysis.Analyzer{
+	Name: "contractlint",
+	Doc: "require documented concurrency contracts on exported mutable state in " +
+		"internal/harness and internal/system, and forbid by-value copies of lock-bearing types",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !inScope(pass.Pkg.Path()) {
+		return nil
+	}
+	lb := &lockBearing{memo: map[types.Type]bool{}}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			switch decl := decl.(type) {
+			case *ast.GenDecl:
+				checkGenDecl(pass, lb, decl)
+			case *ast.FuncDecl:
+				checkFuncDecl(pass, lb, decl)
+			}
+		}
+	}
+	return nil
+}
+
+// inScope limits the analyzer to the concurrent packages. Matching by
+// path segment keeps analysistest fixtures (loaded under synthetic
+// bingo/internal/...harness... paths) in scope.
+func inScope(pkgPath string) bool {
+	return strings.HasPrefix(pkgPath, "bingo/internal/") &&
+		(strings.Contains(pkgPath, "harness") || strings.Contains(pkgPath, "system"))
+}
+
+var contractWords = []string{
+	"concurren", "goroutine", "mutex", "lock", "immutable",
+	"read-only", "read only", "not safe", "must not be mutated",
+}
+
+func statesContract(docs ...*ast.CommentGroup) bool {
+	for _, doc := range docs {
+		if doc == nil {
+			continue
+		}
+		text := strings.ToLower(doc.Text())
+		for _, w := range contractWords {
+			if strings.Contains(text, w) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func checkGenDecl(pass *analysis.Pass, lb *lockBearing, decl *ast.GenDecl) {
+	for _, spec := range decl.Specs {
+		switch spec := spec.(type) {
+		case *ast.ValueSpec:
+			if decl.Tok != token.VAR {
+				continue // consts are immutable by construction
+			}
+			for _, name := range spec.Names {
+				if !name.IsExported() {
+					continue
+				}
+				if !statesContract(spec.Doc, decl.Doc) {
+					pass.Reportf(name.Pos(), "exported package-level var %s is shared mutable state; its doc comment must state the concurrency contract (e.g. \"immutable after init\" or which lock guards it)", name.Name)
+				}
+			}
+		case *ast.TypeSpec:
+			if !spec.Name.IsExported() {
+				continue
+			}
+			obj, ok := pass.ObjectOf(spec.Name).(*types.TypeName)
+			if !ok || !lb.holdsLock(obj.Type()) {
+				continue
+			}
+			if !statesContract(spec.Doc, decl.Doc) {
+				pass.Reportf(spec.Name.Pos(), "exported type %s holds a lock but its doc comment states no concurrency contract", spec.Name.Name)
+			}
+		}
+	}
+}
+
+func checkFuncDecl(pass *analysis.Pass, lb *lockBearing, decl *ast.FuncDecl) {
+	if decl.Recv != nil {
+		for _, field := range decl.Recv.List {
+			checkByValue(pass, lb, field, "receiver of method "+decl.Name.Name)
+		}
+	}
+	if decl.Type.Params != nil {
+		for _, field := range decl.Type.Params.List {
+			checkByValue(pass, lb, field, "parameter of "+decl.Name.Name)
+		}
+	}
+}
+
+func checkByValue(pass *analysis.Pass, lb *lockBearing, field *ast.Field, where string) {
+	t := pass.TypeOf(field.Type)
+	if t == nil {
+		return
+	}
+	if _, isPtr := t.Underlying().(*types.Pointer); isPtr {
+		return
+	}
+	if lb.holdsLock(t) {
+		pass.Reportf(field.Type.Pos(), "%s copies %s by value, duplicating the lock it holds; use a pointer", where, types.TypeString(t, types.RelativeTo(pass.Pkg)))
+	}
+}
+
+// lockBearing decides whether a type transitively contains a lock by
+// value, memoized because the same named types recur across declarations.
+type lockBearing struct {
+	memo map[types.Type]bool
+}
+
+var syncNoCopyTypes = map[string]bool{
+	"Mutex": true, "RWMutex": true, "WaitGroup": true, "Once": true,
+	"Map": true, "Cond": true, "Pool": true,
+}
+
+func (lb *lockBearing) holdsLock(t types.Type) bool {
+	if v, ok := lb.memo[t]; ok {
+		return v
+	}
+	lb.memo[t] = false // break recursive type cycles
+	v := lb.compute(t)
+	lb.memo[t] = v
+	return v
+}
+
+func (lb *lockBearing) compute(t types.Type) bool {
+	switch t := t.(type) {
+	case *types.Named:
+		obj := t.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "sync" && syncNoCopyTypes[obj.Name()] {
+			return true
+		}
+		return lb.holdsLock(t.Underlying())
+	case *types.Struct:
+		for i := 0; i < t.NumFields(); i++ {
+			if lb.holdsLock(t.Field(i).Type()) {
+				return true
+			}
+		}
+	case *types.Array:
+		return lb.holdsLock(t.Elem())
+	}
+	return false
+}

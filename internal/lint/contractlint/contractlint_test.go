@@ -1,0 +1,48 @@
+package contractlint_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"bingo/internal/lint/analysis"
+	"bingo/internal/lint/analysistest"
+	"bingo/internal/lint/contractlint"
+)
+
+func TestContractlint(t *testing.T) {
+	root, err := analysis.FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(root, "internal", "lint", "testdata", "src", "contractlint")
+	diags := analysistest.Run(t, root, dir, "bingo/internal/harnessfixture", contractlint.Analyzer)
+	if len(diags) == 0 {
+		t.Fatal("fixture seeded violations but contractlint reported nothing")
+	}
+}
+
+// TestScopeIsHarnessAndSystemOnly loads the same fixture under a
+// non-concurrent package path; contractlint must stay silent there.
+func TestScopeIsHarnessAndSystemOnly(t *testing.T) {
+	root, err := analysis.FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(root, "internal", "lint", "testdata", "src", "contractlint")
+	loader, err := analysis.NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader.Override("bingo/internal/cachefixture", dir)
+	pkg, err := loader.Load("bingo/internal/cachefixture")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := analysis.Run(pkg, []*analysis.Analyzer{contractlint.Analyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Errorf("contractlint reported %d diagnostics outside harness/system", len(diags))
+	}
+}

@@ -1,0 +1,252 @@
+// Package detlint enforces the simulator's determinism contract: given the
+// same configuration and seeds, every run must be byte-identical. Three
+// classes of violation are flagged in packages under bingo/internal/...:
+//
+//  1. Wall-clock reads (time.Now, time.Since, time.Until). Simulated time
+//     comes from the core clock; wall time in a simulated path makes runs
+//     diverge. Harness-side progress reporting is a legitimate use and is
+//     expected to carry a //lint:ignore detlint directive explaining so.
+//
+//  2. Package-level math/rand functions (rand.Intn, rand.Float64, ...).
+//     These draw from the process-global generator, whose state is shared
+//     across every component and goroutine; components must own an
+//     instance-local *rand.Rand seeded from their config. Constructors
+//     (rand.New, rand.NewSource, rand.NewZipf) are allowed — they are how
+//     instance-local generators are built.
+//
+//  3. Map iteration feeding an order-sensitive sink. Go randomizes map
+//     iteration order, so a `range m` whose body writes output, feeds a
+//     hash, or appends to a slice that outlives the loop produces
+//     different bytes on every run. The canonical fix — collect the keys,
+//     sort, iterate the sorted slice — is recognized: a key-collection
+//     loop is accepted when a later statement in the same block passes the
+//     collected slice to sort.* or slices.Sort*.
+package detlint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"bingo/internal/lint/analysis"
+)
+
+// Analyzer flags nondeterminism escapes in simulator packages.
+var Analyzer = &analysis.Analyzer{
+	Name: "detlint",
+	Doc: "forbid wall-clock reads, global math/rand state, and unsorted map iteration " +
+		"feeding output/hashes/slices in bingo/internal/... packages",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !strings.HasPrefix(pass.Pkg.Path(), "bingo/internal/") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			checkCall(pass, call)
+			return true
+		})
+		analysis.WalkStmtLists(f, func(list []ast.Stmt) {
+			for i, stmt := range list {
+				rs, ok := stmt.(*ast.RangeStmt)
+				if !ok {
+					continue
+				}
+				if t := pass.TypeOf(rs.X); t != nil {
+					if _, isMap := t.Underlying().(*types.Map); isMap {
+						checkMapRange(pass, rs, list[i+1:])
+					}
+				}
+			}
+		})
+	}
+	return nil
+}
+
+// wallClockFuncs are the time functions that read the wall clock.
+var wallClockFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+// randConstructors build instance-local generators and are allowed.
+var randConstructors = map[string]bool{"New": true, "NewSource": true, "NewZipf": true, "NewPCG": true, "NewChaCha8": true}
+
+func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
+	fn := pass.CalleeFunc(call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return // methods (e.g. on *rand.Rand) are instance-local
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		if wallClockFuncs[fn.Name()] {
+			pass.Reportf(call.Pos(), "call to time.%s reads the wall clock; simulated paths must use the core clock (document reporting-only uses with //lint:ignore detlint <reason>)", fn.Name())
+		}
+	case "math/rand", "math/rand/v2":
+		if !randConstructors[fn.Name()] {
+			pass.Reportf(call.Pos(), "call to package-level %s.%s uses the process-global RNG; use an instance-local *rand.Rand seeded from config", fn.Pkg().Name(), fn.Name())
+		}
+	}
+}
+
+// checkMapRange classifies the body of a range-over-map statement. rest is
+// the list of statements following rs in its enclosing block, used to
+// recognize the collect-keys-then-sort idiom.
+func checkMapRange(pass *analysis.Pass, rs *ast.RangeStmt, rest []ast.Stmt) {
+	sinks := classifyBody(pass, rs)
+	if sinks.output != "" {
+		pass.Reportf(rs.For, "map iteration order is random but this loop feeds %s; iterate over sorted keys", sinks.output)
+		return
+	}
+	for _, tgt := range sinks.appends {
+		if !sortedLater(pass, tgt, rest) {
+			pass.Reportf(rs.For, "map iteration appends to %q in nondeterministic order and %q is not sorted afterwards in this block; sort it or iterate over sorted keys", tgt.name, tgt.name)
+			return
+		}
+	}
+}
+
+// appendTarget is a slice variable declared outside the loop that the loop
+// body appends to.
+type appendTarget struct {
+	obj  types.Object
+	name string
+}
+
+type bodySinks struct {
+	// output names the first order-sensitive sink called in the body
+	// (printing, writing, hashing), or "".
+	output string
+	// appends lists outer-scope slices grown inside the body.
+	appends []appendTarget
+}
+
+// orderSensitiveMethods are method names whose call order changes bytes:
+// stream writes and hash accumulation.
+var orderSensitiveMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"Encode": true, "Sum": true, "Sum32": true, "Sum64": true,
+}
+
+func classifyBody(pass *analysis.Pass, rs *ast.RangeStmt) bodySinks {
+	var sinks bodySinks
+	seen := map[types.Object]bool{}
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if name := orderSensitiveCall(pass, n); name != "" && sinks.output == "" {
+				sinks.output = name
+			}
+			if tgt, ok := outerAppend(pass, n, rs); ok && !seen[tgt.obj] {
+				seen[tgt.obj] = true
+				sinks.appends = append(sinks.appends, tgt)
+			}
+		}
+		return true
+	})
+	return sinks
+}
+
+func orderSensitiveCall(pass *analysis.Pass, call *ast.CallExpr) string {
+	fn := pass.CalleeFunc(call)
+	if fn == nil {
+		return ""
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig != nil && sig.Recv() != nil {
+		if orderSensitiveMethods[fn.Name()] {
+			return "a " + fn.Name() + " call"
+		}
+		return ""
+	}
+	if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" &&
+		(strings.HasPrefix(fn.Name(), "Print") || strings.HasPrefix(fn.Name(), "Fprint")) {
+		return "fmt." + fn.Name()
+	}
+	return ""
+}
+
+// outerAppend matches append calls whose destination is declared outside
+// the range statement, i.e. the grown slice outlives the loop.
+func outerAppend(pass *analysis.Pass, call *ast.CallExpr, rs *ast.RangeStmt) (appendTarget, bool) {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return appendTarget{}, false
+	}
+	if b, ok := pass.ObjectOf(id).(*types.Builtin); !ok || b.Name() != "append" {
+		return appendTarget{}, false
+	}
+	if len(call.Args) == 0 {
+		return appendTarget{}, false
+	}
+	switch dst := ast.Unparen(call.Args[0]).(type) {
+	case *ast.Ident:
+		obj := pass.ObjectOf(dst)
+		if obj == nil || obj.Pos() == 0 {
+			return appendTarget{}, false
+		}
+		if obj.Pos() >= rs.Pos() && obj.Pos() < rs.End() {
+			return appendTarget{}, false // loop-local scratch
+		}
+		return appendTarget{obj: obj, name: dst.Name}, true
+	case *ast.SelectorExpr:
+		// Appending through a field (s.items = append(s.items, ...)):
+		// always outer scope.
+		obj := pass.ObjectOf(dst.Sel)
+		if obj == nil {
+			return appendTarget{}, false
+		}
+		return appendTarget{obj: obj, name: exprString(dst)}, true
+	}
+	return appendTarget{}, false
+}
+
+func exprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	default:
+		return "?"
+	}
+}
+
+// sortedLater reports whether some statement in rest passes tgt to a
+// sort.* or slices.* function (directly or inside a closure argument, as
+// in sort.Slice(s, func(i, j int) bool { ... })).
+func sortedLater(pass *analysis.Pass, tgt appendTarget, rest []ast.Stmt) bool {
+	for _, stmt := range rest {
+		found := false
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || found {
+				return !found
+			}
+			fn := pass.CalleeFunc(call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			if p := fn.Pkg().Path(); p != "sort" && p != "slices" {
+				return true
+			}
+			for _, arg := range call.Args {
+				if pass.RefersToObject(arg, tgt.obj) {
+					found = true
+					break
+				}
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}

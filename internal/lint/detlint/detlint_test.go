@@ -1,0 +1,48 @@
+package detlint_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"bingo/internal/lint/analysis"
+	"bingo/internal/lint/analysistest"
+	"bingo/internal/lint/detlint"
+)
+
+func TestDetlint(t *testing.T) {
+	root, err := analysis.FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(root, "internal", "lint", "testdata", "src", "detlint")
+	diags := analysistest.Run(t, root, dir, "bingo/internal/detfixture", detlint.Analyzer)
+	if len(diags) == 0 {
+		t.Fatal("fixture seeded violations but detlint reported nothing")
+	}
+}
+
+// TestOutOfScope locks down the package scoping: the same fixture loaded
+// outside bingo/internal/... must produce no diagnostics.
+func TestOutOfScope(t *testing.T) {
+	root, err := analysis.FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(root, "internal", "lint", "testdata", "src", "detlint")
+	loader, err := analysis.NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader.Override("bingo/cmd/detfixture", dir)
+	pkg, err := loader.Load("bingo/cmd/detfixture")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := analysis.Run(pkg, []*analysis.Analyzer{detlint.Analyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Errorf("detlint reported %d diagnostics outside internal/...", len(diags))
+	}
+}

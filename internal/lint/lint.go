@@ -1,0 +1,71 @@
+// Package lint assembles simlint, the simulator's invariant suite: four
+// project-specific analyzers on the mini go/analysis framework in
+// internal/lint/analysis. See the package docs of detlint, unitlint,
+// contractlint, and paramlint for the invariant each one guards, and
+// README.md ("Static analysis & invariants") for the suppression
+// directives.
+package lint
+
+import (
+	"fmt"
+	"io"
+
+	"bingo/internal/lint/analysis"
+	"bingo/internal/lint/contractlint"
+	"bingo/internal/lint/detlint"
+	"bingo/internal/lint/paramlint"
+	"bingo/internal/lint/unitlint"
+)
+
+// Suite returns the full analyzer suite in stable (alphabetical) order.
+func Suite() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		contractlint.Analyzer,
+		detlint.Analyzer,
+		paramlint.Analyzer,
+		unitlint.Analyzer,
+	}
+}
+
+// Check loads every package matched by patterns (relative to moduleRoot)
+// and runs the given analyzers, writing findings to w as
+// "path:line:col: message [analyzer]" with paths relative to the module
+// root. It returns the number of findings.
+func Check(w io.Writer, moduleRoot string, patterns []string, analyzers []*analysis.Analyzer) (int, error) {
+	loader, err := analysis.NewLoader(moduleRoot)
+	if err != nil {
+		return 0, err
+	}
+	paths, err := loader.Expand(patterns)
+	if err != nil {
+		return 0, err
+	}
+	count := 0
+	for _, path := range paths {
+		pkg, err := loader.Load(path)
+		if err != nil {
+			return count, err
+		}
+		diags, err := analysis.Run(pkg, analyzers)
+		if err != nil {
+			return count, err
+		}
+		for _, d := range diags {
+			pos := pkg.Fset.Position(d.Pos)
+			file := pos.Filename
+			if rel, ok := relativeTo(moduleRoot, file); ok {
+				file = rel
+			}
+			fmt.Fprintf(w, "%s:%d:%d: %s [%s]\n", file, pos.Line, pos.Column, d.Message, d.Analyzer)
+			count++
+		}
+	}
+	return count, nil
+}
+
+func relativeTo(root, path string) (string, bool) {
+	if len(path) > len(root)+1 && path[:len(root)] == root && path[len(root)] == '/' {
+		return path[len(root)+1:], true
+	}
+	return "", false
+}

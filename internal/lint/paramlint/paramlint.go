@@ -1,0 +1,153 @@
+// Package paramlint keeps the simulated machine's hardware parameters —
+// table entry counts, associativities, sizes, latencies, thresholds,
+// degrees: the knobs of the paper's Table I — in declared configuration,
+// not scattered as magic numbers through component logic. Every component
+// follows the Config / DefaultConfig pattern; a bare `Entries: 4096`
+// deep inside an update path bypasses it and silently forks the modeled
+// hardware from the configured one.
+//
+// The analyzer flags assignments and composite-literal fields whose name
+// looks like a hardware parameter (Entries, Ways, Assoc, Sets, Size,
+// Latency, Threshold, Degree, Depth, Width, Queue, Capacity, Channels,
+// ROB, LSQ, MSHR, ...) and whose value is a bare numeric literal (or a
+// pure-literal expression like 16*1024) greater than one. Legitimate
+// parameter homes are exempt: files whose name marks them as
+// configuration (config*.go, params*.go, consts*.go, defaults*.go),
+// functions whose name contains Config, Default, or Table (the
+// DefaultConfig constructors reproducing the paper's table), package-level
+// const/var declarations, and any value spelled via a named constant.
+//
+// Scope: packages under bingo/internal/ except mem (pure unit arithmetic),
+// harness and workloads (their literals are experiment definitions and
+// synthetic-trace geometry — configuration by nature), and the lint suite
+// itself.
+package paramlint
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strings"
+
+	"bingo/internal/lint/analysis"
+)
+
+// Analyzer flags hardware parameters hardcoded outside config contexts.
+var Analyzer = &analysis.Analyzer{
+	Name: "paramlint",
+	Doc: "forbid hardware-parameter literals (table sizes, ways, latencies, thresholds, ...) " +
+		"outside config/constants files and Default*/Config*/Table* constructors",
+	Run: run,
+}
+
+var exemptPackages = map[string]bool{
+	"bingo/internal/mem":       true,
+	"bingo/internal/harness":   true,
+	"bingo/internal/workloads": true,
+}
+
+// paramField matches struct-field / variable names that denote hardware
+// parameters.
+var paramField = regexp.MustCompile(`(?i)(entries|ways|assoc|sets|size|bytes|latency|threshold|degree|depth|width|queue|capacity|channels|rob|lsq|mshr|interval|epoch)`)
+
+// configFile matches file base names that are legitimate parameter homes.
+var configFile = regexp.MustCompile(`(?i)^(config|params?|consts?|defaults?)[^/]*\.go$`)
+
+// configFunc matches enclosing functions that are legitimate parameter
+// homes.
+var configFunc = regexp.MustCompile(`(?i)(config|default|table)`)
+
+func run(pass *analysis.Pass) error {
+	path := pass.Pkg.Path()
+	if !strings.HasPrefix(path, "bingo/internal/") || exemptPackages[path] ||
+		strings.HasPrefix(path, "bingo/internal/lint") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		base := pass.Fset.Position(f.Pos()).Filename
+		if i := strings.LastIndexByte(base, '/'); i >= 0 {
+			base = base[i+1:]
+		}
+		if configFile.MatchString(base) {
+			continue
+		}
+		checkFile(pass, f)
+	}
+	return nil
+}
+
+func checkFile(pass *analysis.Pass, f *ast.File) {
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok {
+			continue // package-level const/var/type: declared configuration
+		}
+		if configFunc.MatchString(fd.Name.Name) {
+			continue // Default*/Config*/Table* constructors are exempt
+		}
+		ast.Inspect(fd, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.KeyValueExpr:
+				if key, ok := n.Key.(*ast.Ident); ok {
+					checkValue(pass, key.Name, n.Value)
+				}
+			case *ast.AssignStmt:
+				// Only plain assignment and definition: compound ops
+				// (x *= 2, n += 1) are algorithm steps — e.g. FDP's
+				// multiplicative degree adaptation — not parameters.
+				if n.Tok != token.ASSIGN && n.Tok != token.DEFINE {
+					return true
+				}
+				for i, lhs := range n.Lhs {
+					if i >= len(n.Rhs) {
+						break
+					}
+					if name, ok := fieldName(lhs); ok {
+						checkValue(pass, name, n.Rhs[i])
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+func fieldName(e ast.Expr) (string, bool) {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		return e.Sel.Name, true
+	case *ast.Ident:
+		return e.Name, true
+	}
+	return "", false
+}
+
+func checkValue(pass *analysis.Pass, name string, value ast.Expr) {
+	if !paramField.MatchString(name) {
+		return
+	}
+	v, ok := pass.ConstInt(value)
+	if !ok || v <= 1 {
+		return
+	}
+	if !isBareLiteral(value) {
+		return // spelled via a named constant: configuration honored
+	}
+	pass.Reportf(value.Pos(), "hardware parameter %s hardcoded as %d outside a config context; move it to the package Config/DefaultConfig or a named constant", name, v)
+}
+
+// isBareLiteral reports whether e is built purely from numeric literals
+// (possibly combined arithmetically, e.g. 16*1024), with no named
+// constant anywhere.
+func isBareLiteral(e ast.Expr) bool {
+	bare := true
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.Ident, *ast.SelectorExpr:
+			bare = false
+			return false
+		}
+		return bare
+	})
+	return bare
+}

@@ -1,0 +1,48 @@
+package paramlint_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"bingo/internal/lint/analysis"
+	"bingo/internal/lint/analysistest"
+	"bingo/internal/lint/paramlint"
+)
+
+func TestParamlint(t *testing.T) {
+	root, err := analysis.FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(root, "internal", "lint", "testdata", "src", "paramlint")
+	diags := analysistest.Run(t, root, dir, "bingo/internal/cachefixture", paramlint.Analyzer)
+	if len(diags) == 0 {
+		t.Fatal("fixture seeded violations but paramlint reported nothing")
+	}
+}
+
+// TestHarnessIsExempt loads the fixture under the harness import path:
+// experiment definitions are configuration by nature and stay unflagged.
+func TestHarnessIsExempt(t *testing.T) {
+	root, err := analysis.FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(root, "internal", "lint", "testdata", "src", "paramlint")
+	loader, err := analysis.NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader.Override("bingo/internal/harness", dir)
+	pkg, err := loader.Load("bingo/internal/harness")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := analysis.Run(pkg, []*analysis.Analyzer{paramlint.Analyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Errorf("paramlint reported %d diagnostics in exempt package", len(diags))
+	}
+}

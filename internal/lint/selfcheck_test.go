@@ -1,0 +1,28 @@
+package lint_test
+
+import (
+	"bytes"
+	"testing"
+
+	"bingo/internal/lint"
+	"bingo/internal/lint/analysis"
+)
+
+// TestRepoIsCleanUnderSimlint is the smoke test the CI gate relies on:
+// `cmd/simlint ./...` must exit 0 on the repository itself. It runs the
+// same code path as the command (lint.Check over ./... with the full
+// suite) in-process.
+func TestRepoIsCleanUnderSimlint(t *testing.T) {
+	root, err := analysis.FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	n, err := lint.Check(&buf, root, []string{"./..."}, lint.Suite())
+	if err != nil {
+		t.Fatalf("simlint failed to run: %v", err)
+	}
+	if n != 0 {
+		t.Errorf("simlint found %d finding(s) on the repo; fix them or add a justified //lint:ignore:\n%s", n, buf.String())
+	}
+}

@@ -1,0 +1,56 @@
+// Package harnessfixture seeds concurrency-contract violations for the
+// contractlint analyzer. Its synthetic import path contains "harness" so
+// it lands inside the analyzer's package scope.
+package harnessfixture
+
+import "sync"
+
+// Undocumented lists sweep points.
+var Undocumented = []int{1, 2, 3} // want `must state the concurrency contract`
+
+// Documented lists sweep points; it is immutable after init and safe for
+// concurrent readers.
+var Documented = []int{1, 2, 3}
+
+var internalScratch = map[string]int{} // unexported: out of scope
+
+// Counters aggregates run statistics.
+type Counters struct { // want `holds a lock but its doc comment states no concurrency contract`
+	mu sync.Mutex
+	n  int
+}
+
+// SafeCounters aggregates run statistics; mu guards n, and the type is
+// safe for concurrent use.
+type SafeCounters struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Inc is fine: pointer receiver.
+func (c *Counters) Inc() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+func (c Counters) Snapshot() int { // want `receiver of method Snapshot copies Counters by value`
+	return c.n
+}
+
+func merge(a *Counters, b Counters) { // want `parameter of merge copies Counters by value`
+	a.n += b.n
+}
+
+// embedder picks up the lock through an embedded value field.
+type embedder struct {
+	Counters
+}
+
+func consume(e embedder) int { // want `parameter of consume copies embedder by value`
+	return e.n
+}
+
+func byPointer(c *Counters, e *embedder) int { // pointers: allowed
+	return c.n + e.n
+}

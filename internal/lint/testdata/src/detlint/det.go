@@ -1,0 +1,94 @@
+// Package detfixture seeds determinism violations for the detlint
+// analyzer's analysistest cases, alongside the deterministic versions of
+// the same patterns that must stay diagnostic-free.
+package detfixture
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func wallClock() int64 {
+	t := time.Now()   // want `time.Now reads the wall clock`
+	_ = time.Since(t) // want `time.Since reads the wall clock`
+	return t.UnixNano()
+}
+
+func wallClockSuppressed() time.Time {
+	//lint:ignore detlint fixture: reporting-only wall clock, exercises the suppression path
+	return time.Now()
+}
+
+func globalRand() int {
+	return rand.Intn(10) // want `process-global RNG`
+}
+
+func globalFloat() float64 {
+	return rand.Float64() // want `process-global RNG`
+}
+
+func localRand(seed int64) int {
+	rng := rand.New(rand.NewSource(seed)) // instance-local: allowed
+	return rng.Intn(10)
+}
+
+func unsortedPrint(m map[string]int) {
+	for k, v := range m { // want `feeds fmt.Printf`
+		fmt.Printf("%s=%d\n", k, v)
+	}
+}
+
+func unsortedHash(m map[string]int, h io.Writer) {
+	for k := range m { // want `feeds a Write call`
+		h.Write([]byte(k))
+	}
+}
+
+func unsortedCollect(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `"keys" is not sorted afterwards`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func sortedCollect(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m { // collect-then-sort idiom: allowed
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func sortSliceCollect(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+func orderInsensitive(m map[string]int) int {
+	sum := 0
+	for _, v := range m { // pure aggregation: allowed
+		sum += v
+	}
+	return sum
+}
+
+func loopLocalScratch(m map[string][]int) int {
+	n := 0
+	for _, vs := range m { // appends only to loop-local scratch: allowed
+		var doubled []int
+		for _, v := range vs {
+			doubled = append(doubled, v*2)
+		}
+		n += len(doubled)
+	}
+	return n
+}

@@ -1,0 +1,43 @@
+// Package cachefixture seeds hardware-parameter violations for the
+// paramlint analyzer: Table-I-style knobs hardcoded in component logic,
+// next to the Config/DefaultConfig and named-constant spellings that are
+// allowed.
+package cachefixture
+
+// knobs is a component configuration in the repo's Config pattern.
+type knobs struct {
+	Entries    int
+	Ways       int
+	HitLatency int
+	SizeBytes  uint64
+}
+
+const historyEntries = 4096
+
+// DefaultConfig reproduces a paper-table row; constructors named
+// Default*/Config*/Table* are legitimate parameter homes.
+func DefaultConfig() knobs {
+	return knobs{Entries: 4096, Ways: 16, HitLatency: 4, SizeBytes: 64 * 1024}
+}
+
+func grow() knobs {
+	return knobs{
+		Entries:   4096,      // want `hardware parameter Entries hardcoded as 4096`
+		SizeBytes: 16 * 1024, // want `hardware parameter SizeBytes hardcoded as 16384`
+	}
+}
+
+func shrink(k *knobs) {
+	k.Ways = 8 // want `hardware parameter Ways hardcoded as 8`
+	k.Entries = historyEntries
+	k.HitLatency = 1 // structural 0/1 values are not parameters
+	k.Entries *= 2   // compound ops are algorithm steps, not parameters
+}
+
+func unrelated(counts map[string]int) int {
+	total := 0
+	for _, n := range counts {
+		total += n // plain arithmetic: out of scope
+	}
+	return total
+}

@@ -1,0 +1,9 @@
+// Package memfixture is raw geometry arithmetic with no imports, loaded
+// by unitlint's tests under the bingo/internal/mem import path to verify
+// that the geometry-owning package itself is exempt.
+package memfixture
+
+func blockNumber(a uint64) uint64 { return a >> 6 }
+func pageNumber(a uint64) uint64  { return a >> 12 }
+func blockOffset(a uint64) uint64 { return a & 63 }
+func pageAlign(a uint64) uint64   { return a &^ 4095 }

@@ -1,0 +1,50 @@
+package unitlint_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"bingo/internal/lint/analysis"
+	"bingo/internal/lint/analysistest"
+	"bingo/internal/lint/unitlint"
+)
+
+func TestUnitlint(t *testing.T) {
+	root, err := analysis.FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(root, "internal", "lint", "testdata", "src", "unitlint")
+	diags := analysistest.Run(t, root, dir, "bingo/internal/unitfixture", unitlint.Analyzer)
+	if len(diags) == 0 {
+		t.Fatal("fixture seeded violations but unitlint reported nothing")
+	}
+}
+
+// TestMemIsExempt loads a geometry fixture under internal/mem's own
+// import path: the package that owns the geometry may spell it raw. (A
+// dedicated fixture without the mem import is used, since a package
+// cannot import itself.)
+func TestMemIsExempt(t *testing.T) {
+	root, err := analysis.FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(root, "internal", "lint", "testdata", "src", "unitlintmem")
+	loader, err := analysis.NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader.Override("bingo/internal/mem", dir)
+	pkg, err := loader.Load("bingo/internal/mem")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := analysis.Run(pkg, []*analysis.Analyzer{unitlint.Analyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Errorf("unitlint reported %d diagnostics inside internal/mem", len(diags))
+	}
+}

@@ -22,6 +22,13 @@ const (
 	// BlockSize is the cache-block size in bytes (64 B everywhere in the
 	// paper's hierarchy).
 	BlockSize = 1 << BlockShift
+	// PageShift is log2 of the OS page size used for address translation
+	// (4 KB pages, the paper's Table I). This is the translation
+	// granularity, distinct from the spatial-region geometry carried by
+	// RegionConfig.
+	PageShift = 12
+	// PageSize is the OS page size in bytes.
+	PageSize = 1 << PageShift
 )
 
 // BlockNumber returns the cache-block number of a, i.e. a >> BlockShift.
@@ -32,6 +39,15 @@ func (a Addr) BlockAlign() Addr { return a &^ (BlockSize - 1) }
 
 // BlockOffset returns the byte offset of a within its cache block.
 func (a Addr) BlockOffset() uint64 { return uint64(a) & (BlockSize - 1) }
+
+// PageNumber returns the OS-page number of a, i.e. a >> PageShift.
+func (a Addr) PageNumber() uint64 { return uint64(a) >> PageShift }
+
+// PageAlign rounds a down to the start of its OS page.
+func (a Addr) PageAlign() Addr { return a &^ (PageSize - 1) }
+
+// PageOffset returns the byte offset of a within its OS page.
+func (a Addr) PageOffset() uint64 { return uint64(a) & (PageSize - 1) }
 
 // String renders the address in hexadecimal.
 func (a Addr) String() string { return fmt.Sprintf("%#x", uint64(a)) }

@@ -107,3 +107,30 @@ func TestRegionBaseIsAlignedProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestPageHelpers(t *testing.T) {
+	a := Addr(0x12345)
+	if got, want := a.PageNumber(), uint64(0x12); got != want {
+		t.Errorf("PageNumber(%v) = %#x, want %#x", a, got, want)
+	}
+	if got, want := a.PageAlign(), Addr(0x12000); got != want {
+		t.Errorf("PageAlign(%v) = %v, want %v", a, got, want)
+	}
+	if got, want := a.PageOffset(), uint64(0x345); got != want {
+		t.Errorf("PageOffset(%v) = %#x, want %#x", a, got, want)
+	}
+	if PageSize != 4096 || PageShift != 12 {
+		t.Fatalf("page geometry: size %d shift %d, want 4096/12", PageSize, PageShift)
+	}
+}
+
+func TestPageHelpersProperty(t *testing.T) {
+	f := func(raw uint64) bool {
+		a := Addr(raw)
+		return uint64(a.PageAlign())+a.PageOffset() == raw &&
+			a.PageNumber() == uint64(a.PageAlign())/PageSize
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

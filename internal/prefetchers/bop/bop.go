@@ -83,7 +83,7 @@ func New(cfg Config) (*BOP, error) {
 		return nil, err
 	}
 	if !mem.IsPow2(cfg.RRTableEntries) {
-		cfg.RRTableEntries = 256
+		cfg.RRTableEntries = DefaultConfig().RRTableEntries
 	}
 	offs := offsetList()
 	return &BOP{

@@ -46,10 +46,10 @@ func New(cfg Config) (*GHB, error) {
 		return nil, err
 	}
 	if cfg.BufferEntries <= 0 {
-		cfg.BufferEntries = 256
+		cfg.BufferEntries = DefaultConfig().BufferEntries
 	}
 	if cfg.Degree <= 0 {
-		cfg.Degree = 4
+		cfg.Degree = DefaultConfig().Degree
 	}
 	return &GHB{cfg: cfg, buf: make([]ghbEntry, cfg.BufferEntries), index: idx}, nil
 }

@@ -90,10 +90,10 @@ func New(cfg Config) (*SPP, error) {
 		return nil, err
 	}
 	if !mem.IsPow2(cfg.PatternEntries) {
-		cfg.PatternEntries = 512
+		cfg.PatternEntries = DefaultConfig().PatternEntries
 	}
 	if !mem.IsPow2(cfg.FilterEntries) {
-		cfg.FilterEntries = 1024
+		cfg.FilterEntries = DefaultConfig().FilterEntries
 	}
 	s := &SPP{
 		cfg:     cfg,

@@ -94,7 +94,7 @@ func Analyze(src Source, max int) Summary {
 		}
 		pcs[rec.PC] = struct{}{}
 		blocks[rec.Addr.BlockNumber()] = struct{}{}
-		pages[uint64(rec.Addr)>>12] = struct{}{}
+		pages[rec.Addr.PageNumber()] = struct{}{}
 		regions[rc.RegionNumber(rec.Addr)] |= 1 << uint(rc.BlockIndex(rec.Addr))
 	}
 
