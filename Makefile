@@ -4,7 +4,7 @@ GO ?= go
 # exceeded so future PRs notice a regression.
 LINT_BUDGET_SECONDS ?= 60
 
-.PHONY: all build test short race race-harness vet lint simlint bench bench-runner
+.PHONY: all build test short race race-harness vet lint simlint bench bench-runner san-test san-suite fuzz
 
 all: build lint test
 
@@ -22,8 +22,8 @@ short:
 race:
 	$(GO) test -race ./...
 
-# The harness package hosts all goroutine orchestration; CI runs this
-# focused race pass on every push in addition to the full `race` target.
+# Focused race pass for quick iteration on the harness; CI runs the full
+# `race` target (./...) on every push.
 race-harness:
 	$(GO) test -race ./internal/harness/
 
@@ -58,6 +58,31 @@ lint:
 	if [ $$dur -gt $(LINT_BUDGET_SECONDS) ]; then \
 		echo "WARNING: make lint exceeded its $(LINT_BUDGET_SECONDS)s budget — investigate before it rots"; \
 	fi
+
+# simsan: the whole test suite with the runtime invariant sanitizer
+# compiled in and enabled (see internal/san and DESIGN.md's invariant
+# catalog). Default builds carry none of its cost.
+san-test:
+	$(GO) build -tags=san ./...
+	$(GO) test -tags=san ./...
+
+# Fast-budget experiment suite under the sanitizer, then a byte-diff of
+# its stdout against the untagged binary: the sanitizer must observe,
+# never steer.
+san-suite:
+	$(GO) run -tags=san ./cmd/experiments -exp all -fast -quiet > /tmp/bingo-san.out
+	$(GO) run ./cmd/experiments -exp all -fast -quiet > /tmp/bingo-nosan.out
+	cmp /tmp/bingo-san.out /tmp/bingo-nosan.out
+	@echo "san-suite: sanitized output is byte-identical to unsanitized"
+
+# Short-budget fuzz pass over the parser and address-geometry targets;
+# CI runs the same set on every push.
+FUZZ_TIME ?= 15s
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzTraceReader -fuzztime $(FUZZ_TIME) ./internal/trace/
+	$(GO) test -run '^$$' -fuzz FuzzGzipAutoReader -fuzztime $(FUZZ_TIME) ./internal/trace/
+	$(GO) test -run '^$$' -fuzz FuzzAddrHelpers -fuzztime $(FUZZ_TIME) ./internal/mem/
+	$(GO) test -run '^$$' -fuzz FuzzRegionGeometry -fuzztime $(FUZZ_TIME) ./internal/mem/
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

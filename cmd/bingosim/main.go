@@ -16,6 +16,7 @@ import (
 	"os"
 
 	"bingo/internal/harness"
+	"bingo/internal/san"
 	"bingo/internal/system"
 	"bingo/internal/trace"
 	"bingo/internal/workloads"
@@ -31,8 +32,15 @@ func main() {
 		seedFlag     = flag.Int64("seed", 1, "workload generator seed")
 		listFlag     = flag.Bool("list", false, "list workloads and prefetchers, then exit")
 		compareFlag  = flag.Bool("compare", false, "also run the no-prefetcher baseline and report speedup/coverage")
+		sanFlag      = flag.Bool("san", san.Compiled, "runtime invariant checking (needs a -tags=san build)")
 	)
 	flag.Parse()
+
+	if *sanFlag && !san.Compiled {
+		fmt.Fprintln(os.Stderr, "bingosim: -san requires a binary built with -tags=san")
+		os.Exit(2)
+	}
+	san.SetEnabled(*sanFlag)
 
 	if *listFlag {
 		fmt.Println("workloads:")

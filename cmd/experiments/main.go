@@ -28,6 +28,7 @@ import (
 	"strings"
 
 	"bingo/internal/harness"
+	"bingo/internal/san"
 )
 
 func main() {
@@ -38,8 +39,15 @@ func main() {
 		formatFlag = flag.String("format", "text", "output format: text, csv, or markdown")
 		jobsFlag   = flag.Int("j", 0, "simulation workers; 1 = sequential, 0 = GOMAXPROCS")
 		quietFlag  = flag.Bool("quiet", false, "suppress the stderr run report")
+		sanFlag    = flag.Bool("san", san.Compiled, "runtime invariant checking (needs a -tags=san build)")
 	)
 	flag.Parse()
+
+	if *sanFlag && !san.Compiled {
+		fmt.Fprintln(os.Stderr, "experiments: -san requires a binary built with -tags=san")
+		os.Exit(2)
+	}
+	san.SetEnabled(*sanFlag)
 
 	opts := harness.DefaultRunOptions()
 	if *fastFlag {

@@ -171,6 +171,7 @@ type Cache struct {
 	listener EvictionListener
 	outcome  OutcomeFunc
 	stats    Stats
+	san      sanState // runtime invariant sanitizer (empty without -tags=san)
 }
 
 // New builds a cache over the given lower level.
@@ -290,7 +291,9 @@ func (c *Cache) Access(now uint64, req Request) Result {
 			ln.dirty = true
 		}
 		c.policy.Touch(si, w)
-		return Result{CompleteAt: complete, HitLevel: c.cfg.Name}
+		res := Result{CompleteAt: complete, HitLevel: c.cfg.Name}
+		c.sanAfterAccess(now, ready, si, res)
+		return res
 	}
 
 	// Demand miss: fetch from below, install with future arrival.
@@ -304,7 +307,9 @@ func (c *Cache) Access(now uint64, req Request) Result {
 		fillCore: req.Core,
 	})
 	c.policy.Touch(si, w)
-	return Result{CompleteAt: lowerRes.CompleteAt, HitLevel: lowerRes.HitLevel}
+	res := Result{CompleteAt: lowerRes.CompleteAt, HitLevel: lowerRes.HitLevel}
+	c.sanAfterAccess(now, ready, si, res)
+	return res
 }
 
 func (c *Cache) accessPrefetch(now, ready uint64, req Request, si int, block uint64) Result {
@@ -313,7 +318,9 @@ func (c *Cache) accessPrefetch(now, ready uint64, req Request, si int, block uin
 		// Already present (or in flight): redundant prefetch, drop it.
 		c.stats.PrefetchHits++
 		_ = w
-		return Result{CompleteAt: ready, HitLevel: c.cfg.Name}
+		res := Result{CompleteAt: ready, HitLevel: c.cfg.Name}
+		c.sanAfterAccess(now, ready, si, res)
+		return res
 	}
 	lowerRes := c.lower.Access(ready, req)
 	w := c.installLine(now, si, line{
@@ -325,7 +332,9 @@ func (c *Cache) accessPrefetch(now, ready uint64, req Request, si int, block uin
 	})
 	c.policy.Touch(si, w)
 	c.stats.PrefetchFills++
-	return Result{CompleteAt: lowerRes.CompleteAt, HitLevel: lowerRes.HitLevel}
+	res := Result{CompleteAt: lowerRes.CompleteAt, HitLevel: lowerRes.HitLevel}
+	c.sanAfterAccess(now, ready, si, res)
+	return res
 }
 
 // installLine places ln into set si, evicting a victim if necessary, and
@@ -341,9 +350,11 @@ func (c *Cache) installLine(now uint64, si int, ln line) int {
 	}
 	if w < 0 {
 		w = c.policy.Victim(si)
+		c.sanCheckVictim(now, si, w)
 		victim := &set[w]
 		c.evict(now, si, victim)
 	}
+	c.sanAtInstall(now, si, ln)
 	set[w] = ln
 	return w
 }

@@ -82,6 +82,7 @@ type HistoryTable struct {
 	recent   bool // use the most-recent short match instead of voting
 	longBits uint // 0 = full-width tags; else hardware-style truncation
 	stats    HistoryStats
+	san      sanState // runtime invariant sanitizer (empty without -tags=san)
 }
 
 // SetTagTruncation folds stored tags down to the given widths, modelling
@@ -165,6 +166,7 @@ func (h *HistoryTable) setFor(shortKey uint64) []historyEntry {
 // the trigger offset sits at bit 0) before storage so it can be applied at
 // any future trigger offset.
 func (h *HistoryTable) Insert(pc mem.PC, addr mem.Addr, triggerOffset int, fp prefetch.Footprint) {
+	h.sanCheckTrigger(triggerOffset)
 	long := h.foldTag(h.longKey(pc, addr))
 	short := h.shortKey(pc, addr)
 	anchored := fp.Rotate(triggerOffset, 0, h.rc.Blocks())
@@ -206,6 +208,7 @@ func (h *HistoryTable) Insert(pc mem.PC, addr mem.Addr, triggerOffset int, fp pr
 		footprint: anchored,
 		offset:    triggerOffset,
 	}
+	h.sanAfterInsert(short)
 }
 
 // Lookup consults the table for the trigger (pc, addr): first with the
@@ -215,6 +218,7 @@ func (h *HistoryTable) Insert(pc mem.PC, addr mem.Addr, triggerOffset int, fp pr
 // ≥vote-threshold majority across all matching entries (§IV's empirically
 // best heuristic).
 func (h *HistoryTable) Lookup(pc mem.PC, addr mem.Addr, triggerOffset int) (prefetch.Footprint, MatchKind) {
+	h.sanCheckTrigger(triggerOffset)
 	long := h.foldTag(h.longKey(pc, addr))
 	short := h.shortKey(pc, addr)
 	set := h.setFor(short)

@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"bingo/internal/cache"
+	"bingo/internal/mem"
 	"bingo/internal/trace"
 	"bingo/internal/vm"
 )
@@ -85,7 +86,21 @@ type Core struct {
 	lastLoadDone uint64
 
 	stats Stats
+	tap   DemandTap
+	san   sanState // runtime invariant sanitizer (empty without -tags=san)
 }
+
+// DemandTap observes every demand memory operation at dispatch, in
+// program order, before address translation. It is the architectural
+// access stream of the core — the sequence a prefetcher must never be
+// able to change (timing-vs-correctness split, Bingo HPCA 2019 §V) — and
+// exists for the differential oracles in the harness. A nil tap (the
+// default) costs one predictable branch per memory op.
+type DemandTap func(pc mem.PC, va mem.Addr, store, dep bool)
+
+// SetDemandTap installs the dispatch observer (at most one; nil clears).
+// Install before the first Tick.
+func (c *Core) SetDemandTap(f DemandTap) { c.tap = f }
 
 // New creates a core reading records from src, translating through xlat,
 // and issuing memory requests to port (its L1-equivalent entry point).
@@ -132,6 +147,7 @@ func (c *Core) Done() bool {
 
 // Tick advances the core by one cycle: retire then dispatch.
 func (c *Core) Tick(now uint64) {
+	c.sanAtTick(now)
 	c.retire(now)
 	c.dispatch(now)
 }
@@ -145,6 +161,7 @@ func (c *Core) retire(now uint64) {
 			}
 			return
 		}
+		c.sanAtRetire(now, head.completeAt)
 		c.stats.Instructions++
 		if head.isMem {
 			c.stats.MemOps++
@@ -175,6 +192,9 @@ func (c *Core) dispatch(now uint64) {
 		}
 		if !c.lsqReserve(now) {
 			return // LSQ full: stall dispatch this cycle
+		}
+		if c.tap != nil {
+			c.tap(c.cur.PC, c.cur.Addr, c.cur.Kind == trace.Store, c.cur.Dep)
 		}
 		pa := c.xlat.Translate(c.cur.Addr)
 		kind := cache.Demand

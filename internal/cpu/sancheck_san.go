@@ -1,0 +1,63 @@
+//go:build san
+
+package cpu
+
+import "bingo/internal/san"
+
+// sanState is the per-core checker state of the runtime invariant
+// sanitizer (build tag `san`).
+type sanState struct {
+	lastTick uint64 // most recent Tick cycle (SAN-CPU-TICK)
+}
+
+// sanAtTick verifies lockstep monotonicity and structural occupancy
+// bounds at the top of every core tick.
+func (c *Core) sanAtTick(now uint64) {
+	if !san.Enabled() {
+		return
+	}
+	if now < c.san.lastTick {
+		san.Failf(c.sanName(), now, san.CPUTick,
+			"tick at cycle %d after tick at cycle %d", now, c.san.lastTick)
+	}
+	c.san.lastTick = now
+	if c.robCount < 0 || c.robCount > c.cfg.ROBSize {
+		san.Failf(c.sanName(), now, san.CPUTick,
+			"ROB occupancy %d outside [0,%d]", c.robCount, c.cfg.ROBSize)
+	}
+	if len(c.outstanding) > c.cfg.LSQSize {
+		san.Failf(c.sanName(), now, san.CPUTick,
+			"LSQ tracks %d in-flight memory ops, capacity %d", len(c.outstanding), c.cfg.LSQSize)
+	}
+	// Event conservation: MemOps counts retirements, Loads/Stores count
+	// dispatches, and at most ROBSize dispatches can be in flight. The
+	// slack also absorbs the warm-up ResetStats, which zeroes the dispatch
+	// counters while up to a ROB's worth of pre-reset entries still retire.
+	if s := c.stats; s.MemOps > s.Loads+s.Stores+uint64(c.cfg.ROBSize) {
+		san.Failf(c.sanName(), now, san.CPURetire,
+			"retired %d memory ops with only %d dispatched (+%d ROB slack)",
+			s.MemOps, s.Loads+s.Stores, c.cfg.ROBSize)
+	}
+}
+
+// sanAtRetire verifies an instruction only leaves the ROB once its
+// completion cycle has passed (in-order retirement honors timing).
+func (c *Core) sanAtRetire(now, completeAt uint64) {
+	if !san.Enabled() {
+		return
+	}
+	if completeAt > now {
+		san.Failf(c.sanName(), now, san.CPURetire,
+			"retiring instruction that completes at cycle %d > now %d", completeAt, now)
+	}
+}
+
+// sanName labels violations with the core index. It allocates, but is
+// called only on the failure path.
+func (c *Core) sanName() string {
+	const digits = "0123456789"
+	if c.id >= 0 && c.id < 10 {
+		return "cpu[" + digits[c.id:c.id+1] + "]"
+	}
+	return "cpu"
+}

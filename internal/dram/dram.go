@@ -95,6 +95,7 @@ type DRAM struct {
 	bankMask  uint64
 	rowShift  uint
 	stats     Stats
+	san       sanState // runtime invariant sanitizer (empty without -tags=san)
 }
 
 // New builds a DRAM model.
@@ -116,6 +117,7 @@ func New(cfg Config) (*DRAM, error) {
 			d.chans[i].banks[b].openRow = noOpenRow
 		}
 	}
+	d.sanInit()
 	return d, nil
 }
 
@@ -137,17 +139,15 @@ func (d *DRAM) ResetStats() { d.stats = Stats{} }
 // Config returns the DRAM configuration.
 func (d *DRAM) Config() Config { return d.cfg }
 
-// decode maps a physical address to (channel, bank, row). Channel bits sit
-// just above the block offset so consecutive blocks stripe across
+// decode maps a physical address to (channel, bank, row) indices. Channel
+// bits sit just above the block offset so consecutive blocks stripe across
 // channels; bank bits sit above the row so a row is contiguous in a bank.
-func (d *DRAM) decode(addr mem.Addr) (ch *channel, bk *bank, row uint64) {
+func (d *DRAM) decode(addr mem.Addr) (ci, bi int, row uint64) {
 	block := addr.BlockNumber()
-	ci := block & d.chanMask
+	ci = int(block & d.chanMask)
 	row = uint64(addr) >> d.rowShift
-	bi := row & d.bankMask
-	ch = &d.chans[ci]
-	bk = &ch.banks[bi]
-	return ch, bk, row >> mem.Log2(uint64(d.cfg.BanksPerChannel))
+	bi = int(row & d.bankMask)
+	return ci, bi, row >> mem.Log2(uint64(d.cfg.BanksPerChannel))
 }
 
 // Access models one 64 B transfer and returns its completion cycle. Writes
@@ -161,7 +161,9 @@ func (d *DRAM) decode(addr mem.Addr) (ch *channel, bk *bank, row uint64) {
 // tCAS serially; only row activations occupy the bank for their full
 // latency.
 func (d *DRAM) Access(now uint64, addr mem.Addr, write bool) uint64 {
-	ch, bk, row := d.decode(addr)
+	ci, bi, row := d.decode(addr)
+	ch := &d.chans[ci]
+	bk := &ch.banks[bi]
 
 	if write {
 		d.stats.Writes++
@@ -174,6 +176,7 @@ func (d *DRAM) Access(now uint64, addr mem.Addr, write bool) uint64 {
 		start = bk.freeAt
 	}
 
+	prevRow := bk.openRow
 	var rowLat uint64
 	switch {
 	case bk.openRow == row:
@@ -190,8 +193,9 @@ func (d *DRAM) Access(now uint64, addr mem.Addr, write bool) uint64 {
 
 	dataReady := start + rowLat
 	busStart := dataReady
-	if ch.busFreeAt > busStart {
-		busStart = ch.busFreeAt
+	prevBusFree := ch.busFreeAt
+	if prevBusFree > busStart {
+		busStart = prevBusFree
 	}
 	done := busStart + d.cfg.BusCycles
 	ch.busFreeAt = done
@@ -199,6 +203,7 @@ func (d *DRAM) Access(now uint64, addr mem.Addr, write bool) uint64 {
 	// transfer); after an activation it is busy until the row is open.
 	bk.freeAt = start + (rowLat - d.cfg.TCAS) + d.cfg.BusCycles
 	d.stats.BusBusy += d.cfg.BusCycles
+	d.sanAfterAccess(now, ci, bi, prevRow, row, rowLat, start, busStart, done, prevBusFree)
 	return done
 }
 

@@ -1,0 +1,13 @@
+//go:build !san
+
+package dram
+
+// sanState is the per-DRAM checker state of the runtime invariant
+// sanitizer. Without the `san` build tag it is empty and the hooks are
+// no-ops the compiler inlines away. See internal/san and sancheck_san.go.
+type sanState struct{}
+
+func (d *DRAM) sanInit() {}
+
+func (d *DRAM) sanAfterAccess(now uint64, ci, bi int, prevRow, row, rowLat, start, busStart, done, prevBusFree uint64) {
+}

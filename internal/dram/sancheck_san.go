@@ -1,0 +1,105 @@
+//go:build san
+
+package dram
+
+import "bingo/internal/san"
+
+// sanState is the per-DRAM checker state of the runtime invariant
+// sanitizer (build tag `san`): per-channel bus-occupancy accounting used
+// to prove the configured peak bandwidth is never exceeded, plus
+// per-channel completion-monotonicity witnesses.
+type sanState struct {
+	chans []sanChannel
+}
+
+// sanChannel accumulates one channel's bus accounting.
+type sanChannel struct {
+	busBusy    uint64 // total bus cycles consumed on this channel
+	firstStart uint64 // bus-start cycle of the channel's first transfer
+	started    bool
+	lastDone   uint64 // completion cycle of the most recent transfer
+}
+
+// sanInit sizes the per-channel accounting (called from New).
+func (d *DRAM) sanInit() {
+	d.san.chans = make([]sanChannel, d.cfg.Channels)
+}
+
+// sanAfterAccess verifies, after every transfer: bank state-machine
+// legality, row hit/miss classification consistency, the per-channel
+// bandwidth ceiling, and completion-time monotonicity.
+func (d *DRAM) sanAfterAccess(now uint64, ci, bi int, prevRow, row, rowLat, start, busStart, done, prevBusFree uint64) {
+	if !san.Enabled() {
+		return
+	}
+	ch := &d.chans[ci]
+	bk := &ch.banks[bi]
+
+	// Row classification consistency: the latency charged must match the
+	// class implied by the bank's prior row-buffer state.
+	var wantLat uint64
+	switch {
+	case prevRow == row:
+		wantLat = d.cfg.TCAS // row hit
+	case prevRow == noOpenRow:
+		wantLat = d.cfg.TRCD + d.cfg.TCAS // empty bank: activate
+	default:
+		wantLat = d.cfg.TRP + d.cfg.TRCD + d.cfg.TCAS // conflict: precharge+activate
+	}
+	if rowLat != wantLat {
+		san.Failf("dram", now, san.DramRowClass,
+			"channel %d bank %d: prior row %#x, accessed row %#x, charged %d cycles, classification implies %d",
+			ci, bi, prevRow, row, rowLat, wantLat)
+	}
+	if s := d.stats; s.Reads+s.Writes != s.RowHits+s.RowEmpty+s.RowConflicts {
+		san.Failf("dram", now, san.DramRowClass,
+			"accesses %d ≠ row hits %d + empty %d + conflicts %d",
+			s.Reads+s.Writes, s.RowHits, s.RowEmpty, s.RowConflicts)
+	}
+
+	// Bank state-machine legality: the accessed row is now open, and the
+	// bank frees no later than the transfer completes and no earlier than
+	// the command issued.
+	if bk.openRow != row {
+		san.Failf("dram", now, san.DramBankState,
+			"channel %d bank %d open row %#x after access to row %#x", ci, bi, bk.openRow, row)
+	}
+	if bk.freeAt < start || bk.freeAt > done {
+		san.Failf("dram", now, san.DramBankState,
+			"channel %d bank %d frees at %d outside [start %d, done %d]", ci, bi, bk.freeAt, start, done)
+	}
+
+	// Completion monotonicity: the data bus serialises transfers, so each
+	// completion lands a full transfer after the previous bus release and
+	// never before the controller + transfer minimum.
+	sc := &d.san.chans[ci]
+	if done < prevBusFree+d.cfg.BusCycles {
+		san.Failf("dram", now, san.DramMonotone,
+			"channel %d transfer done at %d overlaps bus busy until %d", ci, done, prevBusFree)
+	}
+	if done < now+d.cfg.TController+d.cfg.BusCycles {
+		san.Failf("dram", now, san.DramMonotone,
+			"channel %d transfer done at %d beats controller+bus minimum %d",
+			ci, done, now+d.cfg.TController+d.cfg.BusCycles)
+	}
+	if done < sc.lastDone {
+		san.Failf("dram", now, san.DramMonotone,
+			"channel %d completion %d earlier than previous completion %d", ci, done, sc.lastDone)
+	}
+	sc.lastDone = done
+
+	// Bandwidth ceiling: cumulative bus occupancy can never exceed the
+	// wall-clock window it occurred in — transfers never overlap, so the
+	// channel moves at most one 64 B block per BusCycles (the configured
+	// peak, 37.5 GB/s total in the paper's two-channel system).
+	if !sc.started {
+		sc.started = true
+		sc.firstStart = busStart
+	}
+	sc.busBusy += d.cfg.BusCycles
+	if window := ch.busFreeAt - sc.firstStart; sc.busBusy > window {
+		san.Failf("dram", now, san.DramBandwidth,
+			"channel %d bus busy %d cycles inside a %d-cycle window (exceeds configured peak bandwidth)",
+			ci, sc.busBusy, window)
+	}
+}

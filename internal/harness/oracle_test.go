@@ -1,0 +1,160 @@
+package harness
+
+import (
+	"reflect"
+	"testing"
+
+	"bingo/internal/mem"
+	"bingo/internal/san"
+	"bingo/internal/system"
+	"bingo/internal/workloads"
+)
+
+// The differential oracles of the runtime sanitizer work. A prefetcher is
+// a pure timing optimisation: it may reorder *when* data arrives, never
+// *which* demand accesses the program performs (Bingo HPCA 2019 §II). The
+// oracle therefore captures each core's architectural access stream — the
+// per-core sequence of demand ops at dispatch, in program order, before
+// address translation — and requires it to be identical under every
+// registered prefetcher. Virtual addresses are compared rather than
+// physical ones deliberately: the first-touch translator assigns frames in
+// global touch order across cores, so prefetcher-induced timing shifts
+// legitimately change the physical mapping while the virtual stream must
+// not move at all.
+
+// demandRec is one observed architectural access.
+type demandRec struct {
+	pc    mem.PC
+	va    mem.Addr
+	store bool
+	dep   bool
+}
+
+// oraclePrefix is how many records per core the oracles compare. Runs
+// under different prefetchers finish at different cycles — and the
+// workload generators are unbounded — so only a fixed-length prefix is
+// meaningful; each run is long enough to guarantee the prefix fills.
+const oraclePrefix = 4096
+
+// oracleRunOptions shrinks the budgets so ~20 prefetchers stay cheap while
+// still dispatching well past oraclePrefix demand ops per core.
+func oracleRunOptions() RunOptions {
+	o := DefaultRunOptions()
+	o.System = o.System.Scaled(5_000, 150_000)
+	return o
+}
+
+// captureStreams runs one (workload, prefetcher) cell with a demand tap on
+// every core and returns the captured per-core prefixes.
+func captureStreams(t *testing.T, w workloads.Spec, prefetcher string, opts RunOptions) [][]demandRec {
+	t.Helper()
+	factory, err := FactoryByName(prefetcher)
+	if err != nil {
+		t.Fatalf("resolving %q: %v", prefetcher, err)
+	}
+	sys, err := BuildSystem(w, factory, opts)
+	if err != nil {
+		t.Fatalf("building system for %s/%s: %v", w.Name, prefetcher, err)
+	}
+	cores := sys.Cores()
+	streams := make([][]demandRec, len(cores))
+	for i, c := range cores {
+		i := i
+		streams[i] = make([]demandRec, 0, oraclePrefix)
+		c.SetDemandTap(func(pc mem.PC, va mem.Addr, store, dep bool) {
+			if len(streams[i]) < oraclePrefix {
+				streams[i] = append(streams[i], demandRec{pc: pc, va: va, store: store, dep: dep})
+			}
+		})
+	}
+	sys.Run()
+	for i := range streams {
+		if len(streams[i]) != oraclePrefix {
+			t.Fatalf("%s/%s core %d dispatched only %d demand ops, need %d for the oracle prefix",
+				w.Name, prefetcher, i, len(streams[i]), oraclePrefix)
+		}
+	}
+	return streams
+}
+
+// diffStreams reports the first divergence between two captures, or -1.
+func diffStreams(a, b [][]demandRec) (core, index int) {
+	for c := range a {
+		for i := range a[c] {
+			if a[c][i] != b[c][i] {
+				return c, i
+			}
+		}
+	}
+	return -1, -1
+}
+
+// TestArchitecturalStreamInvariantAcrossPrefetchers checks every
+// registered prefetcher against the no-prefetcher baseline on one
+// workload: the per-core virtual demand streams must match record for
+// record (PC, address, kind, and dependence flag).
+func TestArchitecturalStreamInvariantAcrossPrefetchers(t *testing.T) {
+	w, ok := workloads.ByName("DataServing")
+	if !ok {
+		t.Fatal("workload DataServing not registered")
+	}
+	opts := oracleRunOptions()
+	baseline := captureStreams(t, w, "none", opts)
+	for _, name := range PrefetcherNames() {
+		if name == "none" {
+			continue
+		}
+		got := captureStreams(t, w, name, opts)
+		if c, i := diffStreams(baseline, got); c >= 0 {
+			t.Errorf("%s perturbed the architectural stream: core %d record %d = %+v, baseline %+v",
+				name, c, i, got[c][i], baseline[c][i])
+		}
+	}
+}
+
+// TestArchitecturalStreamInvariantSecondWorkload repeats the oracle on a
+// second, dependence-heavy workload for the paper's head-to-head set, so
+// the invariance result is not an artifact of one access pattern.
+func TestArchitecturalStreamInvariantSecondWorkload(t *testing.T) {
+	w, ok := workloads.ByName("em3d")
+	if !ok {
+		t.Fatal("workload em3d not registered")
+	}
+	opts := oracleRunOptions()
+	baseline := captureStreams(t, w, "none", opts)
+	for _, name := range PaperPrefetchers() {
+		got := captureStreams(t, w, name, opts)
+		if c, i := diffStreams(baseline, got); c >= 0 {
+			t.Errorf("%s perturbed the architectural stream: core %d record %d = %+v, baseline %+v",
+				name, c, i, got[c][i], baseline[c][i])
+		}
+	}
+}
+
+// TestSanitizedRunMatchesUnsanitized is the second oracle: the sanitizer
+// observes, it must never steer. The same cell simulated with checking on
+// and off has to produce deeply equal results. In default builds both runs
+// are unsanitized and the test degenerates to a back-to-back determinism
+// check, which is worth having on its own.
+func TestSanitizedRunMatchesUnsanitized(t *testing.T) {
+	defer san.SetEnabled(san.Compiled) // restore the build-flavor default
+	w, ok := workloads.ByName("Streaming")
+	if !ok {
+		t.Fatal("workload Streaming not registered")
+	}
+	opts := oracleRunOptions()
+
+	run := func(enabled bool) system.Results {
+		san.SetEnabled(enabled)
+		res, err := RunNamed(w, "bingo", opts)
+		if err != nil {
+			t.Fatalf("running %s/bingo: %v", w.Name, err)
+		}
+		return res
+	}
+	on := run(true)
+	off := run(false)
+	if !reflect.DeepEqual(on, off) {
+		t.Errorf("sanitized results diverge from unsanitized:\n  on:  %+v\n  off: %+v", on, off)
+	}
+}

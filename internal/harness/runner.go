@@ -55,6 +55,19 @@ func RunNamed(w workloads.Spec, prefetcher string, opts RunOptions) (system.Resu
 	return Run(w, factory, opts)
 }
 
+// BuildSystem assembles — without running — the System a Run call with the
+// same arguments would drive, so callers can attach observers first. The
+// differential oracles use it to install per-core demand taps (see
+// cpu.SetDemandTap) before calling Run themselves.
+func BuildSystem(w workloads.Spec, factory prefetch.Factory, opts RunOptions) (*system.System, error) {
+	sources := w.Sources(opts.System.NumCores, opts.Seed)
+	sys, err := system.New(opts.System, sources, factory)
+	if err != nil {
+		return nil, fmt.Errorf("harness: building system for %s: %w", w.Name, err)
+	}
+	return sys, nil
+}
+
 // RunWithSystem simulates and also returns the System so callers can
 // inspect instrumented prefetcher internals (match probabilities,
 // redundancy counters).

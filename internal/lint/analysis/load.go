@@ -3,12 +3,14 @@ package analysis
 import (
 	"fmt"
 	"go/ast"
+	"go/build/constraint"
 	"go/importer"
 	"go/parser"
 	"go/token"
 	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 )
@@ -189,9 +191,63 @@ func (l *Loader) parseDir(dir string) ([]*ast.File, error) {
 		if err != nil {
 			return nil, err
 		}
+		if !fileIncluded(f) {
+			continue
+		}
 		files = append(files, f)
 	}
 	return files, nil
+}
+
+// fileIncluded evaluates a parsed file's //go:build constraint (if any)
+// under the default build configuration — host GOOS/GOARCH and no custom
+// tags — matching what `go build ./...` would compile. This is what keeps
+// mutually exclusive tag pairs (sancheck_san.go / sancheck_nosan.go) from
+// both entering one type-checked package.
+func fileIncluded(f *ast.File) bool {
+	for _, cg := range f.Comments {
+		if cg.Pos() >= f.Package {
+			break // constraints must precede the package clause
+		}
+		for _, c := range cg.List {
+			if !constraint.IsGoBuild(c.Text) {
+				continue
+			}
+			expr, err := constraint.Parse(c.Text)
+			if err != nil {
+				continue // malformed constraint: keep the file, let vet complain
+			}
+			return expr.Eval(defaultBuildTag)
+		}
+	}
+	return true
+}
+
+// defaultBuildTag reports whether tag is satisfied in a default build:
+// host OS/arch, the gc toolchain, unix on unix-like hosts, and every
+// released go1.N version tag. Custom tags (like `san`) are not.
+func defaultBuildTag(tag string) bool {
+	switch tag {
+	case runtime.GOOS, runtime.GOARCH, "gc":
+		return true
+	case "unix":
+		switch runtime.GOOS {
+		case "linux", "darwin", "freebsd", "netbsd", "openbsd", "solaris", "aix", "dragonfly", "illumos", "ios":
+			return true
+		}
+		return false
+	}
+	if rest, ok := strings.CutPrefix(tag, "go1."); ok {
+		// Treat every go1.N tag as satisfied: the toolchain building this
+		// linter is at least as new as the module's go directive.
+		for _, r := range rest {
+			if r < '0' || r > '9' {
+				return false
+			}
+		}
+		return rest != ""
+	}
+	return false
 }
 
 // loaderImporter adapts Loader to types.Importer: module-local paths load

@@ -1,0 +1,213 @@
+// Package errlint flags silently discarded error returns in the
+// simulator's internal packages. A simulator that swallows an error keeps
+// producing numbers — wrong ones — so every error must either be handled
+// or be discarded *loudly*:
+//
+//	_ = gz.Close() // already failing: the read error wins
+//
+// An explicit `_ =` discard is accepted only when an adjacent comment (on
+// the same line or the line directly above) justifies it; a bare call
+// statement or `defer` that drops an error is always reported. Directive
+// comments (//lint:..., //go:...) and test-expectation comments (want)
+// do not count as justification.
+//
+// Exemptions, because their error results are contractually uninteresting
+// here: everything in package fmt (terminal output; nothing to do if the
+// terminal is gone), and the methods of strings.Builder and bytes.Buffer,
+// which are documented never to return a non-nil error.
+package errlint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"bingo/internal/lint/analysis"
+)
+
+// Analyzer reports silently discarded error returns.
+var Analyzer = &analysis.Analyzer{
+	Name: "errlint",
+	Doc: "flag silently discarded error returns in internal packages; " +
+		"explicit `_ =` discards need an adjacent justification comment",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !strings.HasPrefix(pass.Pkg.Path(), "bingo/internal/") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		jl := justificationLines(pass.Fset, f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok {
+					checkDroppedCall(pass, call, "")
+				}
+			case *ast.DeferStmt:
+				checkDroppedCall(pass, n.Call, "deferred ")
+			case *ast.GoStmt:
+				checkDroppedCall(pass, n.Call, "spawned ")
+			case *ast.AssignStmt:
+				checkBlankDiscard(pass, n, jl)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkDroppedCall reports a call statement whose results include an error
+// nobody looks at.
+func checkDroppedCall(pass *analysis.Pass, call *ast.CallExpr, kind string) {
+	if !returnsError(pass, call) || exemptCallee(pass, call) {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"error returned by %s%s is silently discarded; handle it, or discard with `_ =` and a justification comment",
+		kind, calleeLabel(call))
+}
+
+// checkBlankDiscard reports `_ = <error>` (and `x, _ := f()` with the
+// blank in an error position) when no adjacent comment justifies it.
+func checkBlankDiscard(pass *analysis.Pass, n *ast.AssignStmt, jl map[int]bool) {
+	blankErr := func(lhs ast.Expr, t types.Type) bool {
+		id, ok := lhs.(*ast.Ident)
+		return ok && id.Name == "_" && t != nil && isErrorType(t)
+	}
+	discards := false
+	if len(n.Rhs) == 1 && len(n.Lhs) > 1 {
+		// Multi-value form: map tuple components to Lhs positions.
+		tup, ok := pass.TypeOf(n.Rhs[0]).(*types.Tuple)
+		if !ok || tup.Len() != len(n.Lhs) {
+			return
+		}
+		if call, ok := n.Rhs[0].(*ast.CallExpr); ok && exemptCallee(pass, call) {
+			return
+		}
+		for i, lhs := range n.Lhs {
+			if blankErr(lhs, tup.At(i).Type()) {
+				discards = true
+			}
+		}
+	} else if len(n.Rhs) == len(n.Lhs) {
+		for i, lhs := range n.Lhs {
+			if !blankErr(lhs, pass.TypeOf(n.Rhs[i])) {
+				continue
+			}
+			if call, ok := n.Rhs[i].(*ast.CallExpr); ok && exemptCallee(pass, call) {
+				continue
+			}
+			discards = true
+		}
+	}
+	if !discards {
+		return
+	}
+	line := pass.Fset.Position(n.Pos()).Line
+	if jl[line] || jl[line-1] {
+		return
+	}
+	pass.Reportf(n.Pos(),
+		"error explicitly discarded without justification; add a comment on this line or the one above explaining why dropping it is safe")
+}
+
+// returnsError reports whether any result of call is the error type.
+func returnsError(pass *analysis.Pass, call *ast.CallExpr) bool {
+	switch t := pass.TypeOf(call).(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if isErrorType(t.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	case nil:
+		return false
+	default:
+		return isErrorType(t)
+	}
+}
+
+var errorType = types.Universe.Lookup("error").Type()
+
+func isErrorType(t types.Type) bool { return types.Identical(t, errorType) }
+
+// exemptCallee reports whether call's target is on the allow list: any
+// function in package fmt, or a method of strings.Builder / bytes.Buffer.
+func exemptCallee(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj := pass.ObjectOf(sel.Sel)
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	switch fn.Pkg().Path() {
+	case "fmt":
+		return true
+	case "strings", "bytes":
+		sig, ok := fn.Type().(*types.Signature)
+		if !ok || sig.Recv() == nil {
+			return false
+		}
+		name := recvTypeName(sig.Recv().Type())
+		return name == "Builder" || name == "Buffer"
+	}
+	return false
+}
+
+// recvTypeName returns the named type behind a (possibly pointer) receiver.
+func recvTypeName(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return ""
+}
+
+// calleeLabel renders the called expression for the diagnostic.
+func calleeLabel(call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		if x, ok := fun.X.(*ast.Ident); ok {
+			return x.Name + "." + fun.Sel.Name
+		}
+		return fun.Sel.Name
+	default:
+		return "call"
+	}
+}
+
+// nonJustifying matches comments that may share a line with a discard but
+// carry no human rationale: lint directives, compiler directives, and the
+// analysistest expectation marker.
+var nonJustifying = regexp.MustCompile(`^//(lint:|go:|\s*want\s)`)
+
+// justificationLines collects the lines on which a justification comment
+// lives (for trailing comments, the line they trail).
+func justificationLines(fset *token.FileSet, f *ast.File) map[int]bool {
+	lines := map[int]bool{}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if nonJustifying.MatchString(c.Text) {
+				continue
+			}
+			start := fset.Position(c.Pos()).Line
+			end := fset.Position(c.End()).Line
+			for l := start; l <= end; l++ {
+				lines[l] = true
+			}
+		}
+	}
+	return lines
+}

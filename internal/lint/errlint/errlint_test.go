@@ -1,0 +1,49 @@
+package errlint_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"bingo/internal/lint/analysis"
+	"bingo/internal/lint/analysistest"
+	"bingo/internal/lint/errlint"
+)
+
+func TestErrlint(t *testing.T) {
+	root, err := analysis.FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(root, "internal", "lint", "testdata", "src", "errlint")
+	diags := analysistest.Run(t, root, dir, "bingo/internal/errfixture", errlint.Analyzer)
+	if len(diags) == 0 {
+		t.Fatal("fixture seeded violations but errlint reported nothing")
+	}
+}
+
+// TestOutOfScopePackagesAreSkipped loads the same fixture under an import
+// path outside bingo/internal/ and expects silence: errlint polices the
+// simulator's own packages, not arbitrary code.
+func TestOutOfScopePackagesAreSkipped(t *testing.T) {
+	root, err := analysis.FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(root, "internal", "lint", "testdata", "src", "errlint")
+	loader, err := analysis.NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader.Override("example.com/outside", dir)
+	pkg, err := loader.Load("example.com/outside")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := analysis.Run(pkg, []*analysis.Analyzer{errlint.Analyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Errorf("errlint reported %d diagnostics outside its scope", len(diags))
+	}
+}

@@ -1,9 +1,9 @@
-// Package lint assembles simlint, the simulator's invariant suite: four
+// Package lint assembles simlint, the simulator's invariant suite: five
 // project-specific analyzers on the mini go/analysis framework in
-// internal/lint/analysis. See the package docs of detlint, unitlint,
-// contractlint, and paramlint for the invariant each one guards, and
-// README.md ("Static analysis & invariants") for the suppression
-// directives.
+// internal/lint/analysis. See the package docs of detlint, errlint,
+// unitlint, contractlint, and paramlint for the invariant each one
+// guards, and README.md ("Static analysis & invariants") for the
+// suppression directives.
 package lint
 
 import (
@@ -13,6 +13,7 @@ import (
 	"bingo/internal/lint/analysis"
 	"bingo/internal/lint/contractlint"
 	"bingo/internal/lint/detlint"
+	"bingo/internal/lint/errlint"
 	"bingo/internal/lint/paramlint"
 	"bingo/internal/lint/unitlint"
 )
@@ -22,6 +23,7 @@ func Suite() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		contractlint.Analyzer,
 		detlint.Analyzer,
+		errlint.Analyzer,
 		paramlint.Analyzer,
 		unitlint.Analyzer,
 	}

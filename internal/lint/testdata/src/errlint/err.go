@@ -1,0 +1,62 @@
+// Package errfixture exercises errlint: silently discarded errors are
+// flagged, justified explicit discards and exempt callees are not.
+package errfixture
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+)
+
+func mayFail() error { return errors.New("boom") }
+
+func pair() (int, error) { return 0, nil }
+
+func value() int { return 7 }
+
+type closer struct{}
+
+func (closer) Close() error { return nil }
+
+func bad(f *os.File) {
+	mayFail()       // want `error returned by mayFail is silently discarded`
+	defer f.Close() // want `error returned by deferred f.Close is silently discarded`
+	go mayFail()    // want `error returned by spawned mayFail is silently discarded`
+
+	_ = mayFail() // want `error explicitly discarded without justification`
+
+	n, _ := pair() // want `error explicitly discarded without justification`
+	_ = n
+
+	var c closer
+	c.Close() // want `error returned by c.Close is silently discarded`
+}
+
+func good(f *os.File) error {
+	if err := mayFail(); err != nil {
+		return err
+	}
+	n, err := pair()
+	if err != nil {
+		return err
+	}
+	_ = n // not an error: plain values may be dropped silently
+	_ = value()
+
+	// Read errors win over close errors here, so the close result is noise.
+	_ = f.Close()
+	_ = mayFail() // best effort: nothing useful to do when this fails
+
+	var b strings.Builder
+	b.WriteString("builders never fail")
+	var buf bytes.Buffer
+	buf.WriteByte('x')
+	fmt.Println(b.String(), buf.String())
+	fmt.Fprintf(os.Stderr, "fmt is exempt\n")
+	return nil
+}
+
+//lint:ignore errlint fixture locks down the suppression path
+func suppressed() { mayFail() }

@@ -1,0 +1,98 @@
+package mem
+
+import "testing"
+
+// FuzzAddrHelpers checks the algebraic identities of the block/page
+// helpers over arbitrary addresses: decomposition (align + offset
+// reconstructs the address), idempotence of alignment, and agreement
+// between the shift-based and mask-based views. These helpers are the
+// foundation every cache index and footprint bit stands on, so they get
+// the exhaustive treatment.
+func FuzzAddrHelpers(f *testing.F) {
+	f.Add(uint64(0))
+	f.Add(uint64(0xdeadbeef))
+	f.Add(^uint64(0))
+	f.Add(uint64(PageSize - 1))
+	f.Add(uint64(BlockSize))
+
+	f.Fuzz(func(t *testing.T, raw uint64) {
+		a := Addr(raw)
+
+		if got := uint64(a.BlockAlign()) + a.BlockOffset(); got != raw {
+			t.Errorf("BlockAlign+BlockOffset = %#x, want %#x", got, raw)
+		}
+		if got := uint64(a.PageAlign()) + a.PageOffset(); got != raw {
+			t.Errorf("PageAlign+PageOffset = %#x, want %#x", got, raw)
+		}
+		if a.BlockAlign().BlockAlign() != a.BlockAlign() {
+			t.Error("BlockAlign is not idempotent")
+		}
+		if a.PageAlign().PageAlign() != a.PageAlign() {
+			t.Error("PageAlign is not idempotent")
+		}
+		if a.BlockAlign().BlockOffset() != 0 {
+			t.Error("BlockAlign left a nonzero block offset")
+		}
+		if a.PageAlign().PageOffset() != 0 {
+			t.Error("PageAlign left a nonzero page offset")
+		}
+		if got, want := a.BlockNumber(), raw>>BlockShift; got != want {
+			t.Errorf("BlockNumber = %#x, want %#x", got, want)
+		}
+		if got, want := a.PageNumber(), raw>>PageShift; got != want {
+			t.Errorf("PageNumber = %#x, want %#x", got, want)
+		}
+		if a.BlockOffset() >= BlockSize {
+			t.Errorf("BlockOffset %d outside [0,%d)", a.BlockOffset(), BlockSize)
+		}
+		if a.PageOffset() >= PageSize {
+			t.Errorf("PageOffset %d outside [0,%d)", a.PageOffset(), PageSize)
+		}
+		// A block never straddles a page (BlockShift < PageShift).
+		if a.BlockAlign().PageNumber() != Addr(raw+BlockSize-1-a.BlockOffset()).PageNumber() {
+			t.Errorf("block containing %#x straddles a page boundary", raw)
+		}
+	})
+}
+
+// FuzzRegionGeometry checks the spatial-region helpers for every
+// power-of-two geometry the paper sweeps (256 B – 16 KB): block indices
+// stay inside the region, BlockAddr inverts BlockIndex, and region
+// numbering is consistent with region bases.
+func FuzzRegionGeometry(f *testing.F) {
+	f.Add(uint64(0x12345678), uint64(4096))
+	f.Add(^uint64(0), uint64(256))
+	f.Add(uint64(0), uint64(16384))
+
+	f.Fuzz(func(t *testing.T, raw, size uint64) {
+		// Clamp size to the supported geometries instead of rejecting, so
+		// the fuzzer spends its budget on addresses.
+		size = 1 << (8 + size%7) // 256 B … 16 KB
+		rc, err := NewRegionConfig(size)
+		if err != nil {
+			t.Fatalf("NewRegionConfig(%d): %v", size, err)
+		}
+		a := Addr(raw)
+
+		idx := rc.BlockIndex(a)
+		if idx < 0 || idx >= rc.Blocks() {
+			t.Fatalf("BlockIndex %d outside [0,%d)", idx, rc.Blocks())
+		}
+		if got := rc.BlockAddr(a, idx); got != a.BlockAlign() {
+			t.Errorf("BlockAddr(base, BlockIndex(a)) = %#x, want block of a %#x", uint64(got), uint64(a.BlockAlign()))
+		}
+		base := rc.RegionBase(a)
+		if uint64(base)%size != 0 {
+			t.Errorf("RegionBase %#x not aligned to %d", uint64(base), size)
+		}
+		if rc.RegionNumber(a) != uint64(base)>>rc.Shift() {
+			t.Errorf("RegionNumber %#x disagrees with RegionBase %#x", rc.RegionNumber(a), uint64(base))
+		}
+		if rc.RegionBase(base) != base {
+			t.Error("RegionBase is not idempotent")
+		}
+		if rc.Blocks() != int(size>>BlockShift) {
+			t.Errorf("Blocks() = %d, want %d", rc.Blocks(), size>>BlockShift)
+		}
+	})
+}

@@ -43,6 +43,7 @@ func (f Footprint) Addrs(rc mem.RegionConfig, base mem.Addr, excludeIdx int) []m
 // buffer across accesses on the issue hot path. Bits are iterated in
 // place, so the only allocation is dst's own growth.
 func (f Footprint) AppendAddrs(dst []mem.Addr, rc mem.RegionConfig, base mem.Addr, excludeIdx int) []mem.Addr {
+	sanCheckFootprint(f, rc.Blocks())
 	for v := uint64(f); v != 0; v &= v - 1 {
 		i := bits.TrailingZeros64(v)
 		if i == excludeIdx {

@@ -1,0 +1,87 @@
+//go:build san
+
+package prefetch
+
+import (
+	"bingo/internal/mem"
+	"bingo/internal/san"
+)
+
+// sanState is the per-table checker state of the runtime invariant
+// sanitizer (build tag `san`).
+type sanState struct {
+	events uint64 // inserts since the last deep sweep
+}
+
+// sanAfterInsert verifies the metadata table's residency invariants after
+// an insertion into key's set: no duplicate tags within the set, and the
+// cached size counter within capacity. Every san.DeepInterval() inserts
+// the whole table is swept and size is recounted from scratch.
+func (t *Table[V]) sanAfterInsert(key uint64) {
+	if !san.Enabled() {
+		return
+	}
+	if t.size < 0 || t.size > len(t.entries) {
+		san.Failf("prefetch.table", 0, san.TableResidency,
+			"size counter %d outside [0,%d]", t.size, len(t.entries))
+	}
+	set := t.set(key)
+	for i := range set {
+		if !set[i].valid {
+			continue
+		}
+		if set[i].lru > t.clock {
+			san.Failf("prefetch.table", 0, san.TableResidency,
+				"entry tag %#x has recency stamp %d beyond table clock %d",
+				set[i].tag, set[i].lru, t.clock)
+		}
+		for j := i + 1; j < len(set); j++ {
+			if set[j].valid && set[j].tag == set[i].tag {
+				san.Failf("prefetch.table", 0, san.TableResidency,
+					"duplicate tag %#x in ways %d and %d of the set for key %#x",
+					set[i].tag, i, j, key)
+			}
+		}
+	}
+	t.san.events++
+	if t.san.events%san.DeepInterval() == 0 {
+		t.sanDeepCheck()
+	}
+}
+
+// sanDeepCheck recounts valid entries across the whole table and verifies
+// the incremental size counter and set-index placement of every tag.
+func (t *Table[V]) sanDeepCheck() {
+	count := 0
+	for i := range t.entries {
+		if !t.entries[i].valid {
+			continue
+		}
+		count++
+		want := int(mem.Mix64(t.entries[i].tag) & t.setMask)
+		if got := i / t.ways; got != want {
+			san.Failf("prefetch.table", 0, san.TableResidency,
+				"tag %#x resident in set %d but hashes to set %d", t.entries[i].tag, got, want)
+		}
+	}
+	if count != t.size {
+		san.Failf("prefetch.table", 0, san.TableResidency,
+			"size counter %d but %d valid entries resident", t.size, count)
+	}
+}
+
+// sanCheckFootprint verifies a footprint stays within the region geometry:
+// a region of `blocks` blocks must never mark a bit at or beyond `blocks`.
+func sanCheckFootprint(f Footprint, blocks int) {
+	if !san.Enabled() {
+		return
+	}
+	if blocks <= 0 || blocks > 64 {
+		san.Failf("prefetch.footprint", 0, san.BingoFootprint,
+			"region geometry of %d blocks outside (0,64]", blocks)
+	}
+	if blocks < 64 && uint64(f)>>uint(blocks) != 0 {
+		san.Failf("prefetch.footprint", 0, san.BingoFootprint,
+			"footprint %#x marks blocks at or beyond region size %d", uint64(f), blocks)
+	}
+}

@@ -16,6 +16,7 @@ type Table[V any] struct {
 	entries []tableEntry[V]
 	clock   uint64
 	size    int
+	san     sanState // runtime invariant sanitizer (empty without -tags=san)
 }
 
 type tableEntry[V any] struct {
@@ -116,6 +117,7 @@ func (t *Table[V]) Insert(key uint64, value V) (evictedKey uint64, evictedVal V,
 		t.size++
 	}
 	*e = tableEntry[V]{valid: true, tag: key, lru: t.clock, value: value}
+	t.sanAfterInsert(key)
 	return evictedKey, evictedVal, evicted
 }
 

@@ -1,0 +1,8 @@
+//go:build san
+
+package san
+
+// Compiled reports whether the binary was built with the sanitizer layer
+// (-tags=san). It is a constant so that `if san.Enabled()` blocks vanish
+// entirely from default builds.
+const Compiled = true

@@ -1,0 +1,53 @@
+package san_test
+
+import (
+	"strings"
+	"testing"
+
+	"bingo/internal/san"
+)
+
+func TestViolationReportIsStructured(t *testing.T) {
+	defer func() {
+		r := recover()
+		v, ok := r.(*san.Violation)
+		if !ok {
+			t.Fatalf("Failf panicked with %T, want *san.Violation", r)
+		}
+		if v.Component != "LLC" || v.Cycle != 1234 || v.Invariant != san.CacheDupTag {
+			t.Errorf("violation fields = %+v", v)
+		}
+		msg := v.Error()
+		for _, want := range []string{"SAN-CACHE-DUP-TAG", "LLC", "1234", "set 7"} {
+			if !strings.Contains(msg, want) {
+				t.Errorf("report %q missing %q", msg, want)
+			}
+		}
+	}()
+	san.Failf("LLC", 1234, san.CacheDupTag, "set %d holds tag %#x twice", 7, 0xabc)
+	t.Fatal("Failf returned without panicking")
+}
+
+func TestRuntimeSwitchRespectsCompiled(t *testing.T) {
+	defer san.Apply(san.Config{Enabled: san.Compiled})
+
+	san.SetEnabled(true)
+	if got := san.Enabled(); got != san.Compiled {
+		t.Errorf("Enabled() after SetEnabled(true) = %v, want Compiled (%v)", got, san.Compiled)
+	}
+	san.SetEnabled(false)
+	if san.Enabled() {
+		t.Error("Enabled() true after SetEnabled(false)")
+	}
+	san.Apply(san.Config{Enabled: true, DeepInterval: 16})
+	if got := san.Enabled(); got != san.Compiled {
+		t.Errorf("Enabled() after Apply = %v, want %v", got, san.Compiled)
+	}
+	if got := san.DeepInterval(); got != 16 {
+		t.Errorf("DeepInterval() = %d, want 16", got)
+	}
+	san.Apply(san.Config{Enabled: true})
+	if got := san.DeepInterval(); got == 0 {
+		t.Error("DeepInterval() = 0 after Apply with zero interval")
+	}
+}

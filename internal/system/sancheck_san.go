@@ -1,0 +1,55 @@
+//go:build san
+
+package system
+
+import "bingo/internal/san"
+
+// sanState is the per-system checker state of the runtime invariant
+// sanitizer (build tag `san`).
+type sanState struct{}
+
+// sanAtAdvance verifies the lockstep clock is strictly monotone and the
+// per-core prefetch queues respect their configured bound. Called on
+// every clock advance of the simulation loop.
+func (s *System) sanAtAdvance(prev, next uint64) {
+	if !san.Enabled() {
+		return
+	}
+	if next <= prev {
+		san.Failf("system", next, san.SysClock,
+			"clock advanced from %d to %d (must be strictly increasing)", prev, next)
+	}
+	for i := range s.pfInflight {
+		if len(s.pfInflight[i]) > s.cfg.PrefetchQueue {
+			san.Failf("system", next, san.SysEvents,
+				"core %d prefetch queue holds %d in-flight entries, capacity %d",
+				i, len(s.pfInflight[i]), s.cfg.PrefetchQueue)
+		}
+	}
+}
+
+// sanAtRunEnd closes the end-to-end event-conservation equations once the
+// simulation loop has drained: every demand access a core dispatched is an
+// L1 access, and every L1 demand miss is exactly one LLC demand access
+// (the hierarchy is synchronous — there is no queue to lose requests in).
+func (s *System) sanAtRunEnd() {
+	if !san.Enabled() {
+		return
+	}
+	now := s.clock
+	var l1Misses uint64
+	for i, l1 := range s.l1s {
+		st := l1.Stats()
+		l1Misses += st.Misses
+		cs := s.cores[i].Stats()
+		if st.Accesses != cs.Loads+cs.Stores {
+			san.Failf("system", now, san.SysEvents,
+				"core %d dispatched %d demand ops (loads %d + stores %d) but its L1 saw %d accesses",
+				i, cs.Loads+cs.Stores, cs.Loads, cs.Stores, st.Accesses)
+		}
+	}
+	if llc := s.llc.Stats(); llc.Accesses != l1Misses {
+		san.Failf("system", now, san.SysEvents,
+			"LLC saw %d demand accesses but the L1s missed %d times", llc.Accesses, l1Misses)
+	}
+}

@@ -41,6 +41,8 @@ type System struct {
 	// from monopolising DRAM.
 	pfInflight [][]uint64
 	pfDropped  uint64
+
+	san sanState // runtime invariant sanitizer (empty without -tags=san)
 }
 
 // New assembles a system. sources must have one trace source per core;
@@ -285,6 +287,7 @@ func (s *System) Run() Results {
 			snaps[i] = coreSnapshot{taken: true, cycle: s.clock, stats: s.cores[i].Stats()}
 		}
 	}
+	s.sanAtRunEnd()
 	return s.collect(start, snaps)
 }
 
@@ -317,7 +320,9 @@ func (s *System) runUntilMark(pred func(core int) bool, mark func(core int, cycl
 		if allReached || allDone {
 			return
 		}
+		prev := s.clock
 		s.clock = s.nextCycle()
+		s.sanAtAdvance(prev, s.clock)
 	}
 }
 

@@ -1,0 +1,114 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// FuzzTraceReader drives the binary trace parser with arbitrary bytes —
+// it must never panic, and whatever it does accept must round-trip: the
+// decoded records, re-encoded through Writer, must decode again to the
+// identical sequence. This pins down the wire format (including the flag
+// bits a writer can produce) against parser drift.
+func FuzzTraceReader(f *testing.F) {
+	// Seed with a well-formed two-record trace, a truncated stream, an
+	// alien header, and an empty input.
+	var good bytes.Buffer
+	w, err := NewWriter(&good, 2)
+	if err != nil {
+		f.Fatal(err)
+	}
+	recs := []Record{
+		{PC: 0x401000, Addr: 0xdeadbeef, Kind: Load, NonMem: 3},
+		{PC: 0x401008, Addr: 0xcafef00d, Kind: Store, Dep: true},
+	}
+	for _, r := range recs {
+		if err := w.Write(r); err != nil {
+			f.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good.Bytes())
+	f.Add(good.Bytes()[:len(good.Bytes())-5])
+	f.Add([]byte("NOTATRACEFILE___"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			return // rejected at the header: fine
+		}
+		var decoded []Record
+		for {
+			rec, ok := r.Next()
+			if !ok {
+				break
+			}
+			decoded = append(decoded, rec)
+		}
+		if r.Err() != nil {
+			return // truncated/corrupt body: fine, as long as it didn't panic
+		}
+		if r.Remaining() != 0 {
+			t.Fatalf("reader stopped with %d records remaining and no error", r.Remaining())
+		}
+
+		// Round-trip what was accepted.
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf, uint64(len(decoded)))
+		if err != nil {
+			t.Fatalf("re-encoding header: %v", err)
+		}
+		for _, rec := range decoded {
+			if err := w.Write(rec); err != nil {
+				t.Fatalf("re-encoding record %+v: %v", rec, err)
+			}
+		}
+		if err := w.Close(); err != nil {
+			t.Fatalf("re-encoding close: %v", err)
+		}
+		r2, err := NewReader(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-decoding header: %v", err)
+		}
+		for i, want := range decoded {
+			got, ok := r2.Next()
+			if !ok {
+				t.Fatalf("re-decoded stream ended at record %d of %d (err=%v)", i, len(decoded), r2.Err())
+			}
+			if got != want {
+				t.Fatalf("record %d changed across round-trip: %+v != %+v", i, got, want)
+			}
+		}
+		if _, ok := r2.Next(); ok {
+			t.Fatal("re-decoded stream has extra records")
+		}
+	})
+}
+
+// FuzzGzipAutoReader feeds arbitrary bytes to the gzip-sniffing opener:
+// no input may panic it or leak a half-open decompressor.
+func FuzzGzipAutoReader(f *testing.F) {
+	f.Add([]byte{0x1f, 0x8b, 0x08, 0x00})
+	f.Add([]byte("BINGOTRC"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, c, err := NewAutoReader(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for {
+			if _, ok := r.Next(); !ok {
+				break
+			}
+		}
+		if c != nil {
+			var _ io.Closer = c
+			// Best effort: fuzz inputs may hold corrupt gzip trailers.
+			_ = c.Close()
+		}
+	})
+}

@@ -30,7 +30,8 @@ func NewAutoReader(r io.Reader) (*Reader, io.Closer, error) {
 		}
 		tr, err := NewReader(gz)
 		if err != nil {
-			gz.Close()
+			// Cleanup on a failure path: the header error wins.
+			_ = gz.Close()
 			return nil, nil, err
 		}
 		return tr, gz, nil
@@ -50,7 +51,8 @@ func NewGzipWriter(w io.Writer, count uint64) (*GzipWriter, error) {
 	gz := gzip.NewWriter(w)
 	tw, err := NewWriter(gz, count)
 	if err != nil {
-		gz.Close()
+		// Cleanup on a failure path: the header-write error wins.
+		_ = gz.Close()
 		return nil, err
 	}
 	return &GzipWriter{Writer: tw, gz: gz}, nil
@@ -59,7 +61,8 @@ func NewGzipWriter(w io.Writer, count uint64) (*GzipWriter, error) {
 // Close flushes the trace then finalises the gzip stream.
 func (w *GzipWriter) Close() error {
 	if err := w.Writer.Close(); err != nil {
-		w.gz.Close()
+		// The trace-finalise error wins; still release the compressor.
+		_ = w.gz.Close()
 		return err
 	}
 	return w.gz.Close()
