@@ -4,7 +4,7 @@ GO ?= go
 # exceeded so future PRs notice a regression.
 LINT_BUDGET_SECONDS ?= 60
 
-.PHONY: all build test short race race-harness vet lint simlint bench bench-runner san-test san-suite fuzz
+.PHONY: all build test short race race-harness vet lint simlint bench bench-runner bench-checkpoint san-test san-suite fuzz
 
 all: build lint test
 
@@ -83,6 +83,7 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzGzipAutoReader -fuzztime $(FUZZ_TIME) ./internal/trace/
 	$(GO) test -run '^$$' -fuzz FuzzAddrHelpers -fuzztime $(FUZZ_TIME) ./internal/mem/
 	$(GO) test -run '^$$' -fuzz FuzzRegionGeometry -fuzztime $(FUZZ_TIME) ./internal/mem/
+	$(GO) test -run '^$$' -fuzz FuzzCheckpointReader -fuzztime $(FUZZ_TIME) ./internal/checkpoint/
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -91,3 +92,8 @@ bench:
 # fast-budget benchmark matrix subset on this machine.
 bench-runner:
 	BENCH_RUNNER_JSON=$(CURDIR)/BENCH_runner.json $(GO) test -run TestEmitRunnerBench -v ./internal/harness/
+
+# Regenerates BENCH_checkpoint.json: cold vs warm-start (checkpoint
+# reuse) matrix time on this machine, verifying byte-identical tables.
+bench-checkpoint:
+	BENCH_CHECKPOINT_JSON=$(CURDIR)/BENCH_checkpoint.json $(GO) test -run TestEmitCheckpointBench -v ./internal/harness/

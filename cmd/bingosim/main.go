@@ -8,12 +8,19 @@
 //	bingosim -workload Mix1 -prefetcher none -measure 2000000
 //	bingosim -trace run.trc -prefetcher sms   # replay a recorded trace
 //	bingosim -list                            # show workloads & prefetchers
+//
+// Checkpointing:
+//
+//	bingosim -workload em3d -checkpoint-out warm.ckpt     # save at end of warm-up
+//	bingosim -workload em3d -checkpoint-out run.ckpt -checkpoint-every 100000
+//	bingosim -workload em3d -resume run.ckpt              # continue from a checkpoint
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"bingo/internal/harness"
 	"bingo/internal/san"
@@ -33,6 +40,9 @@ func main() {
 		listFlag     = flag.Bool("list", false, "list workloads and prefetchers, then exit")
 		compareFlag  = flag.Bool("compare", false, "also run the no-prefetcher baseline and report speedup/coverage")
 		sanFlag      = flag.Bool("san", san.Compiled, "runtime invariant checking (needs a -tags=san build)")
+		ckptOutFlag  = flag.String("checkpoint-out", "", "save a checkpoint to this file: at end of warm-up, or periodically with -checkpoint-every")
+		ckptEvery    = flag.Uint64("checkpoint-every", 0, "with -checkpoint-out: overwrite the checkpoint every N cycles while running to completion")
+		resumeFlag   = flag.String("resume", "", "restore simulation state from a checkpoint file before running (same workload, prefetcher, and configuration required)")
 	)
 	flag.Parse()
 
@@ -50,6 +60,16 @@ func main() {
 		fmt.Printf("prefetchers: %v\n", harness.PrefetcherNames())
 		return
 	}
+	if *ckptEvery > 0 && *ckptOutFlag == "" {
+		fmt.Fprintln(os.Stderr, "bingosim: -checkpoint-every requires -checkpoint-out")
+		os.Exit(2)
+	}
+	if *resumeFlag != "" && *ckptOutFlag != "" && *ckptEvery == 0 {
+		// An end-of-warm-up save needs the system still in its warm-up
+		// phase, which a resumed run may already have left.
+		fmt.Fprintln(os.Stderr, "bingosim: -resume with -checkpoint-out needs -checkpoint-every (the resumed state may be past warm-up)")
+		os.Exit(2)
+	}
 
 	opts := harness.DefaultRunOptions()
 	opts.Seed = *seedFlag
@@ -60,12 +80,12 @@ func main() {
 		opts.System.MeasureInstr = *measureFlag
 	}
 
-	var run func(prefetcher string) (system.Results, error)
+	var build func(prefetcher string) (*system.System, func() error, error)
 	var label string
 	if *traceFlag != "" {
 		label = *traceFlag
-		run = func(prefetcher string) (system.Results, error) {
-			return replayTrace(*traceFlag, prefetcher, opts)
+		build = func(prefetcher string) (*system.System, func() error, error) {
+			return buildTraceSystem(*traceFlag, prefetcher, opts)
 		}
 	} else {
 		w, ok := workloads.ByName(*workloadFlag)
@@ -74,12 +94,35 @@ func main() {
 			os.Exit(2)
 		}
 		label = w.Name
-		run = func(prefetcher string) (system.Results, error) {
-			return harness.RunNamed(w, prefetcher, opts)
+		build = func(prefetcher string) (*system.System, func() error, error) {
+			factory, err := harness.FactoryByName(prefetcher)
+			if err != nil {
+				return nil, nil, err
+			}
+			sys, err := harness.BuildSystem(w, factory, opts)
+			return sys, nil, err
 		}
 	}
 
-	res, err := run(*pfFlag)
+	run := func(prefetcher string, checkpointed bool) (system.Results, error) {
+		sys, cleanup, err := build(prefetcher)
+		if err != nil {
+			return system.Results{}, err
+		}
+		if cleanup != nil {
+			defer func() {
+				if cerr := cleanup(); cerr != nil {
+					fmt.Fprintf(os.Stderr, "bingosim: closing trace: %v\n", cerr)
+				}
+			}()
+		}
+		if !checkpointed {
+			return sys.Run(), nil
+		}
+		return execute(sys, *resumeFlag, *ckptOutFlag, *ckptEvery)
+	}
+
+	res, err := run(*pfFlag, true)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "bingosim: %v\n", err)
 		os.Exit(1)
@@ -87,7 +130,9 @@ func main() {
 	fmt.Printf("workload=%s\n%s", label, res)
 
 	if *compareFlag && *pfFlag != "none" {
-		base, err := run("none")
+		// The baseline always runs cold: a checkpoint records one exact
+		// machine, and the no-prefetcher baseline is a different one.
+		base, err := run("none", false)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "bingosim: baseline: %v\n", err)
 			os.Exit(1)
@@ -100,37 +145,124 @@ func main() {
 	}
 }
 
-// replayTrace runs the same recorded trace on every core.
-func replayTrace(path, prefetcher string, opts harness.RunOptions) (system.Results, error) {
+// execute runs sys to completion, applying the checkpoint flags: restore
+// from resume first, then either save once at the end of warm-up
+// (ckptOut alone) or overwrite ckptOut every `every` cycles while the
+// run completes. The printed results are identical with or without
+// checkpointing — saving is a pure observer at the cycle boundary.
+func execute(sys *system.System, resume, ckptOut string, every uint64) (system.Results, error) {
+	if resume != "" {
+		f, err := os.Open(resume)
+		if err != nil {
+			return system.Results{}, err
+		}
+		loadErr := sys.LoadCheckpoint(f)
+		closeErr := f.Close()
+		if loadErr != nil {
+			return system.Results{}, fmt.Errorf("resuming from %s: %w", resume, loadErr)
+		}
+		if closeErr != nil {
+			return system.Results{}, closeErr
+		}
+	}
+
+	switch {
+	case ckptOut != "" && every == 0:
+		sys.RunWarmup()
+		if err := saveCheckpointFile(sys, ckptOut); err != nil {
+			return system.Results{}, err
+		}
+		return sys.Run(), nil
+	case ckptOut != "":
+		var hookErr error
+		next := sys.Clock() + every
+		sys.SetAdvanceHook(func(cycle uint64) bool {
+			if cycle < next {
+				return false
+			}
+			for next <= cycle {
+				next += every
+			}
+			if err := saveCheckpointFile(sys, ckptOut); err != nil {
+				hookErr = err
+				return true // pause: abort the run on a failed save
+			}
+			return false
+		})
+		res, paused := sys.RunResumable()
+		if paused {
+			return system.Results{}, hookErr
+		}
+		return res, nil
+	default:
+		return sys.Run(), nil
+	}
+}
+
+// saveCheckpointFile writes sys's checkpoint atomically: a temp file in
+// the target directory, renamed over path only once fully written, so an
+// interrupted save never leaves a truncated checkpoint behind.
+func saveCheckpointFile(sys *system.System, path string) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".ckpt-*")
+	if err != nil {
+		return err
+	}
+	saveErr := sys.SaveCheckpoint(tmp)
+	closeErr := tmp.Close()
+	if saveErr == nil {
+		saveErr = closeErr
+	}
+	if saveErr == nil {
+		saveErr = os.Rename(tmp.Name(), path)
+	}
+	if saveErr != nil {
+		_ = os.Remove(tmp.Name()) // best-effort temp cleanup: the save error wins
+		return fmt.Errorf("saving checkpoint %s: %w", path, saveErr)
+	}
+	return nil
+}
+
+// buildTraceSystem constructs a system replaying the same recorded trace
+// on every core. The returned cleanup closes the trace readers; its
+// error is reported (the files are read-only, so a close failure cannot
+// lose data, but it should not pass silently).
+func buildTraceSystem(path, prefetcher string, opts harness.RunOptions) (*system.System, func() error, error) {
 	factory, err := harness.FactoryByName(prefetcher)
 	if err != nil {
-		return system.Results{}, err
+		return nil, nil, err
 	}
 	sources := make([]trace.Source, opts.System.NumCores)
-	files := make([]*os.File, 0, opts.System.NumCores)
-	defer func() {
-		for _, f := range files {
-			f.Close()
+	var closers []func() error
+	cleanup := func() error {
+		var first error
+		for _, c := range closers {
+			if err := c(); err != nil && first == nil {
+				first = err
+			}
 		}
-	}()
+		return first
+	}
 	for i := range sources {
 		f, err := os.Open(path)
 		if err != nil {
-			return system.Results{}, err
+			_ = cleanup() // best-effort: the open error wins
+			return nil, nil, err
 		}
-		files = append(files, f)
+		closers = append(closers, f.Close)
 		r, closer, err := trace.NewAutoReader(f)
 		if err != nil {
-			return system.Results{}, err
+			_ = cleanup() // best-effort: the reader error wins
+			return nil, nil, err
 		}
 		if closer != nil {
-			defer closer.Close()
+			closers = append(closers, closer.Close)
 		}
 		sources[i] = r
 	}
 	sys, err := system.New(opts.System, sources, factory)
 	if err != nil {
-		return system.Results{}, err
+		_ = cleanup() // best-effort: the construction error wins
+		return nil, nil, err
 	}
-	return sys.Run(), nil
+	return sys, cleanup, nil
 }

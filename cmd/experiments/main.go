@@ -9,6 +9,7 @@
 //	experiments -exp fig7,fig8,fig9   # several (they share runs)
 //	experiments -fast                 # reduced instruction budgets
 //	experiments -exp all -fast -j 8   # warm the run matrix on 8 workers
+//	experiments -warm-reuse .warm     # reuse end-of-warm-up checkpoints
 //
 // Artefact names: table1 table2 fig2 fig3 fig4 fig6 fig7 fig8 fig9 fig10
 // ablate-vote ablate-region ablate-sharing ablate-queue ablate-bandwidth
@@ -40,6 +41,7 @@ func main() {
 		jobsFlag   = flag.Int("j", 0, "simulation workers; 1 = sequential, 0 = GOMAXPROCS")
 		quietFlag  = flag.Bool("quiet", false, "suppress the stderr run report")
 		sanFlag    = flag.Bool("san", san.Compiled, "runtime invariant checking (needs a -tags=san build)")
+		warmFlag   = flag.String("warm-reuse", "", "cache end-of-warm-up checkpoints in this directory and restore them on later runs (tables stay byte-identical)")
 	)
 	flag.Parse()
 
@@ -66,6 +68,7 @@ func main() {
 		Format:      *formatFlag,
 		BudgetLabel: budgetName(*fastFlag),
 		Report:      report,
+		WarmDir:     *warmFlag,
 	}
 	if err := harness.RunSuite(os.Stdout, cfg); err != nil {
 		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)

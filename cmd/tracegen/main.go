@@ -40,8 +40,6 @@ func main() {
 		fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
 		os.Exit(1)
 	}
-	defer f.Close()
-
 	var w interface {
 		Write(trace.Record) error
 		Close() error
@@ -69,6 +67,13 @@ func main() {
 		}
 	}
 	if err := w.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+		os.Exit(1)
+	}
+	// The trace writer buffers; only a successful file close proves the
+	// records reached disk. (Early os.Exit paths above leak the handle to
+	// process teardown, which is fine — the output is bad either way.)
+	if err := f.Close(); err != nil {
 		fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
 		os.Exit(1)
 	}

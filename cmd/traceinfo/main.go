@@ -30,7 +30,7 @@ func main() {
 	)
 	flag.Parse()
 
-	src, label, err := buildSource(*traceFlag, *workloadFlag, *kernelFlag, *seedFlag)
+	src, label, cleanup, err := buildSource(*traceFlag, *workloadFlag, *kernelFlag, *seedFlag)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "traceinfo: %v\n", err)
 		os.Exit(2)
@@ -41,6 +41,15 @@ func main() {
 		max = 0 // whole file
 	}
 	recs := trace.Collect(src, max)
+	if cleanup != nil {
+		// Close the trace reader once fully consumed: a close error here
+		// (e.g. a truncated gzip stream) means the statistics below were
+		// computed from an incomplete record set.
+		if err := cleanup(); err != nil {
+			fmt.Fprintf(os.Stderr, "traceinfo: closing trace: %v\n", err)
+			os.Exit(1)
+		}
+	}
 	summary := trace.Analyze(trace.NewSliceSource(recs), 0)
 	fmt.Printf("source: %s\n%s", label, summary)
 
@@ -53,7 +62,10 @@ func main() {
 	}
 }
 
-func buildSource(tracePath, workload, kernel string, seed int64) (trace.Source, string, error) {
+// buildSource resolves the requested stream. For file-backed traces the
+// returned cleanup closes the decompressor (if any) and the file; it is
+// nil for generated streams.
+func buildSource(tracePath, workload, kernel string, seed int64) (trace.Source, string, func() error, error) {
 	set := 0
 	for _, s := range []string{tracePath, workload, kernel} {
 		if s != "" {
@@ -61,30 +73,41 @@ func buildSource(tracePath, workload, kernel string, seed int64) (trace.Source, 
 		}
 	}
 	if set != 1 {
-		return nil, "", fmt.Errorf("exactly one of -trace, -workload, -kernel is required")
+		return nil, "", nil, fmt.Errorf("exactly one of -trace, -workload, -kernel is required")
 	}
 	switch {
 	case tracePath != "":
 		f, err := os.Open(tracePath)
 		if err != nil {
-			return nil, "", err
+			return nil, "", nil, err
 		}
-		r, _, err := trace.NewAutoReader(f)
+		r, closer, err := trace.NewAutoReader(f)
 		if err != nil {
-			return nil, "", err
+			_ = f.Close() // best-effort: the reader error wins
+			return nil, "", nil, err
 		}
-		return r, tracePath, nil
+		cleanup := func() error {
+			var first error
+			if closer != nil {
+				first = closer.Close()
+			}
+			if err := f.Close(); err != nil && first == nil {
+				first = err
+			}
+			return first
+		}
+		return r, tracePath, cleanup, nil
 	case kernel != "":
 		src, ok := workloads.KernelByName(kernel, seed, 0)
 		if !ok {
-			return nil, "", fmt.Errorf("unknown kernel %q (have %v)", kernel, workloads.SpecKernelNames())
+			return nil, "", nil, fmt.Errorf("unknown kernel %q (have %v)", kernel, workloads.SpecKernelNames())
 		}
-		return src, "kernel " + kernel, nil
+		return src, "kernel " + kernel, nil, nil
 	default:
 		w, ok := workloads.ByName(workload)
 		if !ok {
-			return nil, "", fmt.Errorf("unknown workload %q (have %v)", workload, workloads.Names())
+			return nil, "", nil, fmt.Errorf("unknown workload %q (have %v)", workload, workloads.Names())
 		}
-		return w.Sources(1, seed)[0], "workload " + workload, nil
+		return w.Sources(1, seed)[0], "workload " + workload, nil, nil
 	}
 }

@@ -1,0 +1,205 @@
+package cache
+
+import (
+	"fmt"
+	"math/rand"
+
+	"bingo/internal/checkpoint"
+)
+
+// Replacement-policy discriminators in the checkpoint payload.
+const (
+	policyStateLRU uint8 = iota
+	policyStateRandom
+	policyStateTree
+)
+
+// maxRandomReplay bounds the RNG replay a snapshot may demand; a corrupt
+// cursor must not turn restore into an unbounded loop.
+const maxRandomReplay = 1 << 32
+
+// SaveState implements checkpoint.Checkpointable: counters, every line
+// (struct-of-arrays over the set backing store), then the replacement
+// policy's state behind a discriminator byte.
+func (c *Cache) SaveState(w *checkpoint.Writer) error {
+	w.Version(1)
+	s := c.stats
+	w.U64(s.Accesses)
+	w.U64(s.Hits)
+	w.U64(s.Misses)
+	w.U64(s.LateHits)
+	w.U64(s.PrefetchIssued)
+	w.U64(s.PrefetchFills)
+	w.U64(s.PrefetchHits)
+	w.U64(s.UsefulPrefetch)
+	w.U64(s.LatePrefetch)
+	w.U64(s.UnusedPrefetch)
+	w.U64(s.Evictions)
+	w.U64(s.Writebacks)
+
+	n := len(c.sets) * c.cfg.Assoc
+	tags := make([]uint64, 0, n)
+	valid := make([]bool, 0, n)
+	dirty := make([]bool, 0, n)
+	prefetched := make([]bool, 0, n)
+	arrival := make([]uint64, 0, n)
+	fillCore := make([]int, 0, n)
+	for si := range c.sets {
+		for _, ln := range c.sets[si] {
+			tags = append(tags, ln.tag)
+			valid = append(valid, ln.valid)
+			dirty = append(dirty, ln.dirty)
+			prefetched = append(prefetched, ln.prefetched)
+			arrival = append(arrival, ln.arrival)
+			fillCore = append(fillCore, ln.fillCore)
+		}
+	}
+	w.U64s(tags)
+	w.Bools(valid)
+	w.Bools(dirty)
+	w.Bools(prefetched)
+	w.U64s(arrival)
+	w.Ints(fillCore)
+
+	switch p := c.policy.(type) {
+	case *lruPolicy:
+		w.U8(policyStateLRU)
+		w.U64(p.clock)
+		w.U64s(p.last)
+	case *randomPolicy:
+		w.U8(policyStateRandom)
+		w.U64(p.draws)
+	case *treePLRU:
+		w.U8(policyStateTree)
+		flat := make([]bool, 0, len(c.sets)*(c.cfg.Assoc-1))
+		for _, bits := range p.bits {
+			flat = append(flat, bits...)
+		}
+		w.Bools(flat)
+	default:
+		return fmt.Errorf("cache %s: replacement policy %T is not checkpointable", c.cfg.Name, c.policy)
+	}
+	return w.Err()
+}
+
+// LoadState implements checkpoint.Checkpointable. It must be called on a
+// freshly built cache of the identical configuration; the snapshot's
+// geometry and policy kind are validated before any state is committed,
+// and under -tags=san the full invariant sweep runs on the restored
+// contents.
+func (c *Cache) LoadState(r *checkpoint.Reader) error {
+	if c.stats != (Stats{}) {
+		return fmt.Errorf("cache %s: checkpoint restore requires a freshly built cache", c.cfg.Name)
+	}
+	r.Version(1)
+	var s Stats
+	s.Accesses = r.U64()
+	s.Hits = r.U64()
+	s.Misses = r.U64()
+	s.LateHits = r.U64()
+	s.PrefetchIssued = r.U64()
+	s.PrefetchFills = r.U64()
+	s.PrefetchHits = r.U64()
+	s.UsefulPrefetch = r.U64()
+	s.LatePrefetch = r.U64()
+	s.UnusedPrefetch = r.U64()
+	s.Evictions = r.U64()
+	s.Writebacks = r.U64()
+
+	tags := r.U64s()
+	valid := r.Bools()
+	dirty := r.Bools()
+	prefetched := r.Bools()
+	arrival := r.U64s()
+	fillCore := r.Ints()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	n := len(c.sets) * c.cfg.Assoc
+	if len(tags) != n || len(valid) != n || len(dirty) != n ||
+		len(prefetched) != n || len(arrival) != n || len(fillCore) != n {
+		return fmt.Errorf("cache %s: snapshot holds %d lines, cache has %d (configuration mismatch)", c.cfg.Name, len(tags), n)
+	}
+	// Valid lines must index into the set that stores them — a tag that
+	// hashes elsewhere is a silently-wrong snapshot, not a usable one.
+	for i := 0; i < n; i++ {
+		if valid[i] && tags[i]&c.setMask != uint64(i/c.cfg.Assoc) {
+			return fmt.Errorf("cache %s: snapshot line %d holds block %#x which maps to a different set", c.cfg.Name, i, tags[i])
+		}
+	}
+
+	kind := r.U8()
+	switch p := c.policy.(type) {
+	case *lruPolicy:
+		clock := r.U64()
+		last := r.U64s()
+		if err := r.Err(); err != nil {
+			return err
+		}
+		if kind != policyStateLRU {
+			return fmt.Errorf("cache %s: snapshot policy kind %d, cache uses LRU", c.cfg.Name, kind)
+		}
+		if len(last) != n {
+			return fmt.Errorf("cache %s: LRU snapshot holds %d stamps, want %d", c.cfg.Name, len(last), n)
+		}
+		for i, t := range last {
+			if t > clock {
+				return fmt.Errorf("cache %s: LRU stamp %d of line %d ahead of policy clock %d", c.cfg.Name, t, i, clock)
+			}
+		}
+		p.clock = clock
+		p.last = last
+	case *randomPolicy:
+		draws := r.U64()
+		if err := r.Err(); err != nil {
+			return err
+		}
+		if kind != policyStateRandom {
+			return fmt.Errorf("cache %s: snapshot policy kind %d, cache uses random replacement", c.cfg.Name, kind)
+		}
+		if draws > maxRandomReplay {
+			return fmt.Errorf("cache %s: random-policy cursor %d exceeds replay limit", c.cfg.Name, draws)
+		}
+		// Reposition the deterministic stream by replaying it from the
+		// fixed seed (see newPolicy).
+		p.rng = rand.New(rand.NewSource(1))
+		for i := uint64(0); i < draws; i++ {
+			p.rng.Intn(p.assoc)
+		}
+		p.draws = draws
+	case *treePLRU:
+		flat := r.Bools()
+		if err := r.Err(); err != nil {
+			return err
+		}
+		if kind != policyStateTree {
+			return fmt.Errorf("cache %s: snapshot policy kind %d, cache uses tree-PLRU", c.cfg.Name, kind)
+		}
+		if want := len(c.sets) * (c.cfg.Assoc - 1); len(flat) != want {
+			return fmt.Errorf("cache %s: tree-PLRU snapshot holds %d bits, want %d", c.cfg.Name, len(flat), want)
+		}
+		for si := range p.bits {
+			copy(p.bits[si], flat[si*(c.cfg.Assoc-1):])
+		}
+	default:
+		return fmt.Errorf("cache %s: replacement policy %T is not checkpointable", c.cfg.Name, c.policy)
+	}
+
+	for si := range c.sets {
+		set := c.sets[si]
+		for w := range set {
+			i := si*c.cfg.Assoc + w
+			set[w] = line{
+				tag:        tags[i],
+				valid:      valid[i],
+				dirty:      dirty[i],
+				prefetched: prefetched[i],
+				arrival:    arrival[i],
+				fillCore:   fillCore[i],
+			}
+		}
+	}
+	c.stats = s
+	c.sanPostRestore()
+	return nil
+}

@@ -81,11 +81,18 @@ func (p *lruPolicy) Victim(set int) int {
 type randomPolicy struct {
 	assoc int
 	rng   *rand.Rand
+	// draws counts Victim calls. The RNG stream is deterministic from its
+	// fixed seed, so a checkpoint stores only this cursor and restore
+	// replays the stream to reposition it (see LoadState in checkpoint.go).
+	draws uint64
 }
 
 func (p *randomPolicy) Touch(int, int) {}
 
-func (p *randomPolicy) Victim(int) int { return p.rng.Intn(p.assoc) }
+func (p *randomPolicy) Victim(int) int {
+	p.draws++
+	return p.rng.Intn(p.assoc)
+}
 
 // treePLRU keeps assoc-1 direction bits per set, arranged as an implicit
 // binary tree: node i's children are 2i+1 and 2i+2; a bit of 0 means the

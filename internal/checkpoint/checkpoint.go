@@ -1,0 +1,88 @@
+// Package checkpoint is the deterministic snapshot/restore codec for the
+// simulator: a self-describing, versioned binary container plus the
+// Writer/Reader primitives stateful components use to serialise
+// themselves.
+//
+// # Container layout
+//
+// A checkpoint file is an uncompressed 12-byte header followed by one
+// gzip stream:
+//
+//	[8]byte  magic "BINGOCKP"
+//	uint32   container format version (FormatVersion), little-endian
+//	gzip {
+//	    uint32 section count
+//	    per section:
+//	        uint16 id length, id bytes (e.g. "system", "cache:llc")
+//	        uint64 payload length
+//	        uint32 CRC-32 (IEEE) of the payload
+//	        payload bytes
+//	}
+//
+// Every multi-byte integer in the container and in section payloads is
+// little-endian, matching the trace wire format. Corruption anywhere is
+// detected before any component state is committed: the per-section CRC
+// covers each payload, and the gzip stream's own checksum covers the
+// framing between them (FileReader always consumes the stream to EOF so
+// that checksum is verified).
+//
+// # Sections and schemas
+//
+// Each stateful component owns one section. Section payloads start with a
+// component format version (Writer.Version) and then a fixed sequence of
+// primitive fields; collections are encoded struct-of-arrays via the bulk
+// ops (U64s, Ints, Bools, ...) so a section's field sequence — its schema
+// — does not depend on how much state the component happens to hold. The
+// Writer records that sequence as a token string ("v1 u64*12 bools ...")
+// which the golden-schema test pins; any state-struct change that alters
+// the wire format fails that test and forces a version bump. At load
+// time, Reader.Close errors if a section was not consumed exactly, so a
+// schema drift that survives the version check still fails loudly.
+//
+// # Determinism contract
+//
+// A checkpoint captures the complete simulation state at a clock
+// boundary: restoring it into a freshly built identical System and
+// continuing must be indistinguishable — deep-equal final stats,
+// byte-identical output — from never having paused. State that is
+// reconstructed rather than stored (trace source positions, RNG streams)
+// is captured as replay counters; see the component LoadState
+// implementations and DESIGN.md §7.
+package checkpoint
+
+import "errors"
+
+// Magic identifies a checkpoint file; first 8 bytes, uncompressed.
+const Magic = "BINGOCKP"
+
+// FormatVersion is the container layout version. Bump it when the header
+// or section framing changes; component payload changes bump the
+// per-section version written by Writer.Version instead.
+const FormatVersion uint32 = 1
+
+// Hard caps keeping the reader safe on hostile input (fuzzing): no count
+// read from the file may provoke an allocation larger than the data that
+// actually backs it.
+const (
+	maxSections     = 4096
+	maxIDLen        = 255
+	maxSectionBytes = 1 << 28 // 256 MiB decompressed per section
+	maxTotalBytes   = 1 << 29 // 512 MiB decompressed per checkpoint
+)
+
+// ErrBadMagic reports that the input does not start with Magic — it is
+// not a checkpoint file at all.
+var ErrBadMagic = errors.New("checkpoint: bad magic (not a checkpoint file)")
+
+// Checkpointable is implemented by every stateful component that can
+// serialise itself into one checkpoint section and restore from it.
+//
+// LoadState must be called on a freshly constructed component with the
+// same configuration that produced the snapshot; implementations validate
+// what they can (lengths, ranges, structural invariants) and return an
+// error — leaving no silently-wrong state behind as far as practical —
+// when the payload does not match.
+type Checkpointable interface {
+	SaveState(w *Writer) error
+	LoadState(r *Reader) error
+}

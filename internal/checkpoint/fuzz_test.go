@@ -1,0 +1,62 @@
+package checkpoint
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzCheckpointReader feeds arbitrary bytes to the container parser and
+// a section decoder: corrupt, truncated, or bit-flipped snapshots must
+// return errors — never panic, never hang on a huge allocation, and
+// never hand back a payload whose CRC does not match.
+func FuzzCheckpointReader(f *testing.F) {
+	// Seed with a valid container and a few near-misses.
+	fw := NewFileWriter()
+	_ = fw.Add("system", func(w *Writer) error {
+		w.Version(1)
+		w.U64(123456)
+		w.U64s([]uint64{1, 2, 3, 4})
+		w.Bools([]bool{true, false, true})
+		w.String("meta")
+		return w.Err()
+	})
+	_ = fw.Add("cache:llc", func(w *Writer) error {
+		w.Version(1)
+		w.Ints([]int{-1, 0, 7})
+		return w.Err()
+	})
+	var valid bytes.Buffer
+	if _, err := fw.WriteTo(&valid); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	f.Add([]byte(Magic))
+	f.Add(append([]byte(Magic), 1, 0, 0, 0))
+	f.Add([]byte{})
+	truncated := valid.Bytes()[:valid.Len()/2]
+	f.Add(append([]byte(nil), truncated...))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr, err := NewFileReader(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Whatever parsed must be internally consistent: every listed
+		// section resolvable, and decoding past the payload end must
+		// surface an error through the sticky Reader, not a panic.
+		for _, id := range fr.Sections() {
+			r, err := fr.Section(id)
+			if err != nil {
+				t.Fatalf("listed section %q missing: %v", id, err)
+			}
+			r.Version(1)
+			_ = r.U64()
+			_ = r.U64s()
+			_ = r.Bools()
+			_ = r.Ints()
+			_ = r.String()
+			_ = r.Bool()
+			_ = r.Close()
+		}
+	})
+}

@@ -1,0 +1,305 @@
+package checkpoint
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Reader decodes one section payload. Errors are sticky: after the first
+// failure every subsequent getter returns a zero value, and Err (or
+// Close) reports the failure. Every count read from the payload is
+// bounded by the bytes that remain, so a corrupt length cannot provoke a
+// huge allocation.
+type Reader struct {
+	id   string
+	data []byte
+	off  int
+	err  error
+}
+
+// failf records the first error, tagged with the section id.
+func (r *Reader) failf(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf("checkpoint: section %q: %s", r.id, fmt.Sprintf(format, args...))
+	}
+}
+
+// Err returns the first decode error, or nil.
+func (r *Reader) Err() error { return r.err }
+
+// Close verifies the section was consumed exactly: trailing bytes mean
+// the reader's schema is behind the writer's. It returns the sticky
+// error if one is pending.
+func (r *Reader) Close() error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.off != len(r.data) {
+		return fmt.Errorf("checkpoint: section %q: %d trailing bytes (schema drift?)", r.id, len(r.data)-r.off)
+	}
+	return nil
+}
+
+// take returns the next n bytes, or nil after recording an error.
+func (r *Reader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || len(r.data)-r.off < n {
+		r.failf("truncated: need %d bytes, %d left", n, len(r.data)-r.off)
+		return nil
+	}
+	b := r.data[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+func (r *Reader) uint(n int) uint64 {
+	b := r.take(n)
+	if b == nil {
+		return 0
+	}
+	var scratch [8]byte
+	copy(scratch[:], b)
+	return binary.LittleEndian.Uint64(scratch[:])
+}
+
+// Version reads the component format version and errors unless it equals
+// want.
+func (r *Reader) Version(want uint16) {
+	got := uint16(r.uint(2))
+	if r.err == nil && got != want {
+		r.failf("payload format version %d, want %d", got, want)
+	}
+}
+
+// U8 reads one byte.
+func (r *Reader) U8() uint8 { return uint8(r.uint(1)) }
+
+// U32 reads a uint32.
+func (r *Reader) U32() uint32 { return uint32(r.uint(4)) }
+
+// U64 reads a uint64.
+func (r *Reader) U64() uint64 { return r.uint(8) }
+
+// I64 reads an int64.
+func (r *Reader) I64() int64 { return int64(r.uint(8)) }
+
+// Int reads an int64-encoded int.
+func (r *Reader) Int() int { return int(int64(r.uint(8))) }
+
+// Bool reads a one-byte bool, rejecting values other than 0 and 1.
+func (r *Reader) Bool() bool {
+	b := r.uint(1)
+	if r.err == nil && b > 1 {
+		r.failf("invalid bool byte %d", b)
+	}
+	return b == 1
+}
+
+// count reads a collection length and bounds it so the upcoming
+// allocation cannot exceed the bytes actually present.
+func (r *Reader) count(elemBytes int) int {
+	c := r.uint(4)
+	if r.err != nil {
+		return 0
+	}
+	if max := uint64(len(r.data)-r.off) / uint64(elemBytes); c > max {
+		r.failf("collection length %d exceeds remaining payload", c)
+		return 0
+	}
+	return int(c)
+}
+
+// String reads a length-prefixed string.
+func (r *Reader) String() string {
+	n := r.count(1)
+	b := r.take(n)
+	if b == nil {
+		return ""
+	}
+	return string(b)
+}
+
+// U64s reads a length-prefixed []uint64.
+func (r *Reader) U64s() []uint64 {
+	n := r.count(8)
+	if r.err != nil {
+		return nil
+	}
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = r.uint(8)
+	}
+	return out
+}
+
+// I64s reads a length-prefixed []int64.
+func (r *Reader) I64s() []int64 {
+	n := r.count(8)
+	if r.err != nil {
+		return nil
+	}
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = int64(r.uint(8))
+	}
+	return out
+}
+
+// Ints reads a length-prefixed []int (int64-encoded elements).
+func (r *Reader) Ints() []int {
+	n := r.count(8)
+	if r.err != nil {
+		return nil
+	}
+	out := make([]int, n)
+	for i := range out {
+		out[i] = int(int64(r.uint(8)))
+	}
+	return out
+}
+
+// Bools reads a length-prefixed bit-packed []bool.
+func (r *Reader) Bools() []bool {
+	c := r.uint(4)
+	if r.err != nil {
+		return nil
+	}
+	nb := (c + 7) / 8
+	if uint64(len(r.data)-r.off) < nb {
+		r.failf("collection length %d exceeds remaining payload", c)
+		return nil
+	}
+	packed := r.take(int(nb))
+	out := make([]bool, c)
+	for i := range out {
+		out[i] = packed[i/8]&(1<<(i%8)) != 0
+	}
+	return out
+}
+
+// FileReader parses a whole container up front — header, framing, every
+// section payload, every CRC, and the gzip stream checksum — so that by
+// the time any component sees a Reader, the bytes it decodes are known
+// intact.
+type FileReader struct {
+	order []string
+	byID  map[string][]byte
+}
+
+// readUint pulls a little-endian integer of n bytes from src.
+func readUint(src io.Reader, scratch *[8]byte, n int) (uint64, error) {
+	for i := range scratch {
+		scratch[i] = 0
+	}
+	if _, err := io.ReadFull(src, scratch[:n]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(scratch[:]), nil
+}
+
+// NewFileReader parses a checkpoint container from r.
+func NewFileReader(r io.Reader) (*FileReader, error) {
+	var hdr [12]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("checkpoint: reading header: %w", err)
+	}
+	if string(hdr[:8]) != Magic {
+		return nil, ErrBadMagic
+	}
+	if v := binary.LittleEndian.Uint32(hdr[8:]); v != FormatVersion {
+		return nil, fmt.Errorf("checkpoint: container format version %d, want %d", v, FormatVersion)
+	}
+	gz, err := gzip.NewReader(r)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: opening section stream: %w", err)
+	}
+	fr := &FileReader{byID: make(map[string][]byte)}
+	var scratch [8]byte
+	nsec, err := readUint(gz, &scratch, 4)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: reading section count: %w", err)
+	}
+	if nsec > maxSections {
+		return nil, fmt.Errorf("checkpoint: section count %d exceeds limit %d", nsec, maxSections)
+	}
+	var total uint64
+	for i := uint64(0); i < nsec; i++ {
+		idLen, err := readUint(gz, &scratch, 2)
+		if err != nil {
+			return nil, fmt.Errorf("checkpoint: reading section %d id: %w", i, err)
+		}
+		if idLen == 0 || idLen > maxIDLen {
+			return nil, fmt.Errorf("checkpoint: section %d: invalid id length %d", i, idLen)
+		}
+		idBytes := make([]byte, idLen)
+		if _, err := io.ReadFull(gz, idBytes); err != nil {
+			return nil, fmt.Errorf("checkpoint: reading section %d id: %w", i, err)
+		}
+		id := string(idBytes)
+		if _, dup := fr.byID[id]; dup {
+			return nil, fmt.Errorf("checkpoint: duplicate section %q", id)
+		}
+		plen, err := readUint(gz, &scratch, 8)
+		if err != nil {
+			return nil, fmt.Errorf("checkpoint: section %q: reading length: %w", id, err)
+		}
+		if plen > maxSectionBytes {
+			return nil, fmt.Errorf("checkpoint: section %q: length %d exceeds limit", id, plen)
+		}
+		total += plen
+		if total > maxTotalBytes {
+			return nil, fmt.Errorf("checkpoint: total section bytes exceed limit %d", uint64(maxTotalBytes))
+		}
+		wantCRC, err := readUint(gz, &scratch, 4)
+		if err != nil {
+			return nil, fmt.Errorf("checkpoint: section %q: reading CRC: %w", id, err)
+		}
+		// CopyN into a growing buffer: a lying length costs only the
+		// bytes the stream actually delivers.
+		var pbuf bytes.Buffer
+		if _, err := io.CopyN(&pbuf, gz, int64(plen)); err != nil {
+			return nil, fmt.Errorf("checkpoint: section %q: reading payload: %w", id, err)
+		}
+		payload := pbuf.Bytes()
+		if got := crc32.ChecksumIEEE(payload); got != uint32(wantCRC) {
+			return nil, fmt.Errorf("checkpoint: section %q: CRC mismatch (corrupt payload)", id)
+		}
+		fr.order = append(fr.order, id)
+		fr.byID[id] = payload
+	}
+	// Consume to EOF so gzip verifies its stream checksum, and reject
+	// trailing garbage inside the stream.
+	var one [1]byte
+	switch _, err := io.ReadFull(gz, one[:]); err {
+	case io.EOF:
+	case nil:
+		return nil, fmt.Errorf("checkpoint: trailing data after last section")
+	default:
+		return nil, fmt.Errorf("checkpoint: verifying stream checksum: %w", err)
+	}
+	if err := gz.Close(); err != nil {
+		return nil, fmt.Errorf("checkpoint: closing section stream: %w", err)
+	}
+	return fr, nil
+}
+
+// Sections lists section IDs in file order.
+func (fr *FileReader) Sections() []string {
+	return append([]string(nil), fr.order...)
+}
+
+// Section returns a payload Reader for id, or an error if the section is
+// absent.
+func (fr *FileReader) Section(id string) (*Reader, error) {
+	data, ok := fr.byID[id]
+	if !ok {
+		return nil, fmt.Errorf("checkpoint: missing section %q", id)
+	}
+	return &Reader{id: id, data: data}, nil
+}

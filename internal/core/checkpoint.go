@@ -1,0 +1,243 @@
+package core
+
+import (
+	"fmt"
+
+	"bingo/internal/checkpoint"
+	"bingo/internal/prefetch"
+)
+
+// SaveState implements checkpoint.Checkpointable for the unified history
+// table: clock, lookup counters, then the entry arrays struct-of-arrays
+// over the full capacity.
+func (h *HistoryTable) SaveState(w *checkpoint.Writer) error {
+	w.Version(1)
+	w.U64(h.clock)
+	s := h.stats
+	w.U64(s.Lookups)
+	w.U64(s.LongHits)
+	w.U64(s.ShortHits)
+	w.U64(s.Misses)
+	w.U64(s.Insertions)
+	w.U64(s.Evictions)
+
+	n := len(h.sets)
+	valid := make([]bool, n)
+	longTags := make([]uint64, n)
+	shortTags := make([]uint64, n)
+	lrus := make([]uint64, n)
+	fps := make([]uint64, n)
+	offsets := make([]int, n)
+	for i := range h.sets {
+		e := &h.sets[i]
+		if !e.valid {
+			continue
+		}
+		valid[i] = true
+		longTags[i] = e.longTag
+		shortTags[i] = e.shortTag
+		lrus[i] = e.lru
+		fps[i] = uint64(e.footprint)
+		offsets[i] = e.offset
+	}
+	w.Bools(valid)
+	w.U64s(longTags)
+	w.U64s(shortTags)
+	w.U64s(lrus)
+	w.U64s(fps)
+	w.Ints(offsets)
+	return w.Err()
+}
+
+// LoadState implements checkpoint.Checkpointable. The restored entries
+// are structurally validated: placement by short tag, long-tag
+// uniqueness per set, footprints within the region geometry.
+func (h *HistoryTable) LoadState(r *checkpoint.Reader) error {
+	if h.clock != 0 || h.stats != (HistoryStats{}) {
+		return fmt.Errorf("core: checkpoint restore requires a fresh history table")
+	}
+	r.Version(1)
+	clock := r.U64()
+	var s HistoryStats
+	s.Lookups = r.U64()
+	s.LongHits = r.U64()
+	s.ShortHits = r.U64()
+	s.Misses = r.U64()
+	s.Insertions = r.U64()
+	s.Evictions = r.U64()
+	valid := r.Bools()
+	longTags := r.U64s()
+	shortTags := r.U64s()
+	lrus := r.U64s()
+	fps := r.U64s()
+	offsets := r.Ints()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	n := len(h.sets)
+	if len(valid) != n || len(longTags) != n || len(shortTags) != n ||
+		len(lrus) != n || len(fps) != n || len(offsets) != n {
+		return fmt.Errorf("core: history snapshot holds %d entries, table has %d", len(valid), n)
+	}
+	blocks := h.rc.Blocks()
+	for i := 0; i < n; i++ {
+		if !valid[i] {
+			continue
+		}
+		if lrus[i] > clock {
+			return fmt.Errorf("core: history entry %d recency %d beyond clock %d", i, lrus[i], clock)
+		}
+		if want := int(shortTags[i] & h.setMask); i/h.ways != want {
+			return fmt.Errorf("core: history entry %d indexed to set %d but short tag hashes to set %d", i, i/h.ways, want)
+		}
+		if offsets[i] < 0 || offsets[i] >= blocks {
+			return fmt.Errorf("core: history entry %d trigger offset %d outside the %d-block region", i, offsets[i], blocks)
+		}
+		if blocks < 64 && fps[i]>>uint(blocks) != 0 {
+			return fmt.Errorf("core: history entry %d footprint %#x outside the %d-block region", i, fps[i], blocks)
+		}
+		for j := i + 1; j < (i/h.ways+1)*h.ways; j++ {
+			if valid[j] && longTags[j] == longTags[i] {
+				return fmt.Errorf("core: history snapshot holds duplicate long tag %#x in one set", longTags[i])
+			}
+		}
+	}
+	for i := range h.sets {
+		if !valid[i] {
+			h.sets[i] = historyEntry{}
+			continue
+		}
+		h.sets[i] = historyEntry{
+			valid:     true,
+			longTag:   longTags[i],
+			shortTag:  shortTags[i],
+			lru:       lrus[i],
+			footprint: prefetch.Footprint(fps[i]),
+			offset:    offsets[i],
+		}
+	}
+	h.clock = clock
+	h.stats = s
+	h.sanPostRestore()
+	return nil
+}
+
+// SaveState implements checkpoint.Checkpointable for Bingo: counters,
+// then the residency tracker and the unified history table.
+func (b *Bingo) SaveState(w *checkpoint.Writer) error {
+	w.Version(1)
+	s := b.stats
+	w.U64(s.Triggers)
+	w.U64(s.LongMatches)
+	w.U64(s.ShortMatches)
+	w.U64(s.NoMatches)
+	w.U64(s.Trained)
+	w.U64(s.Issued)
+	if err := b.tracker.SaveState(w); err != nil {
+		return err
+	}
+	return b.history.SaveState(w)
+}
+
+// LoadState implements checkpoint.Checkpointable.
+func (b *Bingo) LoadState(r *checkpoint.Reader) error {
+	r.Version(1)
+	var s Stats
+	s.Triggers = r.U64()
+	s.LongMatches = r.U64()
+	s.ShortMatches = r.U64()
+	s.NoMatches = r.U64()
+	s.Trained = r.U64()
+	s.Issued = r.U64()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if err := b.tracker.LoadState(r); err != nil {
+		return fmt.Errorf("bingo: %w", err)
+	}
+	if err := b.history.LoadState(r); err != nil {
+		return fmt.Errorf("bingo: %w", err)
+	}
+	b.stats = s
+	return nil
+}
+
+// encodePatternEntries is the value codec for the cascade tables.
+func encodePatternEntries(w *checkpoint.Writer, vals []patternEntry) {
+	fps := make([]uint64, len(vals))
+	offsets := make([]int, len(vals))
+	for i, v := range vals {
+		fps[i] = uint64(v.fp)
+		offsets[i] = v.offset
+	}
+	w.U64s(fps)
+	w.Ints(offsets)
+}
+
+// decodePatternEntries mirrors encodePatternEntries.
+func decodePatternEntries(r *checkpoint.Reader) []patternEntry {
+	fps := r.U64s()
+	offsets := r.Ints()
+	if r.Err() != nil || len(offsets) != len(fps) {
+		return nil
+	}
+	out := make([]patternEntry, len(fps))
+	for i := range out {
+		out[i] = patternEntry{fp: prefetch.Footprint(fps[i]), offset: offsets[i]}
+	}
+	return out
+}
+
+// SaveState implements checkpoint.Checkpointable for the multi-event
+// cascade: per-kind counters, redundancy-probe counters, the tracker,
+// then every cascade table (the table count is fixed by configuration).
+func (m *MultiEvent) SaveState(w *checkpoint.Writer) error {
+	w.Version(1)
+	w.U64s(m.Consulted)
+	w.U64s(m.Matched)
+	w.U64(m.BothHit)
+	w.U64(m.Identical)
+	w.U64(m.Lookups)
+	w.U64(m.Predicted)
+	if err := m.tracker.SaveState(w); err != nil {
+		return err
+	}
+	for _, t := range m.tables {
+		if err := t.SaveState(w, encodePatternEntries); err != nil {
+			return err
+		}
+	}
+	return w.Err()
+}
+
+// LoadState implements checkpoint.Checkpointable.
+func (m *MultiEvent) LoadState(r *checkpoint.Reader) error {
+	r.Version(1)
+	consulted := r.U64s()
+	matched := r.U64s()
+	bothHit := r.U64()
+	identical := r.U64()
+	lookups := r.U64()
+	predicted := r.U64()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if len(consulted) != len(m.events) || len(matched) != len(m.events) {
+		return fmt.Errorf("multievent: snapshot covers %d event kinds, cascade has %d", len(consulted), len(m.events))
+	}
+	if err := m.tracker.LoadState(r); err != nil {
+		return fmt.Errorf("multievent: %w", err)
+	}
+	for i, t := range m.tables {
+		if err := t.LoadState(r, decodePatternEntries); err != nil {
+			return fmt.Errorf("multievent table %d: %w", i, err)
+		}
+	}
+	copy(m.Consulted, consulted)
+	copy(m.Matched, matched)
+	m.BothHit = bothHit
+	m.Identical = identical
+	m.Lookups = lookups
+	m.Predicted = predicted
+	return nil
+}

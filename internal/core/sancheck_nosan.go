@@ -10,3 +10,5 @@ type sanState struct{}
 func (h *HistoryTable) sanCheckTrigger(triggerOffset int) {}
 
 func (h *HistoryTable) sanAfterInsert(short uint64) {}
+
+func (h *HistoryTable) sanPostRestore() {}

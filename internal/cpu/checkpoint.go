@@ -1,0 +1,122 @@
+package cpu
+
+import (
+	"fmt"
+
+	"bingo/internal/checkpoint"
+	"bingo/internal/mem"
+	"bingo/internal/trace"
+)
+
+// SaveState implements checkpoint.Checkpointable: counters, the ROB ring
+// (struct-of-arrays over the full buffer so the schema is
+// occupancy-independent), the LSQ, the in-dispatch record, and the trace
+// cursor.
+func (c *Core) SaveState(w *checkpoint.Writer) error {
+	w.Version(1)
+	s := c.stats
+	w.U64(s.Instructions)
+	w.U64(s.MemOps)
+	w.U64(s.Loads)
+	w.U64(s.Stores)
+	w.U64(s.MemStall)
+
+	w.Int(c.robHead)
+	w.Int(c.robCount)
+	completeAts := make([]uint64, len(c.rob))
+	isMems := make([]bool, len(c.rob))
+	for i, e := range c.rob {
+		completeAts[i] = e.completeAt
+		isMems[i] = e.isMem
+	}
+	w.U64s(completeAts)
+	w.Bools(isMems)
+	w.U64s(c.outstanding)
+
+	w.U64(uint64(c.cur.PC))
+	w.U64(uint64(c.cur.Addr))
+	w.U8(uint8(c.cur.Kind))
+	w.U32(c.cur.NonMem)
+	w.Bool(c.cur.Dep)
+	w.Bool(c.curValid)
+	w.U32(c.nonMemLeft)
+	w.Bool(c.exhausted)
+	w.U64(c.lastLoadDone)
+	w.U64(c.fetched)
+	return w.Err()
+}
+
+// LoadState implements checkpoint.Checkpointable. It must be called on a
+// freshly built core whose source replays the identical record stream:
+// the source is repositioned by discarding the snapshot's consumed
+// prefix, which is what makes mid-stream resume exact even for generator
+// sources that were never materialised to disk.
+func (c *Core) LoadState(r *checkpoint.Reader) error {
+	if c.fetched != 0 || c.stats != (Stats{}) {
+		return fmt.Errorf("cpu core %d: checkpoint restore requires a freshly built core", c.id)
+	}
+	r.Version(1)
+	var s Stats
+	s.Instructions = r.U64()
+	s.MemOps = r.U64()
+	s.Loads = r.U64()
+	s.Stores = r.U64()
+	s.MemStall = r.U64()
+
+	robHead := r.Int()
+	robCount := r.Int()
+	completeAts := r.U64s()
+	isMems := r.Bools()
+	outstanding := r.U64s()
+
+	var cur trace.Record
+	cur.PC = mem.PC(r.U64())
+	cur.Addr = mem.Addr(r.U64())
+	kind := r.U8()
+	cur.NonMem = r.U32()
+	cur.Dep = r.Bool()
+	curValid := r.Bool()
+	nonMemLeft := r.U32()
+	exhausted := r.Bool()
+	lastLoadDone := r.U64()
+	fetched := r.U64()
+	if err := r.Err(); err != nil {
+		return err
+	}
+
+	if robHead < 0 || robHead >= c.cfg.ROBSize || robCount < 0 || robCount > c.cfg.ROBSize {
+		return fmt.Errorf("cpu core %d: snapshot ROB cursor %d/%d out of range for size %d", c.id, robHead, robCount, c.cfg.ROBSize)
+	}
+	if len(completeAts) != c.cfg.ROBSize || len(isMems) != c.cfg.ROBSize {
+		return fmt.Errorf("cpu core %d: snapshot ROB holds %d entries, core has %d", c.id, len(completeAts), c.cfg.ROBSize)
+	}
+	if len(outstanding) > c.cfg.LSQSize {
+		return fmt.Errorf("cpu core %d: snapshot LSQ holds %d ops, limit %d", c.id, len(outstanding), c.cfg.LSQSize)
+	}
+	if kind > uint8(trace.Store) {
+		return fmt.Errorf("cpu core %d: snapshot record kind %d invalid", c.id, kind)
+	}
+	cur.Kind = trace.Kind(kind)
+
+	// Fast-forward the fresh source past the consumed prefix.
+	for i := uint64(0); i < fetched; i++ {
+		if _, ok := c.src.Next(); !ok {
+			return fmt.Errorf("cpu core %d: source ended after %d records, snapshot consumed %d (source mismatch)", c.id, i, fetched)
+		}
+	}
+
+	for i := range c.rob {
+		c.rob[i] = robEntry{completeAt: completeAts[i], isMem: isMems[i]}
+	}
+	c.robHead = robHead
+	c.robCount = robCount
+	c.outstanding = append(c.outstanding[:0], outstanding...)
+	c.cur = cur
+	c.curValid = curValid
+	c.nonMemLeft = nonMemLeft
+	c.exhausted = exhausted
+	c.lastLoadDone = lastLoadDone
+	c.fetched = fetched
+	c.stats = s
+	return nil
+}

@@ -85,6 +85,12 @@ type Core struct {
 	// Dep-marked accesses cannot issue before it (pointer chasing).
 	lastLoadDone uint64
 
+	// fetched counts records successfully pulled from src. Trace sources
+	// are deterministic from their construction, so a checkpoint stores
+	// only this cursor and restore fast-forwards a fresh source past the
+	// consumed prefix (see LoadState in checkpoint.go).
+	fetched uint64
+
 	stats Stats
 	tap   DemandTap
 	san   sanState // runtime invariant sanitizer (empty without -tags=san)
@@ -228,6 +234,7 @@ func (c *Core) fetch() bool {
 		c.exhausted = true
 		return false
 	}
+	c.fetched++
 	c.cur = rec
 	c.curValid = true
 	c.nonMemLeft = rec.NonMem

@@ -1,0 +1,73 @@
+package dram
+
+import (
+	"fmt"
+
+	"bingo/internal/checkpoint"
+)
+
+// SaveState implements checkpoint.Checkpointable: traffic counters, then
+// per-channel bus state and the flattened bank array (open row and
+// busy-until cycle per bank).
+func (d *DRAM) SaveState(w *checkpoint.Writer) error {
+	w.Version(1)
+	s := d.stats
+	w.U64(s.Reads)
+	w.U64(s.Writes)
+	w.U64(s.RowHits)
+	w.U64(s.RowEmpty)
+	w.U64(s.RowConflicts)
+	w.U64(s.BusBusy)
+
+	busFree := make([]uint64, 0, len(d.chans))
+	nb := len(d.chans) * d.cfg.BanksPerChannel
+	openRows := make([]uint64, 0, nb)
+	freeAts := make([]uint64, 0, nb)
+	for ci := range d.chans {
+		busFree = append(busFree, d.chans[ci].busFreeAt)
+		for _, bk := range d.chans[ci].banks {
+			openRows = append(openRows, bk.openRow)
+			freeAts = append(freeAts, bk.freeAt)
+		}
+	}
+	w.U64s(busFree)
+	w.U64s(openRows)
+	w.U64s(freeAts)
+	return w.Err()
+}
+
+// LoadState implements checkpoint.Checkpointable; it requires a freshly
+// built DRAM of the identical geometry.
+func (d *DRAM) LoadState(r *checkpoint.Reader) error {
+	if d.stats != (Stats{}) {
+		return fmt.Errorf("dram: checkpoint restore requires a freshly built model")
+	}
+	r.Version(1)
+	var s Stats
+	s.Reads = r.U64()
+	s.Writes = r.U64()
+	s.RowHits = r.U64()
+	s.RowEmpty = r.U64()
+	s.RowConflicts = r.U64()
+	s.BusBusy = r.U64()
+	busFree := r.U64s()
+	openRows := r.U64s()
+	freeAts := r.U64s()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	nb := len(d.chans) * d.cfg.BanksPerChannel
+	if len(busFree) != len(d.chans) || len(openRows) != nb || len(freeAts) != nb {
+		return fmt.Errorf("dram: snapshot geometry %d channels / %d banks, model has %d / %d",
+			len(busFree), len(openRows), len(d.chans), nb)
+	}
+	for ci := range d.chans {
+		d.chans[ci].busFreeAt = busFree[ci]
+		for bi := range d.chans[ci].banks {
+			i := ci*d.cfg.BanksPerChannel + bi
+			d.chans[ci].banks[bi] = bank{openRow: openRows[i], freeAt: freeAts[i]}
+		}
+	}
+	d.stats = s
+	return nil
+}

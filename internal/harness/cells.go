@@ -124,15 +124,21 @@ func (m *Matrix) RunCell(key CellKey, opts RunOptions, build func() (prefetch.Fa
 		return system.Results{}, nil, fmt.Errorf("harness: unknown workload %q", key.Workload)
 	}
 	return m.run(key, func() (system.Results, any, error) {
-		var factory prefetch.Factory
-		if build != nil {
-			var err error
-			factory, err = build()
-			if err != nil {
-				return system.Results{}, nil, err
+		var sys *system.System
+		var res system.Results
+		var err error
+		if ws := m.warmStore(); ws != nil {
+			sys, res, err = ws.RunWithSystem(w, key, opts, build)
+		} else {
+			var factory prefetch.Factory
+			if build != nil {
+				factory, err = build()
+				if err != nil {
+					return system.Results{}, nil, err
+				}
 			}
+			sys, res, err = RunWithSystem(w, factory, opts)
 		}
-		sys, res, err := RunWithSystem(w, factory, opts)
 		if err != nil {
 			return system.Results{}, nil, err
 		}
@@ -142,6 +148,23 @@ func (m *Matrix) RunCell(key CellKey, opts RunOptions, build func() (prefetch.Fa
 		}
 		return res, aux, nil
 	})
+}
+
+// SetWarmStore routes every subsequent cell run through ws: warm-up
+// phases are restored from (or saved to) the store's artifact directory
+// instead of re-simulating. Results are unchanged — artifacts are keyed
+// per cell and options, and the checkpoint captures complete state.
+func (m *Matrix) SetWarmStore(ws *WarmStore) {
+	m.mu.Lock()
+	m.warm = ws
+	m.mu.Unlock()
+}
+
+// warmStore returns the configured warm store, if any.
+func (m *Matrix) warmStore() *WarmStore {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.warm
 }
 
 // Stats returns a copy of the per-cell run statistics collected so far,

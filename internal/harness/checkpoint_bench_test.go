@@ -1,0 +1,123 @@
+// Wall-clock reads in this file time the cold vs warm-start matrix for
+// the BENCH_checkpoint.json artefact; simulated results never depend on
+// them.
+//
+//lint:file-ignore detlint wall clock used for benchmark reporting only, never in simulated paths
+package harness
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+	"time"
+)
+
+// checkpointBenchRun renders the determinism experiment subset on a
+// fresh matrix, optionally routed through a warm store at warmDir, and
+// returns the wall time, the rendered bytes, and the store's hit/miss
+// accounting (zero when warmDir is empty).
+func checkpointBenchRun(t *testing.T, warmDir string) (time.Duration, []byte, WarmStats) {
+	t.Helper()
+	// Warm-up-heavy budgets: the store pays a fixed restore cost per
+	// cell, so the speedup it buys scales with the warm-up share of the
+	// run. Full paper budgets are warm-up-dominated like this.
+	opts := tinyOptions()
+	opts.System.WarmupInstr = 100_000
+	opts.System.MeasureInstr = 20_000
+	m := NewMatrix(opts)
+	var ws *WarmStore
+	if warmDir != "" {
+		var err error
+		ws, err = NewWarmStore(warmDir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.SetWarmStore(ws)
+	}
+	start := time.Now()
+	var out bytes.Buffer
+	for _, name := range determinismExperiments {
+		table, err := BuildExperiment(name, m)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		table.Render(&out)
+	}
+	elapsed := time.Since(start)
+	var stats WarmStats
+	if ws != nil {
+		stats = ws.Stats()
+	}
+	return elapsed, out.Bytes(), stats
+}
+
+type checkpointBench struct {
+	Experiments         string  `json:"experiments"`
+	Cells               int     `json:"cells"`
+	ColdSeconds         float64 `json:"cold_seconds"`
+	PopulateSeconds     float64 `json:"populate_seconds"`
+	WarmSeconds         float64 `json:"warm_seconds"`
+	Speedup             float64 `json:"speedup_cold_over_warm"`
+	WarmHits            uint64  `json:"warm_hits"`
+	WarmMisses          uint64  `json:"warm_misses"`
+	WarmupCyclesSkipped uint64  `json:"warmup_cycles_skipped"`
+	WarmupCyclesRun     uint64  `json:"warmup_cycles_run"`
+	OutputsIdentical    bool    `json:"outputs_identical"`
+}
+
+// TestEmitCheckpointBench measures the experiment subset three ways —
+// cold (no warm store), populating a fresh warm store, and reusing it —
+// verifies the rendered tables are byte-identical across all three, and
+// writes BENCH_checkpoint.json to the path in the BENCH_CHECKPOINT_JSON
+// environment variable. It is a generator, not a test: without the
+// variable it skips. Run it via `make bench-checkpoint`.
+func TestEmitCheckpointBench(t *testing.T) {
+	path := os.Getenv("BENCH_CHECKPOINT_JSON")
+	if path == "" {
+		t.Skip("set BENCH_CHECKPOINT_JSON=<path> to emit the checkpoint benchmark")
+	}
+	dir := t.TempDir()
+
+	coldDur, coldOut, _ := checkpointBenchRun(t, "")
+	popDur, popOut, popStats := checkpointBenchRun(t, dir)
+	warmDur, warmOut, warmStats := checkpointBenchRun(t, dir)
+
+	identical := bytes.Equal(coldOut, popOut) && bytes.Equal(coldOut, warmOut)
+	if !identical {
+		t.Error("warm-start outputs diverge from cold run")
+	}
+	if popStats.Misses == 0 || popStats.Hits != 0 {
+		t.Errorf("populate pass: got %d hits / %d misses, want 0 hits and all misses", popStats.Hits, popStats.Misses)
+	}
+	if warmStats.Hits == 0 || warmStats.Misses != 0 {
+		t.Errorf("reuse pass: got %d hits / %d misses, want all hits and 0 misses", warmStats.Hits, warmStats.Misses)
+	}
+	if warmStats.CyclesSkipped == 0 {
+		t.Error("reuse pass skipped no warm-up cycles")
+	}
+
+	doc := checkpointBench{
+		Experiments:         fmt.Sprintf("%v", determinismExperiments),
+		Cells:               int(warmStats.Hits + warmStats.Misses),
+		ColdSeconds:         coldDur.Seconds(),
+		PopulateSeconds:     popDur.Seconds(),
+		WarmSeconds:         warmDur.Seconds(),
+		Speedup:             coldDur.Seconds() / warmDur.Seconds(),
+		WarmHits:            warmStats.Hits,
+		WarmMisses:          warmStats.Misses,
+		WarmupCyclesSkipped: warmStats.CyclesSkipped,
+		WarmupCyclesRun:     popStats.CyclesRun,
+		OutputsIdentical:    identical,
+	}
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s: cold=%s populate=%s warm=%s (%.2fx), %d warm-up cycles skipped",
+		path, coldDur, popDur, warmDur, doc.Speedup, warmStats.CyclesSkipped)
+}

@@ -30,6 +30,7 @@ type Matrix struct {
 	cells       map[CellKey]*cellState
 	stats       []CellStat
 	trackAllocs bool
+	warm        *WarmStore
 }
 
 // NewMatrix creates an empty memoised run matrix.

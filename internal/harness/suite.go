@@ -107,6 +107,11 @@ type SuiteConfig struct {
 	// output and deliberately kept off the table writer so rendered
 	// tables stay byte-identical across job counts and repeated runs.
 	Report io.Writer
+	// WarmDir, when non-empty, enables warm-start reuse: end-of-warm-up
+	// checkpoints are cached in this directory (keyed per cell and
+	// options) and restored on later runs, skipping re-simulation of the
+	// warm-up phase. Rendered tables are byte-identical either way.
+	WarmDir string
 }
 
 // jobs resolves the configured worker count.
@@ -170,6 +175,15 @@ func RunSuite(out io.Writer, cfg SuiteConfig) error {
 	// Per-cell allocation accounting is only attributable when cells run
 	// one at a time.
 	m.SetAllocTracking(jobs == 1)
+	var warm *WarmStore
+	if cfg.WarmDir != "" {
+		ws, err := NewWarmStore(cfg.WarmDir)
+		if err != nil {
+			return err
+		}
+		m.SetWarmStore(ws)
+		warm = ws
+	}
 
 	wallStart := time.Now()
 	var warmWall time.Duration
@@ -203,6 +217,11 @@ func RunSuite(out io.Writer, cfg SuiteConfig) error {
 	}
 
 	writeRunReport(cfg.Report, m, jobs, warmWall, time.Since(wallStart))
+	if warm != nil {
+		s := warm.Stats()
+		reportf(cfg.Report, "warm-start store: %d hits (%d warm-up cycles skipped), %d misses (%d warm-up cycles run)\n",
+			s.Hits, s.CyclesSkipped, s.Misses, s.CyclesRun)
+	}
 	return nil
 }
 

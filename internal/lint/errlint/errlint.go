@@ -1,5 +1,5 @@
 // Package errlint flags silently discarded error returns in the
-// simulator's internal packages. A simulator that swallows an error keeps
+// simulator's internal and command packages. A simulator that swallows an error keeps
 // producing numbers — wrong ones — so every error must either be handled
 // or be discarded *loudly*:
 //
@@ -30,13 +30,14 @@ import (
 // Analyzer reports silently discarded error returns.
 var Analyzer = &analysis.Analyzer{
 	Name: "errlint",
-	Doc: "flag silently discarded error returns in internal packages; " +
+	Doc: "flag silently discarded error returns in internal and cmd packages; " +
 		"explicit `_ =` discards need an adjacent justification comment",
 	Run: run,
 }
 
 func run(pass *analysis.Pass) error {
-	if !strings.HasPrefix(pass.Pkg.Path(), "bingo/internal/") {
+	if !strings.HasPrefix(pass.Pkg.Path(), "bingo/internal/") &&
+		!strings.HasPrefix(pass.Pkg.Path(), "bingo/cmd/") {
 		return nil
 	}
 	for _, f := range pass.Files {

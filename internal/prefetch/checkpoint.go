@@ -1,0 +1,188 @@
+package prefetch
+
+import (
+	"fmt"
+
+	"bingo/internal/checkpoint"
+	"bingo/internal/mem"
+)
+
+// SaveState serialises the table: clock, size, then the entry arrays
+// struct-of-arrays over the full capacity (invalid slots hold zero
+// values, keeping the schema occupancy-independent). The caller supplies
+// enc to serialise the value column, which it must also write
+// struct-of-arrays.
+func (t *Table[V]) SaveState(w *checkpoint.Writer, enc func(*checkpoint.Writer, []V)) error {
+	w.Version(1)
+	w.U64(t.clock)
+	w.Int(t.size)
+	valid := make([]bool, len(t.entries))
+	tags := make([]uint64, len(t.entries))
+	lrus := make([]uint64, len(t.entries))
+	values := make([]V, len(t.entries))
+	for i := range t.entries {
+		e := &t.entries[i]
+		if !e.valid {
+			continue // leave zero values for empty slots
+		}
+		valid[i] = true
+		tags[i] = e.tag
+		lrus[i] = e.lru
+		values[i] = e.value
+	}
+	w.Bools(valid)
+	w.U64s(tags)
+	w.U64s(lrus)
+	enc(w, values)
+	return w.Err()
+}
+
+// LoadState restores a freshly built table of identical geometry. dec
+// must mirror enc and return one value per capacity slot. Placement and
+// size are structurally validated — a tag resident in the wrong set is a
+// corrupt snapshot, not a usable one.
+func (t *Table[V]) LoadState(r *checkpoint.Reader, dec func(*checkpoint.Reader) []V) error {
+	if t.clock != 0 || t.size != 0 {
+		return fmt.Errorf("prefetch: checkpoint restore requires a freshly built table")
+	}
+	r.Version(1)
+	clock := r.U64()
+	size := r.Int()
+	valid := r.Bools()
+	tags := r.U64s()
+	lrus := r.U64s()
+	values := dec(r)
+	if err := r.Err(); err != nil {
+		return err
+	}
+	n := len(t.entries)
+	if len(valid) != n || len(tags) != n || len(lrus) != n || len(values) != n {
+		return fmt.Errorf("prefetch: snapshot table holds %d entries, table has %d", len(valid), n)
+	}
+	count := 0
+	for i := 0; i < n; i++ {
+		if !valid[i] {
+			continue
+		}
+		count++
+		if lrus[i] > clock {
+			return fmt.Errorf("prefetch: snapshot entry %d recency %d beyond table clock %d", i, lrus[i], clock)
+		}
+		if want := int(mem.Mix64(tags[i]) & t.setMask); i/t.ways != want {
+			return fmt.Errorf("prefetch: snapshot tag %#x resident in set %d but hashes to set %d", tags[i], i/t.ways, want)
+		}
+		for j := i + 1; j < (i/t.ways+1)*t.ways; j++ {
+			if valid[j] && tags[j] == tags[i] {
+				return fmt.Errorf("prefetch: snapshot holds duplicate tag %#x in one set", tags[i])
+			}
+		}
+	}
+	if count != size {
+		return fmt.Errorf("prefetch: snapshot size %d but %d valid entries", size, count)
+	}
+	for i := 0; i < n; i++ {
+		t.entries[i] = tableEntry[V]{valid: valid[i], tag: tags[i], lru: lrus[i], value: values[i]}
+		if !valid[i] {
+			var zero V
+			t.entries[i].value = zero
+			t.entries[i].tag = 0
+			t.entries[i].lru = 0
+		}
+	}
+	t.clock = clock
+	t.size = size
+	return nil
+}
+
+// EncodeActiveRegions is the value codec for tables of ActiveRegion
+// (filter and accumulation tables).
+func EncodeActiveRegions(w *checkpoint.Writer, vals []ActiveRegion) {
+	regions := make([]uint64, len(vals))
+	pcs := make([]uint64, len(vals))
+	addrs := make([]uint64, len(vals))
+	offsets := make([]int, len(vals))
+	fps := make([]uint64, len(vals))
+	for i, v := range vals {
+		regions[i] = v.Region
+		pcs[i] = uint64(v.TriggerPC)
+		addrs[i] = uint64(v.TriggerAddr)
+		offsets[i] = v.TriggerOffset
+		fps[i] = uint64(v.Footprint)
+	}
+	w.U64s(regions)
+	w.U64s(pcs)
+	w.U64s(addrs)
+	w.Ints(offsets)
+	w.U64s(fps)
+}
+
+// DecodeActiveRegions mirrors EncodeActiveRegions.
+func DecodeActiveRegions(r *checkpoint.Reader) []ActiveRegion {
+	regions := r.U64s()
+	pcs := r.U64s()
+	addrs := r.U64s()
+	offsets := r.Ints()
+	fps := r.U64s()
+	if r.Err() != nil || len(pcs) != len(regions) || len(addrs) != len(regions) ||
+		len(offsets) != len(regions) || len(fps) != len(regions) {
+		return nil
+	}
+	out := make([]ActiveRegion, len(regions))
+	for i := range out {
+		out[i] = ActiveRegion{
+			Region:        regions[i],
+			TriggerPC:     mem.PC(pcs[i]),
+			TriggerAddr:   mem.Addr(addrs[i]),
+			TriggerOffset: offsets[i],
+			Footprint:     Footprint(fps[i]),
+		}
+	}
+	return out
+}
+
+// SaveState implements checkpoint.Checkpointable for the region tracker:
+// completion counters, then the filter and accumulation tables.
+func (rt *RegionTracker) SaveState(w *checkpoint.Writer) error {
+	w.Version(1)
+	w.U64(rt.CompletedResidencies)
+	w.U64(rt.CapacityCompletions)
+	w.U64(rt.DroppedSingles)
+	if err := rt.filter.SaveState(w, EncodeActiveRegions); err != nil {
+		return err
+	}
+	return rt.accum.SaveState(w, EncodeActiveRegions)
+}
+
+// LoadState implements checkpoint.Checkpointable.
+func (rt *RegionTracker) LoadState(r *checkpoint.Reader) error {
+	r.Version(1)
+	completed := r.U64()
+	capacity := r.U64()
+	dropped := r.U64()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if err := rt.filter.LoadState(r, DecodeActiveRegions); err != nil {
+		return fmt.Errorf("region tracker filter table: %w", err)
+	}
+	if err := rt.accum.LoadState(r, DecodeActiveRegions); err != nil {
+		return fmt.Errorf("region tracker accumulation table: %w", err)
+	}
+	blocks := rt.rc.Blocks()
+	check := func(key uint64, v *ActiveRegion) bool {
+		return v.TriggerOffset >= 0 && v.TriggerOffset < blocks &&
+			(blocks >= 64 || uint64(v.Footprint)>>uint(blocks) == 0)
+	}
+	ok := true
+	rt.filter.Range(func(k uint64, v *ActiveRegion) bool { ok = check(k, v); return ok })
+	if ok {
+		rt.accum.Range(func(k uint64, v *ActiveRegion) bool { ok = check(k, v); return ok })
+	}
+	if !ok {
+		return fmt.Errorf("region tracker: snapshot footprint outside the %d-block region geometry", blocks)
+	}
+	rt.CompletedResidencies = completed
+	rt.CapacityCompletions = capacity
+	rt.DroppedSingles = dropped
+	return nil
+}

@@ -1,0 +1,63 @@
+package ampm
+
+import (
+	"fmt"
+
+	"bingo/internal/checkpoint"
+	"bingo/internal/prefetch"
+)
+
+// encodeZoneMaps is the value codec for the zone table.
+func encodeZoneMaps(w *checkpoint.Writer, vals []zoneMap) {
+	accessed := make([]uint64, len(vals))
+	prefetched := make([]uint64, len(vals))
+	for i, v := range vals {
+		accessed[i] = uint64(v.accessed)
+		prefetched[i] = uint64(v.prefetched)
+	}
+	w.U64s(accessed)
+	w.U64s(prefetched)
+}
+
+// decodeZoneMaps mirrors encodeZoneMaps.
+func decodeZoneMaps(r *checkpoint.Reader) []zoneMap {
+	accessed := r.U64s()
+	prefetched := r.U64s()
+	if r.Err() != nil || len(prefetched) != len(accessed) {
+		return nil
+	}
+	out := make([]zoneMap, len(accessed))
+	for i := range out {
+		out[i] = zoneMap{
+			accessed:   prefetch.Footprint(accessed[i]),
+			prefetched: prefetch.Footprint(prefetched[i]),
+		}
+	}
+	return out
+}
+
+// SaveState implements checkpoint.Checkpointable.
+func (a *AMPM) SaveState(w *checkpoint.Writer) error {
+	w.Version(1)
+	return a.zones.SaveState(w, encodeZoneMaps)
+}
+
+// LoadState implements checkpoint.Checkpointable.
+func (a *AMPM) LoadState(r *checkpoint.Reader) error {
+	r.Version(1)
+	if err := a.zones.LoadState(r, decodeZoneMaps); err != nil {
+		return fmt.Errorf("ampm: %w", err)
+	}
+	blocks := a.rc.Blocks()
+	if blocks < 64 {
+		bad := false
+		a.zones.Range(func(key uint64, v *zoneMap) bool {
+			bad = uint64(v.accessed)>>uint(blocks) != 0 || uint64(v.prefetched)>>uint(blocks) != 0
+			return !bad
+		})
+		if bad {
+			return fmt.Errorf("ampm: snapshot access map marks blocks beyond the %d-block zone", blocks)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,69 @@
+package bop
+
+import (
+	"fmt"
+
+	"bingo/internal/checkpoint"
+)
+
+// SaveState implements checkpoint.Checkpointable. The candidate offset
+// list is derived from the algorithm (not state), so only the learning
+// scores, round cursors, selected offset, and recent-requests table go
+// on the wire.
+func (b *BOP) SaveState(w *checkpoint.Writer) error {
+	w.Version(1)
+	w.Ints(b.scores)
+	w.Int(b.testIdx)
+	w.Int(b.round)
+	w.Int(b.best)
+	w.U64s(b.rr)
+	return w.Err()
+}
+
+// LoadState implements checkpoint.Checkpointable.
+func (b *BOP) LoadState(r *checkpoint.Reader) error {
+	r.Version(1)
+	scores := r.Ints()
+	testIdx := r.Int()
+	round := r.Int()
+	best := r.Int()
+	rr := r.U64s()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if len(scores) != len(b.offsets) {
+		return fmt.Errorf("bop: snapshot scores %d candidate offsets, list has %d", len(scores), len(b.offsets))
+	}
+	if testIdx < 0 || testIdx >= len(b.offsets) {
+		return fmt.Errorf("bop: snapshot test cursor %d out of range", testIdx)
+	}
+	if round < 0 || round >= b.cfg.RoundMax {
+		return fmt.Errorf("bop: snapshot round %d out of range [0,%d)", round, b.cfg.RoundMax)
+	}
+	if best != 0 {
+		ok := false
+		for _, d := range b.offsets {
+			if d == best {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return fmt.Errorf("bop: snapshot best offset %d is not a candidate", best)
+		}
+	}
+	for i, s := range scores {
+		if s < 0 || s >= b.cfg.ScoreMax {
+			return fmt.Errorf("bop: snapshot score %d for offset %d out of range [0,%d)", s, b.offsets[i], b.cfg.ScoreMax)
+		}
+	}
+	if len(rr) != len(b.rr) {
+		return fmt.Errorf("bop: snapshot RR table holds %d entries, table has %d", len(rr), len(b.rr))
+	}
+	copy(b.scores, scores)
+	b.testIdx = testIdx
+	b.round = round
+	b.best = best
+	copy(b.rr, rr)
+	return nil
+}

@@ -1,0 +1,60 @@
+package fdp
+
+import (
+	"fmt"
+
+	"bingo/internal/checkpoint"
+)
+
+// SaveState implements checkpoint.Checkpointable: the throttle state,
+// then the wrapped prefetcher's own sections (which must itself be
+// checkpointable).
+func (f *FDP) SaveState(w *checkpoint.Writer) error {
+	w.Version(1)
+	w.Int(f.degree)
+	w.U64(f.useful)
+	w.U64(f.total)
+	w.U64(f.stats.Epochs)
+	w.U64(f.stats.Raised)
+	w.U64(f.stats.Lowered)
+	w.U64(f.stats.Truncated)
+	inner, ok := f.inner.(checkpoint.Checkpointable)
+	if !ok {
+		return fmt.Errorf("fdp: wrapped prefetcher %q is not checkpointable", f.inner.Name())
+	}
+	return inner.SaveState(w)
+}
+
+// LoadState implements checkpoint.Checkpointable.
+func (f *FDP) LoadState(r *checkpoint.Reader) error {
+	r.Version(1)
+	degree := r.Int()
+	useful := r.U64()
+	total := r.U64()
+	var s Stats
+	s.Epochs = r.U64()
+	s.Raised = r.U64()
+	s.Lowered = r.U64()
+	s.Truncated = r.U64()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if degree < f.cfg.MinDegree || degree > f.cfg.MaxDegree {
+		return fmt.Errorf("fdp: snapshot degree %d outside [%d,%d]", degree, f.cfg.MinDegree, f.cfg.MaxDegree)
+	}
+	if useful > total {
+		return fmt.Errorf("fdp: snapshot counts %d useful of %d outcomes", useful, total)
+	}
+	inner, ok := f.inner.(checkpoint.Checkpointable)
+	if !ok {
+		return fmt.Errorf("fdp: wrapped prefetcher %q is not checkpointable", f.inner.Name())
+	}
+	if err := inner.LoadState(r); err != nil {
+		return fmt.Errorf("fdp inner: %w", err)
+	}
+	f.degree = degree
+	f.useful = useful
+	f.total = total
+	f.stats = s
+	return nil
+}

@@ -1,0 +1,76 @@
+package ghb
+
+import (
+	"fmt"
+
+	"bingo/internal/checkpoint"
+)
+
+// encodeLinks is the value codec for the PC index table.
+func encodeLinks(w *checkpoint.Writer, vals []int64) {
+	w.I64s(vals)
+}
+
+// decodeLinks mirrors encodeLinks.
+func decodeLinks(r *checkpoint.Reader) []int64 {
+	return r.I64s()
+}
+
+// SaveState implements checkpoint.Checkpointable: the FIFO cursor, the
+// buffer contents (block numbers and chain links), and the PC index.
+func (g *GHB) SaveState(w *checkpoint.Writer) error {
+	w.Version(1)
+	w.I64(g.head)
+	blocks := make([]uint64, len(g.buf))
+	prevs := make([]int64, len(g.buf))
+	for i, e := range g.buf {
+		blocks[i] = e.block
+		prevs[i] = e.prev
+	}
+	w.U64s(blocks)
+	w.I64s(prevs)
+	return g.index.SaveState(w, encodeLinks)
+}
+
+// LoadState implements checkpoint.Checkpointable.
+func (g *GHB) LoadState(r *checkpoint.Reader) error {
+	r.Version(1)
+	head := r.I64()
+	blocks := r.U64s()
+	prevs := r.I64s()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if head < 0 {
+		return fmt.Errorf("ghb: snapshot FIFO cursor %d negative", head)
+	}
+	if len(blocks) != len(g.buf) || len(prevs) != len(g.buf) {
+		return fmt.Errorf("ghb: snapshot buffer holds %d entries, buffer has %d", len(blocks), len(g.buf))
+	}
+	// Chain links point strictly backwards in push order (or -1); anything
+	// else would make chain walks read entries that were never written.
+	for i, p := range prevs {
+		if p < -1 || p >= head {
+			return fmt.Errorf("ghb: snapshot chain link %d at slot %d outside pushed history [0,%d)", p, i, head)
+		}
+	}
+	if err := g.index.LoadState(r, decodeLinks); err != nil {
+		return fmt.Errorf("ghb index: %w", err)
+	}
+	bad := int64(-2)
+	g.index.Range(func(key uint64, v *int64) bool {
+		if *v < 0 || *v >= head {
+			bad = *v
+			return false
+		}
+		return true
+	})
+	if bad != -2 {
+		return fmt.Errorf("ghb: snapshot index points at entry %d outside pushed history [0,%d)", bad, head)
+	}
+	g.head = head
+	for i := range g.buf {
+		g.buf[i] = ghbEntry{block: blocks[i], prev: prevs[i]}
+	}
+	return nil
+}

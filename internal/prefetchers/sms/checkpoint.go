@@ -1,0 +1,60 @@
+package sms
+
+import (
+	"fmt"
+
+	"bingo/internal/checkpoint"
+	"bingo/internal/prefetch"
+)
+
+// encodePatternEntries is the value codec for the history table.
+func encodePatternEntries(w *checkpoint.Writer, vals []patternEntry) {
+	fps := make([]uint64, len(vals))
+	for i, v := range vals {
+		fps[i] = uint64(v.fp)
+	}
+	w.U64s(fps)
+}
+
+// decodePatternEntries mirrors encodePatternEntries.
+func decodePatternEntries(r *checkpoint.Reader) []patternEntry {
+	fps := r.U64s()
+	if r.Err() != nil {
+		return nil
+	}
+	out := make([]patternEntry, len(fps))
+	for i := range out {
+		out[i] = patternEntry{fp: prefetch.Footprint(fps[i])}
+	}
+	return out
+}
+
+// SaveState implements checkpoint.Checkpointable.
+func (s *SMS) SaveState(w *checkpoint.Writer) error {
+	w.Version(1)
+	w.U64(s.Triggers)
+	w.U64(s.Matches)
+	if err := s.tracker.SaveState(w); err != nil {
+		return err
+	}
+	return s.history.SaveState(w, encodePatternEntries)
+}
+
+// LoadState implements checkpoint.Checkpointable.
+func (s *SMS) LoadState(r *checkpoint.Reader) error {
+	r.Version(1)
+	triggers := r.U64()
+	matches := r.U64()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if err := s.tracker.LoadState(r); err != nil {
+		return fmt.Errorf("sms: %w", err)
+	}
+	if err := s.history.LoadState(r, decodePatternEntries); err != nil {
+		return fmt.Errorf("sms: %w", err)
+	}
+	s.Triggers = triggers
+	s.Matches = matches
+	return nil
+}

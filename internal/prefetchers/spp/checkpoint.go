@@ -1,0 +1,127 @@
+package spp
+
+import (
+	"fmt"
+
+	"bingo/internal/checkpoint"
+)
+
+// encodeSTEntries is the value codec for the signature table.
+func encodeSTEntries(w *checkpoint.Writer, vals []stEntry) {
+	lastOffsets := make([]int, len(vals))
+	sigs := make([]uint64, len(vals))
+	for i, v := range vals {
+		lastOffsets[i] = v.lastOffset
+		sigs[i] = uint64(v.sig)
+	}
+	w.Ints(lastOffsets)
+	w.U64s(sigs)
+}
+
+// decodeSTEntries mirrors encodeSTEntries.
+func decodeSTEntries(r *checkpoint.Reader) []stEntry {
+	lastOffsets := r.Ints()
+	sigs := r.U64s()
+	if r.Err() != nil || len(sigs) != len(lastOffsets) {
+		return nil
+	}
+	out := make([]stEntry, len(lastOffsets))
+	for i := range out {
+		out[i] = stEntry{lastOffset: lastOffsets[i], sig: uint16(sigs[i])}
+	}
+	return out
+}
+
+// SaveState implements checkpoint.Checkpointable. The pattern table is a
+// plain array of entries with variable-length delta lists, serialised
+// flattened: per-entry counted signatures, per-entry list lengths, then
+// the concatenated delta/count columns.
+func (s *SPP) SaveState(w *checkpoint.Writer) error {
+	w.Version(1)
+	if err := s.sigs.SaveState(w, encodeSTEntries); err != nil {
+		return err
+	}
+	csigs := make([]uint64, len(s.pattern))
+	lens := make([]int, len(s.pattern))
+	var deltas []int
+	var counts []uint64
+	for i := range s.pattern {
+		e := &s.pattern[i]
+		csigs[i] = uint64(e.csig)
+		lens[i] = len(e.deltas)
+		for _, d := range e.deltas {
+			deltas = append(deltas, d.delta)
+			counts = append(counts, uint64(d.count))
+		}
+	}
+	w.U64s(csigs)
+	w.Ints(lens)
+	w.Ints(deltas)
+	w.U64s(counts)
+	w.U64s(s.filter)
+	return w.Err()
+}
+
+// LoadState implements checkpoint.Checkpointable.
+func (s *SPP) LoadState(r *checkpoint.Reader) error {
+	r.Version(1)
+	if err := s.sigs.LoadState(r, decodeSTEntries); err != nil {
+		return fmt.Errorf("spp signature table: %w", err)
+	}
+	csigs := r.U64s()
+	lens := r.Ints()
+	deltas := r.Ints()
+	counts := r.U64s()
+	filter := r.U64s()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if len(csigs) != len(s.pattern) || len(lens) != len(s.pattern) {
+		return fmt.Errorf("spp: snapshot pattern table holds %d entries, table has %d", len(csigs), len(s.pattern))
+	}
+	if len(counts) != len(deltas) {
+		return fmt.Errorf("spp: snapshot delta/count columns disagree (%d vs %d)", len(deltas), len(counts))
+	}
+	total := 0
+	for i, n := range lens {
+		if n < 0 || n > s.cfg.DeltasPerEntry {
+			return fmt.Errorf("spp: snapshot pattern entry %d holds %d deltas, limit %d", i, n, s.cfg.DeltasPerEntry)
+		}
+		if csigs[i] > 1<<32-1 {
+			return fmt.Errorf("spp: snapshot pattern entry %d counted signature %d overflows", i, csigs[i])
+		}
+		total += n
+	}
+	for i, c := range counts {
+		if c > 1<<32-1 {
+			return fmt.Errorf("spp: snapshot delta count %d at slot %d overflows", c, i)
+		}
+	}
+	if total != len(deltas) {
+		return fmt.Errorf("spp: snapshot delta column holds %d entries, lengths sum to %d", len(deltas), total)
+	}
+	if len(filter) != len(s.filter) {
+		return fmt.Errorf("spp: snapshot filter holds %d entries, filter has %d", len(filter), len(s.filter))
+	}
+	blocks := s.rc.Blocks()
+	bad := false
+	s.sigs.Range(func(key uint64, v *stEntry) bool {
+		bad = v.lastOffset < 0 || v.lastOffset >= blocks || v.sig > sigMask
+		return !bad
+	})
+	if bad {
+		return fmt.Errorf("spp: snapshot signature entry outside page geometry")
+	}
+	off := 0
+	for i := range s.pattern {
+		e := &s.pattern[i]
+		e.csig = uint32(csigs[i])
+		e.deltas = e.deltas[:0]
+		for j := 0; j < lens[i]; j++ {
+			e.deltas = append(e.deltas, deltaSlot{delta: deltas[off], count: uint32(counts[off])})
+			off++
+		}
+	}
+	copy(s.filter, filter)
+	return nil
+}

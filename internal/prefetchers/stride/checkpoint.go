@@ -1,0 +1,74 @@
+package stride
+
+import (
+	"fmt"
+
+	"bingo/internal/checkpoint"
+)
+
+// encodeRPTEntries is the value codec for the reference prediction table.
+func encodeRPTEntries(w *checkpoint.Writer, vals []rptEntry) {
+	lastBlocks := make([]uint64, len(vals))
+	strides := make([]int64, len(vals))
+	confs := make([]int, len(vals))
+	for i, v := range vals {
+		lastBlocks[i] = v.lastBlock
+		strides[i] = v.stride
+		confs[i] = v.conf
+	}
+	w.U64s(lastBlocks)
+	w.I64s(strides)
+	w.Ints(confs)
+}
+
+// decodeRPTEntries mirrors encodeRPTEntries.
+func decodeRPTEntries(r *checkpoint.Reader) []rptEntry {
+	lastBlocks := r.U64s()
+	strides := r.I64s()
+	confs := r.Ints()
+	if r.Err() != nil || len(strides) != len(lastBlocks) || len(confs) != len(lastBlocks) {
+		return nil
+	}
+	out := make([]rptEntry, len(lastBlocks))
+	for i := range out {
+		out[i] = rptEntry{lastBlock: lastBlocks[i], stride: strides[i], conf: confs[i]}
+	}
+	return out
+}
+
+// SaveState implements checkpoint.Checkpointable.
+func (s *Stride) SaveState(w *checkpoint.Writer) error {
+	w.Version(1)
+	return s.rpt.SaveState(w, encodeRPTEntries)
+}
+
+// LoadState implements checkpoint.Checkpointable.
+func (s *Stride) LoadState(r *checkpoint.Reader) error {
+	r.Version(1)
+	if err := s.rpt.LoadState(r, decodeRPTEntries); err != nil {
+		return fmt.Errorf("stride: %w", err)
+	}
+	bad := false
+	s.rpt.Range(func(key uint64, v *rptEntry) bool {
+		bad = v.conf < 0 || v.conf > s.cfg.ConfMax
+		return !bad
+	})
+	if bad {
+		return fmt.Errorf("stride: snapshot confidence outside [0,%d]", s.cfg.ConfMax)
+	}
+	return nil
+}
+
+// SaveState implements checkpoint.Checkpointable. NextLine is stateless
+// (N is configuration), so the section is version-only; it exists so the
+// system checkpointer can treat every prefetcher uniformly.
+func (p NextLine) SaveState(w *checkpoint.Writer) error {
+	w.Version(1)
+	return w.Err()
+}
+
+// LoadState implements checkpoint.Checkpointable.
+func (p NextLine) LoadState(r *checkpoint.Reader) error {
+	r.Version(1)
+	return r.Err()
+}

@@ -1,0 +1,125 @@
+package vldp
+
+import (
+	"fmt"
+
+	"bingo/internal/checkpoint"
+)
+
+// encodeDHBEntries is the value codec for the delta history buffer. The
+// fixed 3-slot delta histories are flattened into one column.
+func encodeDHBEntries(w *checkpoint.Writer, vals []dhbEntry) {
+	lastOffsets := make([]int, len(vals))
+	firstOffsets := make([]int, len(vals))
+	sawSeconds := make([]bool, len(vals))
+	numDeltas := make([]int, len(vals))
+	deltas := make([]int, 0, 3*len(vals))
+	for i, v := range vals {
+		lastOffsets[i] = v.lastOffset
+		firstOffsets[i] = v.firstOffset
+		sawSeconds[i] = v.sawSecond
+		numDeltas[i] = v.numDeltas
+		deltas = append(deltas, v.deltas[0], v.deltas[1], v.deltas[2])
+	}
+	w.Ints(lastOffsets)
+	w.Ints(firstOffsets)
+	w.Bools(sawSeconds)
+	w.Ints(numDeltas)
+	w.Ints(deltas)
+}
+
+// decodeDHBEntries mirrors encodeDHBEntries.
+func decodeDHBEntries(r *checkpoint.Reader) []dhbEntry {
+	lastOffsets := r.Ints()
+	firstOffsets := r.Ints()
+	sawSeconds := r.Bools()
+	numDeltas := r.Ints()
+	deltas := r.Ints()
+	n := len(lastOffsets)
+	if r.Err() != nil || len(firstOffsets) != n || len(sawSeconds) != n ||
+		len(numDeltas) != n || len(deltas) != 3*n {
+		return nil
+	}
+	out := make([]dhbEntry, n)
+	for i := range out {
+		out[i] = dhbEntry{
+			lastOffset:  lastOffsets[i],
+			firstOffset: firstOffsets[i],
+			sawSecond:   sawSeconds[i],
+			deltas:      [3]int{deltas[3*i], deltas[3*i+1], deltas[3*i+2]},
+			numDeltas:   numDeltas[i],
+		}
+	}
+	return out
+}
+
+// encodeDPTEntries is the value codec for the delta prediction tables.
+func encodeDPTEntries(w *checkpoint.Writer, vals []dptEntry) {
+	nexts := make([]int, len(vals))
+	for i, v := range vals {
+		nexts[i] = v.next
+	}
+	w.Ints(nexts)
+}
+
+// decodeDPTEntries mirrors encodeDPTEntries.
+func decodeDPTEntries(r *checkpoint.Reader) []dptEntry {
+	nexts := r.Ints()
+	if r.Err() != nil {
+		return nil
+	}
+	out := make([]dptEntry, len(nexts))
+	for i := range out {
+		out[i] = dptEntry{next: nexts[i]}
+	}
+	return out
+}
+
+// SaveState implements checkpoint.Checkpointable: the delta history
+// buffer, the three cascaded prediction tables, and the offset table.
+func (v *VLDP) SaveState(w *checkpoint.Writer) error {
+	w.Version(1)
+	if err := v.dhb.SaveState(w, encodeDHBEntries); err != nil {
+		return err
+	}
+	for _, t := range v.dpts {
+		if err := t.SaveState(w, encodeDPTEntries); err != nil {
+			return err
+		}
+	}
+	w.Ints(v.opt)
+	return w.Err()
+}
+
+// LoadState implements checkpoint.Checkpointable.
+func (v *VLDP) LoadState(r *checkpoint.Reader) error {
+	r.Version(1)
+	if err := v.dhb.LoadState(r, decodeDHBEntries); err != nil {
+		return fmt.Errorf("vldp history buffer: %w", err)
+	}
+	for i, t := range v.dpts {
+		if err := t.LoadState(r, decodeDPTEntries); err != nil {
+			return fmt.Errorf("vldp prediction table %d: %w", i, err)
+		}
+	}
+	opt := r.Ints()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if len(opt) != len(v.opt) {
+		return fmt.Errorf("vldp: snapshot offset table holds %d entries, table has %d", len(opt), len(v.opt))
+	}
+	blocks := v.rc.Blocks()
+	bad := false
+	v.dhb.Range(func(key uint64, e *dhbEntry) bool {
+		bad = e.lastOffset < 0 || e.lastOffset >= blocks ||
+			e.firstOffset < 0 || e.firstOffset >= blocks ||
+			e.numDeltas < 0 || e.numDeltas > 3
+		return !bad
+	})
+	if bad {
+		return fmt.Errorf("vldp: snapshot history entry outside page geometry")
+	}
+	copy(v.opt, opt)
+	return nil
+}

@@ -1,0 +1,375 @@
+package system
+
+import (
+	"fmt"
+	"io"
+
+	"bingo/internal/checkpoint"
+)
+
+// Section IDs of a system checkpoint, in write order: metadata, the
+// system-level loop state, then one section per stateful component.
+// Per-core sections are indexed ("cpu[0]", "pf[2]", ...).
+const (
+	sectionMeta   = "meta"
+	sectionSystem = "system"
+	sectionVM     = "vm"
+	sectionDRAM   = "dram"
+	sectionLLC    = "llc"
+)
+
+func sectionL1(core int) string  { return fmt.Sprintf("l1[%d]", core) }
+func sectionCPU(core int) string { return fmt.Sprintf("cpu[%d]", core) }
+func sectionPF(core int) string  { return fmt.Sprintf("pf[%d]", core) }
+
+// Prefetcher section payload kinds: a full serialisation, or a reference
+// to an earlier core's section when a factory shares one instance across
+// cores (the shared-metadata ablation) — the instance is serialised once.
+const (
+	pfKindFull uint8 = iota
+	pfKindRef
+)
+
+// saveSections registers every section of this system's checkpoint with
+// fw. It is the single source of truth for the container layout, shared
+// by SaveCheckpoint and CheckpointSchema.
+func (s *System) saveSections(fw *checkpoint.FileWriter) error {
+	add := func(id string, save func(*checkpoint.Writer) error) error {
+		return fw.Add(id, save)
+	}
+	if err := add(sectionMeta, func(w *checkpoint.Writer) error {
+		w.Version(1)
+		w.String(fmt.Sprintf("%+v", s.cfg))
+		name := "none"
+		if s.pfs != nil {
+			name = s.pfs[0].Name()
+		}
+		w.String(name)
+		w.Int(len(s.cores))
+		return w.Err()
+	}); err != nil {
+		return err
+	}
+	if err := add(sectionSystem, func(w *checkpoint.Writer) error {
+		w.Version(1)
+		w.U64(s.clock)
+		w.U8(s.phase)
+		w.U64(s.measureStart)
+		w.U64(s.pfDropped)
+		// Freeze frames (empty until measurement begins).
+		taken := make([]bool, len(s.snaps))
+		cycles := make([]uint64, len(s.snaps))
+		instrs := make([]uint64, len(s.snaps))
+		memOps := make([]uint64, len(s.snaps))
+		loads := make([]uint64, len(s.snaps))
+		stores := make([]uint64, len(s.snaps))
+		stalls := make([]uint64, len(s.snaps))
+		for i, sn := range s.snaps {
+			taken[i] = sn.taken
+			cycles[i] = sn.cycle
+			instrs[i] = sn.stats.Instructions
+			memOps[i] = sn.stats.MemOps
+			loads[i] = sn.stats.Loads
+			stores[i] = sn.stats.Stores
+			stalls[i] = sn.stats.MemStall
+		}
+		w.Bools(taken)
+		w.U64s(cycles)
+		w.U64s(instrs)
+		w.U64s(memOps)
+		w.U64s(loads)
+		w.U64s(stores)
+		w.U64s(stalls)
+		// Per-core prefetch queues, flattened with a length column.
+		lens := make([]int, len(s.pfInflight))
+		var flat []uint64
+		for i, q := range s.pfInflight {
+			lens[i] = len(q)
+			flat = append(flat, q...)
+		}
+		w.Ints(lens)
+		w.U64s(flat)
+		return w.Err()
+	}); err != nil {
+		return err
+	}
+	if err := add(sectionVM, s.xlat.SaveState); err != nil {
+		return err
+	}
+	if err := add(sectionDRAM, s.dram.SaveState); err != nil {
+		return err
+	}
+	if err := add(sectionLLC, s.llc.SaveState); err != nil {
+		return err
+	}
+	for i := range s.cores {
+		if err := add(sectionL1(i), s.l1s[i].SaveState); err != nil {
+			return err
+		}
+		if err := add(sectionCPU(i), s.cores[i].SaveState); err != nil {
+			return err
+		}
+	}
+	for i := range s.pfs {
+		i := i
+		if err := add(sectionPF(i), func(w *checkpoint.Writer) error {
+			w.Version(1)
+			if j := s.sharedPFIndex(i); j >= 0 {
+				w.U8(pfKindRef)
+				w.Int(j)
+				return w.Err()
+			}
+			w.U8(pfKindFull)
+			ck, ok := s.pfs[i].(checkpoint.Checkpointable)
+			if !ok {
+				return fmt.Errorf("system: prefetcher %q is not checkpointable", s.pfs[i].Name())
+			}
+			return ck.SaveState(w)
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sharedPFIndex returns the lowest earlier core index holding the same
+// prefetcher instance as core i, or -1 when core i's instance is its own.
+func (s *System) sharedPFIndex(i int) int {
+	for j := 0; j < i; j++ {
+		if s.pfs[j] == s.pfs[i] {
+			return j
+		}
+	}
+	return -1
+}
+
+// SaveCheckpoint serialises the complete simulation state to out. The
+// system remains runnable — checkpointing is read-only — so a run can
+// save periodic snapshots while completing normally.
+func (s *System) SaveCheckpoint(out io.Writer) error {
+	fw := checkpoint.NewFileWriter()
+	if err := s.saveSections(fw); err != nil {
+		return err
+	}
+	_, err := fw.WriteTo(out)
+	return err
+}
+
+// CheckpointSchema returns the section layout a checkpoint of this system
+// would have: ids and field type strings. The golden-schema test pins it.
+func (s *System) CheckpointSchema() ([]checkpoint.SectionSchema, error) {
+	fw := checkpoint.NewFileWriter()
+	if err := s.saveSections(fw); err != nil {
+		return nil, err
+	}
+	return fw.Schema(), nil
+}
+
+// LoadCheckpoint restores a snapshot into this freshly built system. The
+// system must have been assembled with the identical configuration,
+// trace sources, and prefetcher factory as the one that saved it; the
+// metadata section cross-checks what it can and everything restored is
+// structurally validated before commit. On error the system is in an
+// undefined state and must be discarded.
+func (s *System) LoadCheckpoint(in io.Reader) error {
+	if s.clock != 0 || s.phase != phaseWarmup {
+		return fmt.Errorf("system: checkpoint restore requires a freshly built system")
+	}
+	fr, err := checkpoint.NewFileReader(in)
+	if err != nil {
+		return err
+	}
+
+	// The section list must match this system's layout exactly — a
+	// snapshot from a differently shaped machine is rejected up front.
+	fw := checkpoint.NewFileWriter()
+	if err := s.saveSections(fw); err != nil {
+		return err
+	}
+	want := fw.Schema()
+	got := fr.Sections()
+	if len(got) != len(want) {
+		return fmt.Errorf("system: checkpoint holds %d sections, this machine writes %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i].ID {
+			return fmt.Errorf("system: checkpoint section %d is %q, want %q", i, got[i], want[i].ID)
+		}
+	}
+
+	section := func(id string) (*checkpoint.Reader, error) { return fr.Section(id) }
+
+	r, err := section(sectionMeta)
+	if err != nil {
+		return err
+	}
+	r.Version(1)
+	cfgString := r.String()
+	pfName := r.String()
+	numCores := r.Int()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if err := r.Close(); err != nil {
+		return err
+	}
+	if want := fmt.Sprintf("%+v", s.cfg); cfgString != want {
+		return fmt.Errorf("system: checkpoint was taken with config %s, this machine has %s", cfgString, want)
+	}
+	wantName := "none"
+	if s.pfs != nil {
+		wantName = s.pfs[0].Name()
+	}
+	if pfName != wantName {
+		return fmt.Errorf("system: checkpoint was taken with prefetcher %q, this machine runs %q", pfName, wantName)
+	}
+	if numCores != len(s.cores) {
+		return fmt.Errorf("system: checkpoint machine had %d cores, this one has %d", numCores, len(s.cores))
+	}
+
+	r, err = section(sectionSystem)
+	if err != nil {
+		return err
+	}
+	r.Version(1)
+	clock := r.U64()
+	phase := r.U8()
+	measureStart := r.U64()
+	pfDropped := r.U64()
+	taken := r.Bools()
+	cycles := r.U64s()
+	instrs := r.U64s()
+	memOps := r.U64s()
+	loads := r.U64s()
+	stores := r.U64s()
+	stalls := r.U64s()
+	lens := r.Ints()
+	flat := r.U64s()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if err := r.Close(); err != nil {
+		return err
+	}
+	if phase > phaseDone {
+		return fmt.Errorf("system: checkpoint phase %d unknown", phase)
+	}
+	if measureStart > clock {
+		return fmt.Errorf("system: checkpoint measurement start %d beyond clock %d", measureStart, clock)
+	}
+	nSnaps := 0
+	if phase >= phaseMeasure {
+		nSnaps = len(s.cores)
+	}
+	if len(taken) != nSnaps || len(cycles) != nSnaps || len(instrs) != nSnaps ||
+		len(memOps) != nSnaps || len(loads) != nSnaps || len(stores) != nSnaps || len(stalls) != nSnaps {
+		return fmt.Errorf("system: checkpoint snapshot columns hold %d cores, want %d in phase %d", len(taken), nSnaps, phase)
+	}
+	if len(lens) != len(s.pfInflight) {
+		return fmt.Errorf("system: checkpoint prefetch queues cover %d cores, machine has %d", len(lens), len(s.pfInflight))
+	}
+	total := 0
+	for i, n := range lens {
+		if n < 0 || n > s.cfg.PrefetchQueue {
+			return fmt.Errorf("system: checkpoint prefetch queue %d holds %d entries, cap %d", i, n, s.cfg.PrefetchQueue)
+		}
+		total += n
+	}
+	if total != len(flat) {
+		return fmt.Errorf("system: checkpoint prefetch queue column holds %d entries, lengths sum to %d", len(flat), total)
+	}
+
+	load := func(id string, c checkpoint.Checkpointable) error {
+		r, err := section(id)
+		if err != nil {
+			return err
+		}
+		if err := c.LoadState(r); err != nil {
+			return fmt.Errorf("section %s: %w", id, err)
+		}
+		if err := r.Close(); err != nil {
+			return fmt.Errorf("section %s: %w", id, err)
+		}
+		return nil
+	}
+	if err := load(sectionVM, s.xlat); err != nil {
+		return err
+	}
+	if err := load(sectionDRAM, s.dram); err != nil {
+		return err
+	}
+	if err := load(sectionLLC, s.llc); err != nil {
+		return err
+	}
+	for i := range s.cores {
+		if err := load(sectionL1(i), s.l1s[i]); err != nil {
+			return err
+		}
+		if err := load(sectionCPU(i), s.cores[i]); err != nil {
+			return err
+		}
+	}
+	for i := range s.pfs {
+		r, err := section(sectionPF(i))
+		if err != nil {
+			return err
+		}
+		r.Version(1)
+		kind := r.U8()
+		switch kind {
+		case pfKindRef:
+			j := r.Int()
+			if err := r.Err(); err != nil {
+				return err
+			}
+			// The fresh factory must share instances exactly as the saved
+			// one did, or the snapshot's aliasing is unreproducible.
+			if j != s.sharedPFIndex(i) {
+				return fmt.Errorf("system: checkpoint shares prefetcher %d with core %d, this machine does not", i, j)
+			}
+		case pfKindFull:
+			if err := r.Err(); err != nil {
+				return err
+			}
+			if s.sharedPFIndex(i) >= 0 {
+				return fmt.Errorf("system: checkpoint holds a private prefetcher for core %d, this machine shares it", i)
+			}
+			ck, ok := s.pfs[i].(checkpoint.Checkpointable)
+			if !ok {
+				return fmt.Errorf("system: prefetcher %q is not checkpointable", s.pfs[i].Name())
+			}
+			if err := ck.LoadState(r); err != nil {
+				return fmt.Errorf("section %s: %w", sectionPF(i), err)
+			}
+		default:
+			return fmt.Errorf("system: checkpoint prefetcher section kind %d unknown", kind)
+		}
+		if err := r.Close(); err != nil {
+			return fmt.Errorf("section %s: %w", sectionPF(i), err)
+		}
+	}
+
+	// Commit the system-level state last: everything below here is
+	// already validated.
+	s.clock = clock
+	s.phase = phase
+	s.measureStart = measureStart
+	s.pfDropped = pfDropped
+	if phase >= phaseMeasure {
+		s.snaps = make([]coreSnapshot, len(s.cores))
+		for i := range s.snaps {
+			s.snaps[i] = coreSnapshot{taken: taken[i], cycle: cycles[i]}
+			s.snaps[i].stats.Instructions = instrs[i]
+			s.snaps[i].stats.MemOps = memOps[i]
+			s.snaps[i].stats.Loads = loads[i]
+			s.snaps[i].stats.Stores = stores[i]
+			s.snaps[i].stats.MemStall = stalls[i]
+		}
+	}
+	off := 0
+	for i, n := range lens {
+		s.pfInflight[i] = append(s.pfInflight[i][:0], flat[off:off+n]...)
+		off += n
+	}
+	return nil
+}

@@ -42,8 +42,31 @@ type System struct {
 	pfInflight [][]uint64
 	pfDropped  uint64
 
+	// Run-progress state. Keeping it on the System (rather than local to
+	// Run) is what makes a run pausable at any clock advance and
+	// checkpointable mid-stream: phase records which budget the loop is
+	// working toward, measureStart the cycle measurement began, and snaps
+	// the per-core freeze frames taken as each core reaches its budget.
+	phase        uint8
+	measureStart uint64
+	snaps        []coreSnapshot
+
+	// hook, when set, observes every clock advance; returning true pauses
+	// RunResumable at a checkpoint-safe boundary (no core has ticked at
+	// the new cycle yet).
+	hook func(cycle uint64) bool
+
 	san sanState // runtime invariant sanitizer (empty without -tags=san)
 }
+
+// Run phases. A freshly built system is in warm-up; measurement begins
+// after the stats reset at the warm-up boundary; done means collect has
+// everything it needs.
+const (
+	phaseWarmup uint8 = iota
+	phaseMeasure
+	phaseDone
+)
 
 // New assembles a system. sources must have one trace source per core;
 // factory may be nil for the no-prefetcher baseline.
@@ -250,20 +273,90 @@ func (s *System) Cores() []*cpu.Core { return s.cores }
 // Clock returns the current cycle.
 func (s *System) Clock() uint64 { return s.clock }
 
+// SetAdvanceHook installs f, called after every clock advance with the
+// new cycle value. Returning true pauses RunResumable at that boundary —
+// no core has ticked at the new cycle yet, which is the invariant that
+// makes a checkpoint taken here resume exactly. The hook must not mutate
+// simulation state (taking a checkpoint is read-only). Nil clears it.
+func (s *System) SetAdvanceHook(f func(cycle uint64) bool) { s.hook = f }
+
 // Run executes warm-up then measurement and returns the results. It may
-// be called once per System.
+// be called once per System (or once on a system restored from a
+// checkpoint, which picks up in whatever phase the snapshot captured).
+// It panics if an advance hook pauses the run; use RunResumable for
+// pausable runs.
 //
 // Measurement follows the usual multi-programmed methodology: every core
 // keeps executing (so shared-resource contention stays realistic) until
 // all cores have retired their budget, but each core's instruction count
 // and cycle interval are snapshotted the moment it reaches its own budget.
 func (s *System) Run() Results {
-	// Warm-up: run until every core has retired WarmupInstr (or drained).
-	if s.cfg.WarmupInstr > 0 {
-		s.runUntil(func(i int) bool {
-			return s.cores[i].Stats().Instructions >= s.cfg.WarmupInstr
-		})
+	res, paused := s.RunResumable()
+	if paused {
+		panic("system: run paused by advance hook; use RunResumable")
 	}
+	return res
+}
+
+// RunWarmup advances through the warm-up phase only, leaving the system
+// at the measurement boundary (stats reset, measurement clock marked).
+// A checkpoint taken here is a warm-start artifact: restoring it and
+// calling Run executes just the measurement phase.
+func (s *System) RunWarmup() {
+	if s.phase != phaseWarmup {
+		panic("system: RunWarmup after warm-up already completed")
+	}
+	if s.cfg.WarmupInstr > 0 {
+		if paused := s.runUntil(func(i int) bool {
+			return s.cores[i].Stats().Instructions >= s.cfg.WarmupInstr
+		}); paused {
+			panic("system: warm-up paused by advance hook")
+		}
+	}
+	s.enterMeasure()
+}
+
+// RunResumable is Run for pausable simulations: when the advance hook
+// requests a pause it returns (zero Results, true), and the system can be
+// checkpointed and later resumed — calling RunResumable (or Run) again,
+// on this system or a restored copy, continues the identical simulation.
+func (s *System) RunResumable() (Results, bool) {
+	if s.phase == phaseWarmup {
+		if s.cfg.WarmupInstr > 0 {
+			if paused := s.runUntil(func(i int) bool {
+				return s.cores[i].Stats().Instructions >= s.cfg.WarmupInstr
+			}); paused {
+				return Results{}, true
+			}
+		}
+		s.enterMeasure()
+	}
+	if s.phase == phaseMeasure {
+		paused := s.runUntilMark(func(i int) bool {
+			return s.cores[i].Stats().Instructions >= s.cfg.MeasureInstr
+		}, func(i int, cycle uint64) {
+			if !s.snaps[i].taken {
+				s.snaps[i] = coreSnapshot{taken: true, cycle: cycle, stats: s.cores[i].Stats()}
+			}
+		})
+		if paused {
+			return Results{}, true
+		}
+		for i := range s.snaps {
+			if !s.snaps[i].taken { // trace exhausted before reaching budget
+				s.snaps[i] = coreSnapshot{taken: true, cycle: s.clock, stats: s.cores[i].Stats()}
+			}
+		}
+		s.sanAtRunEnd()
+		s.phase = phaseDone
+	}
+	return s.collect(s.measureStart, s.snaps), false
+}
+
+// enterMeasure performs the warm-up → measurement transition: reset every
+// stats counter, mark the measurement start cycle, and allocate the
+// per-core freeze frames.
+func (s *System) enterMeasure() {
 	for _, c := range s.cores {
 		c.ResetStats()
 	}
@@ -272,34 +365,23 @@ func (s *System) Run() Results {
 	}
 	s.llc.ResetStats()
 	s.dram.ResetStats()
-
-	start := s.clock
-	snaps := make([]coreSnapshot, len(s.cores))
-	s.runUntilMark(func(i int) bool {
-		return s.cores[i].Stats().Instructions >= s.cfg.MeasureInstr
-	}, func(i int, cycle uint64) {
-		if !snaps[i].taken {
-			snaps[i] = coreSnapshot{taken: true, cycle: cycle, stats: s.cores[i].Stats()}
-		}
-	})
-	for i := range snaps {
-		if !snaps[i].taken { // trace exhausted before reaching budget
-			snaps[i] = coreSnapshot{taken: true, cycle: s.clock, stats: s.cores[i].Stats()}
-		}
-	}
-	s.sanAtRunEnd()
-	return s.collect(start, snaps)
+	s.measureStart = s.clock
+	s.snaps = make([]coreSnapshot, len(s.cores))
+	s.phase = phaseMeasure
 }
 
 // runUntil advances the clock until pred holds for every core or all
-// cores drain.
-func (s *System) runUntil(pred func(core int) bool) {
-	s.runUntilMark(pred, func(int, uint64) {})
+// cores drain, reporting whether the advance hook paused it first.
+func (s *System) runUntil(pred func(core int) bool) bool {
+	return s.runUntilMark(pred, func(int, uint64) {})
 }
 
 // runUntilMark additionally reports, once per core, the first cycle at
-// which pred became true for it.
-func (s *System) runUntilMark(pred func(core int) bool, mark func(core int, cycle uint64)) {
+// which pred became true for it. Re-entry after a pause is exact: pred is
+// monotone (retired instructions only grow, Done is sticky), so the
+// per-core reached flags recompute to the same values they held when the
+// pause hit, and mark-once idempotence is the caller's taken guard.
+func (s *System) runUntilMark(pred func(core int) bool, mark func(core int, cycle uint64)) bool {
 	reached := make([]bool, len(s.cores))
 	for {
 		allReached := true
@@ -318,11 +400,14 @@ func (s *System) runUntilMark(pred func(core int) bool, mark func(core int, cycl
 			}
 		}
 		if allReached || allDone {
-			return
+			return false
 		}
 		prev := s.clock
 		s.clock = s.nextCycle()
 		s.sanAtAdvance(prev, s.clock)
+		if s.hook != nil && s.hook(s.clock) {
+			return true
+		}
 	}
 }
 

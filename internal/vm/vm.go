@@ -27,6 +27,11 @@ type Translator struct {
 	nextFree  int
 	rng       *rand.Rand
 	frames    uint64
+	// refills counts refillFreeList calls. The RNG stream is deterministic
+	// from the constructor seed, so a checkpoint stores only this cursor
+	// and restore replays the refills to rebuild the identical free list
+	// (see LoadState in checkpoint.go).
+	refills int
 }
 
 // NewTranslator creates a translator over a physical memory of memBytes
@@ -92,6 +97,7 @@ func (t *Translator) allocFrame() uint64 {
 const freeListChunk = 1 << 16
 
 func (t *Translator) refillFreeList() {
+	t.refills++
 	base := uint64(len(t.freeList))
 	n := uint64(freeListChunk)
 	if base < t.frames && base+n > t.frames {
