@@ -4,7 +4,7 @@ GO ?= go
 # exceeded so future PRs notice a regression.
 LINT_BUDGET_SECONDS ?= 60
 
-.PHONY: all build test short race race-harness vet lint simlint bench bench-runner bench-checkpoint san-test san-suite fuzz
+.PHONY: all build test short race race-harness vet lint simlint bench bench-runner bench-checkpoint bench-telemetry san-test san-suite fuzz
 
 all: build lint test
 
@@ -97,3 +97,9 @@ bench-runner:
 # reuse) matrix time on this machine, verifying byte-identical tables.
 bench-checkpoint:
 	BENCH_CHECKPOINT_JSON=$(CURDIR)/BENCH_checkpoint.json $(GO) test -run TestEmitCheckpointBench -v ./internal/harness/
+
+# Regenerates BENCH_telemetry.json: wall time of the workload matrix
+# with telemetry export off vs on (budget: <3% overhead), verifying the
+# simulation results are identical either way.
+bench-telemetry:
+	BENCH_TELEMETRY_JSON=$(CURDIR)/BENCH_telemetry.json $(GO) test -run TestEmitTelemetryBench -v ./internal/harness/

@@ -14,17 +14,26 @@
 //	bingosim -workload em3d -checkpoint-out warm.ckpt     # save at end of warm-up
 //	bingosim -workload em3d -checkpoint-out run.ckpt -checkpoint-every 100000
 //	bingosim -workload em3d -resume run.ckpt              # continue from a checkpoint
+//
+// Telemetry (pure observers: the printed results are identical either way):
+//
+//	bingosim -workload em3d -telemetry-out run.json       # epoch series + lifecycle as JSON
+//	bingosim -workload em3d -telemetry-csv run.csv        # epoch series as CSV
+//	bingosim -workload em3d -trace-out run.trace.json     # Chrome trace_event (chrome://tracing)
+//	bingosim -workload em3d -debug-addr 127.0.0.1:6060    # pprof + expvar while running
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 
 	"bingo/internal/harness"
 	"bingo/internal/san"
 	"bingo/internal/system"
+	"bingo/internal/telemetry"
 	"bingo/internal/trace"
 	"bingo/internal/workloads"
 )
@@ -43,6 +52,11 @@ func main() {
 		ckptOutFlag  = flag.String("checkpoint-out", "", "save a checkpoint to this file: at end of warm-up, or periodically with -checkpoint-every")
 		ckptEvery    = flag.Uint64("checkpoint-every", 0, "with -checkpoint-out: overwrite the checkpoint every N cycles while running to completion")
 		resumeFlag   = flag.String("resume", "", "restore simulation state from a checkpoint file before running (same workload, prefetcher, and configuration required)")
+		telJSONFlag  = flag.String("telemetry-out", "", "write the epoch time-series and prefetch lifecycle as a JSON document to this file")
+		telCSVFlag   = flag.String("telemetry-csv", "", "write the epoch time-series as CSV to this file")
+		traceOutFlag = flag.String("trace-out", "", "write the epoch time-series as a Chrome trace_event file (chrome://tracing, Perfetto) to this file")
+		epochFlag    = flag.Uint64("epoch", 0, "telemetry sampling period in cycles (0 = default)")
+		debugFlag    = flag.String("debug-addr", "", "serve net/http/pprof, expvar, and live metrics on this address while running")
 	)
 	flag.Parse()
 
@@ -104,7 +118,29 @@ func main() {
 		}
 	}
 
-	run := func(prefetcher string, checkpointed bool) (system.Results, error) {
+	// Telemetry is a pure observer: the collector attaches before the
+	// simulation (and before any -resume restore, so checkpointed
+	// collector state reloads or resyncs correctly) and the printed
+	// results are byte-identical with or without it.
+	var tel *telemetry.Collector
+	if *telJSONFlag != "" || *telCSVFlag != "" || *traceOutFlag != "" || *debugFlag != "" {
+		tel = telemetry.NewCollector(*epochFlag)
+		tel.Workload = label
+		tel.Prefetcher = *pfFlag
+	}
+	if *debugFlag != "" {
+		srv, err := telemetry.StartDebugServer(*debugFlag, tel.Registry())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bingosim: %v\n", err)
+			os.Exit(1)
+		}
+		// The process is exiting anyway when this runs; a close error on the
+		// debug listener has no one left to act on it.
+		defer func() { _ = srv.Close() }()
+		fmt.Fprintf(os.Stderr, "bingosim: debug server on http://%s/debug/\n", srv.Addr)
+	}
+
+	run := func(prefetcher string, checkpointed bool, tel *telemetry.Collector) (system.Results, error) {
 		sys, cleanup, err := build(prefetcher)
 		if err != nil {
 			return system.Results{}, err
@@ -116,33 +152,85 @@ func main() {
 				}
 			}()
 		}
+		if tel != nil {
+			sys.EnableTelemetry(tel)
+		}
 		if !checkpointed {
 			return sys.Run(), nil
 		}
 		return execute(sys, *resumeFlag, *ckptOutFlag, *ckptEvery)
 	}
 
-	res, err := run(*pfFlag, true)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "bingosim: %v\n", err)
-		os.Exit(1)
-	}
-	fmt.Printf("workload=%s\n%s", label, res)
-
-	if *compareFlag && *pfFlag != "none" {
-		// The baseline always runs cold: a checkpoint records one exact
-		// machine, and the no-prefetcher baseline is a different one.
-		base, err := run("none", false)
+	// With -compare the baseline runs first so its miss count can feed
+	// the main run's report (coverage and overprediction vs baseline).
+	// The baseline always runs cold and unobserved: a checkpoint records
+	// one exact machine, and the no-prefetcher baseline is a different
+	// one.
+	var baseMisses uint64
+	var base system.Results
+	compare := *compareFlag && *pfFlag != "none"
+	if compare {
+		var err error
+		base, err = run("none", false, nil)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "bingosim: baseline: %v\n", err)
 			os.Exit(1)
 		}
+		baseMisses = base.LLC.Misses
+	}
+
+	res, err := run(*pfFlag, true, tel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bingosim: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("workload=%s\n%s", label, res.StringWithBaseline(baseMisses))
+
+	if compare {
 		fmt.Printf("baseline: throughput=%.3f mpki=%.2f\n", base.Throughput(), base.LLCMPKI())
 		fmt.Printf("speedup=%+.1f%% coverage=%.1f%% overprediction=%.1f%%\n",
 			(res.Throughput()/base.Throughput()-1)*100,
-			res.CoverageVsBaseline(base.LLC.Misses)*100,
-			res.Overprediction(base.LLC.Misses)*100)
+			res.CoverageVsBaseline(baseMisses)*100,
+			res.Overprediction(baseMisses)*100)
 	}
+
+	if err := writeTelemetry(tel, *telJSONFlag, *telCSVFlag, *traceOutFlag); err != nil {
+		fmt.Fprintf(os.Stderr, "bingosim: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// writeTelemetry exports the collected series to whichever output files
+// were requested.
+func writeTelemetry(tel *telemetry.Collector, jsonPath, csvPath, tracePath string) error {
+	if tel == nil {
+		return nil
+	}
+	write := func(path string, fn func(io.Writer) error) error {
+		if path == "" {
+			return nil
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		writeErr := fn(f)
+		closeErr := f.Close()
+		if writeErr != nil {
+			return fmt.Errorf("writing %s: %w", path, writeErr)
+		}
+		if closeErr != nil {
+			return fmt.Errorf("writing %s: %w", path, closeErr)
+		}
+		return nil
+	}
+	if err := write(jsonPath, tel.WriteJSON); err != nil {
+		return err
+	}
+	if err := write(csvPath, tel.WriteCSV); err != nil {
+		return err
+	}
+	return write(tracePath, tel.WriteChromeTrace)
 }
 
 // execute runs sys to completion, applying the checkpoint flags: restore

@@ -10,10 +10,12 @@
 //	experiments -fast                 # reduced instruction budgets
 //	experiments -exp all -fast -j 8   # warm the run matrix on 8 workers
 //	experiments -warm-reuse .warm     # reuse end-of-warm-up checkpoints
+//	experiments -telemetry out/       # export per-cell epoch series
+//	experiments -debug-addr :6060     # pprof/expvar while running
 //
 // Artefact names: table1 table2 fig2 fig3 fig4 fig6 fig7 fig8 fig9 fig10
-// ablate-vote ablate-region ablate-sharing ablate-queue ablate-bandwidth
-// ablate-level ablate-tags extras seeds.
+// timeliness ablate-vote ablate-region ablate-sharing ablate-queue
+// ablate-bandwidth ablate-level ablate-tags extras seeds.
 //
 // The rendered tables on stdout are byte-identical for every -j value
 // (and across repeated runs); timings and the per-cell run report go to
@@ -30,6 +32,7 @@ import (
 
 	"bingo/internal/harness"
 	"bingo/internal/san"
+	"bingo/internal/telemetry"
 )
 
 func main() {
@@ -42,6 +45,9 @@ func main() {
 		quietFlag  = flag.Bool("quiet", false, "suppress the stderr run report")
 		sanFlag    = flag.Bool("san", san.Compiled, "runtime invariant checking (needs a -tags=san build)")
 		warmFlag   = flag.String("warm-reuse", "", "cache end-of-warm-up checkpoints in this directory and restore them on later runs (tables stay byte-identical)")
+		telFlag    = flag.String("telemetry", "", "export each cell's epoch time-series (JSON + Chrome trace) into this directory")
+		epochFlag  = flag.Uint64("epoch", 0, "telemetry sampling period in cycles (0 = default)")
+		debugFlag  = flag.String("debug-addr", "", "serve net/http/pprof, expvar, and live progress counters on this address while running")
 	)
 	flag.Parse()
 
@@ -61,14 +67,30 @@ func main() {
 	if *quietFlag {
 		report = nil
 	}
+	var debugReg *telemetry.Registry
+	if *debugFlag != "" {
+		debugReg = telemetry.NewRegistry()
+		srv, err := telemetry.StartDebugServer(*debugFlag, debugReg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		// The process is exiting anyway when this runs; a close error on the
+		// debug listener has no one left to act on it.
+		defer func() { _ = srv.Close() }()
+		fmt.Fprintf(os.Stderr, "experiments: debug server on http://%s/debug/\n", srv.Addr)
+	}
 	cfg := harness.SuiteConfig{
-		Experiments: strings.Split(*expFlag, ","),
-		Opts:        opts,
-		Jobs:        *jobsFlag,
-		Format:      *formatFlag,
-		BudgetLabel: budgetName(*fastFlag),
-		Report:      report,
-		WarmDir:     *warmFlag,
+		Experiments:    strings.Split(*expFlag, ","),
+		Opts:           opts,
+		Jobs:           *jobsFlag,
+		Format:         *formatFlag,
+		BudgetLabel:    budgetName(*fastFlag),
+		Report:         report,
+		WarmDir:        *warmFlag,
+		TelemetryDir:   *telFlag,
+		TelemetryEpoch: *epochFlag,
+		Debug:          debugReg,
 	}
 	if err := harness.RunSuite(os.Stdout, cfg); err != nil {
 		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)

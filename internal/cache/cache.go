@@ -93,6 +93,27 @@ type EvictionListener interface {
 // signal.
 type OutcomeFunc func(core int, useful bool)
 
+// PrefetchProbe observes the full lifecycle of prefetched lines at the
+// level the prefetcher fills into. It is richer than OutcomeFunc (which
+// only reports useful/unused): the probe also sees redundant drops and
+// distinguishes timely from late uses, with the cycle margin attached.
+// telemetry.Lifecycle implements it. A probe must be a pure observer —
+// the cache behaves identically with or without one.
+type PrefetchProbe interface {
+	// PrefetchRedundant: a prefetch found its block already present (or
+	// in flight) and was dropped. core is the requesting core.
+	PrefetchRedundant(core int)
+	// PrefetchFill: a prefetch installed a line; its fill is in flight.
+	PrefetchFill(core int)
+	// PrefetchUse: first demand use of a prefetched line. late reports
+	// whether the fill was still in flight (the demand had to wait);
+	// cycles is the wait (late) or the fill-completion-to-use margin
+	// (timely). core is the core whose prefetch installed the line.
+	PrefetchUse(core int, late bool, cycles uint64)
+	// PrefetchEvictUnused: a prefetched line was evicted untouched.
+	PrefetchEvictUnused(core int)
+}
+
 // Config describes one cache level.
 type Config struct {
 	Name       string
@@ -145,6 +166,27 @@ type Stats struct {
 	Writebacks     uint64
 }
 
+// Delta returns the counter-wise difference s - prev. Counters are
+// monotone between resets, so sampling cumulative Stats and differencing
+// with Delta yields exact per-interval counts (the telemetry epoch
+// series is built this way).
+func (s Stats) Delta(prev Stats) Stats {
+	return Stats{
+		Accesses:       s.Accesses - prev.Accesses,
+		Hits:           s.Hits - prev.Hits,
+		Misses:         s.Misses - prev.Misses,
+		LateHits:       s.LateHits - prev.LateHits,
+		PrefetchIssued: s.PrefetchIssued - prev.PrefetchIssued,
+		PrefetchFills:  s.PrefetchFills - prev.PrefetchFills,
+		PrefetchHits:   s.PrefetchHits - prev.PrefetchHits,
+		UsefulPrefetch: s.UsefulPrefetch - prev.UsefulPrefetch,
+		LatePrefetch:   s.LatePrefetch - prev.LatePrefetch,
+		UnusedPrefetch: s.UnusedPrefetch - prev.UnusedPrefetch,
+		Evictions:      s.Evictions - prev.Evictions,
+		Writebacks:     s.Writebacks - prev.Writebacks,
+	}
+}
+
 // MPKI returns misses per kilo-instruction for a run of instr instructions.
 func (s Stats) MPKI(instr uint64) float64 {
 	if instr == 0 {
@@ -170,6 +212,7 @@ type Cache struct {
 	lower    Level
 	listener EvictionListener
 	outcome  OutcomeFunc
+	probe    PrefetchProbe
 	stats    Stats
 	san      sanState // runtime invariant sanitizer (empty without -tags=san)
 }
@@ -234,6 +277,9 @@ func (c *Cache) SetEvictionListener(l EvictionListener) { c.listener = l }
 // SetOutcomeFunc registers the prefetch-outcome observer (at most one).
 func (c *Cache) SetOutcomeFunc(f OutcomeFunc) { c.outcome = f }
 
+// SetPrefetchProbe registers the lifecycle observer (at most one).
+func (c *Cache) SetPrefetchProbe(p PrefetchProbe) { c.probe = p }
+
 // NumSets returns the number of sets.
 func (c *Cache) NumSets() int { return len(c.sets) }
 
@@ -283,6 +329,16 @@ func (c *Cache) Access(now uint64, req Request) Result {
 		if ln.prefetched {
 			c.stats.UsefulPrefetch++
 			ln.prefetched = false
+			if c.probe != nil {
+				// Late: the demand waits out the in-flight fill; the wait is
+				// how late the prefetch was. Timely: the margin is the slack
+				// between fill completion and this use's data availability.
+				if late := ln.arrival > ready; late {
+					c.probe.PrefetchUse(ln.fillCore, true, ln.arrival-ready)
+				} else {
+					c.probe.PrefetchUse(ln.fillCore, false, ready-ln.arrival)
+				}
+			}
 			if c.outcome != nil {
 				c.outcome(ln.fillCore, true)
 			}
@@ -318,6 +374,9 @@ func (c *Cache) accessPrefetch(now, ready uint64, req Request, si int, block uin
 		// Already present (or in flight): redundant prefetch, drop it.
 		c.stats.PrefetchHits++
 		_ = w
+		if c.probe != nil {
+			c.probe.PrefetchRedundant(req.Core)
+		}
 		res := Result{CompleteAt: ready, HitLevel: c.cfg.Name}
 		c.sanAfterAccess(now, ready, si, res)
 		return res
@@ -332,6 +391,9 @@ func (c *Cache) accessPrefetch(now, ready uint64, req Request, si int, block uin
 	})
 	c.policy.Touch(si, w)
 	c.stats.PrefetchFills++
+	if c.probe != nil {
+		c.probe.PrefetchFill(req.Core)
+	}
 	res := Result{CompleteAt: lowerRes.CompleteAt, HitLevel: lowerRes.HitLevel}
 	c.sanAfterAccess(now, ready, si, res)
 	return res
@@ -363,6 +425,9 @@ func (c *Cache) evict(now uint64, si int, victim *line) {
 	c.stats.Evictions++
 	if victim.prefetched {
 		c.stats.UnusedPrefetch++
+		if c.probe != nil {
+			c.probe.PrefetchEvictUnused(victim.fillCore)
+		}
 		if c.outcome != nil {
 			c.outcome(victim.fillCore, false)
 		}

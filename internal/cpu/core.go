@@ -54,6 +54,19 @@ type Stats struct {
 	MemStall uint64
 }
 
+// Delta returns the counter-wise difference s - prev; with cumulative
+// samples of a core's Stats this yields exact per-interval counts (the
+// telemetry epoch series is built this way).
+func (s Stats) Delta(prev Stats) Stats {
+	return Stats{
+		Instructions: s.Instructions - prev.Instructions,
+		MemOps:       s.MemOps - prev.MemOps,
+		Loads:        s.Loads - prev.Loads,
+		Stores:       s.Stores - prev.Stores,
+		MemStall:     s.MemStall - prev.MemStall,
+	}
+}
+
 // robEntry is one in-flight instruction.
 type robEntry struct {
 	completeAt uint64

@@ -64,6 +64,20 @@ type Stats struct {
 	BusBusy      uint64 // total channel-bus busy cycles (all channels)
 }
 
+// Delta returns the counter-wise difference s - prev; with cumulative
+// samples of the DRAM Stats this yields exact per-interval counts (the
+// telemetry epoch series is built this way).
+func (s Stats) Delta(prev Stats) Stats {
+	return Stats{
+		Reads:        s.Reads - prev.Reads,
+		Writes:       s.Writes - prev.Writes,
+		RowHits:      s.RowHits - prev.RowHits,
+		RowEmpty:     s.RowEmpty - prev.RowEmpty,
+		RowConflicts: s.RowConflicts - prev.RowConflicts,
+		BusBusy:      s.BusBusy - prev.BusBusy,
+	}
+}
+
 // RowHitRate returns the fraction of accesses that hit an open row.
 func (s Stats) RowHitRate() float64 {
 	total := s.Reads + s.Writes

@@ -124,22 +124,43 @@ func (m *Matrix) RunCell(key CellKey, opts RunOptions, build func() (prefetch.Fa
 		return system.Results{}, nil, fmt.Errorf("harness: unknown workload %q", key.Workload)
 	}
 	return m.run(key, func() (system.Results, any, error) {
+		// The collector (nil when telemetry export is off) attaches to the
+		// system before any simulation: on the warm path that is before the
+		// checkpoint restore, so artifacts saved with or without telemetry
+		// both replay correctly (strict collector restore, or a resync onto
+		// the measurement-start epoch grid).
+		tel := m.newCellCollector(key)
+		var prep func(*system.System)
+		if tel != nil {
+			prep = func(sys *system.System) { sys.EnableTelemetry(tel) }
+		}
 		var sys *system.System
 		var res system.Results
 		var err error
 		if ws := m.warmStore(); ws != nil {
-			sys, res, err = ws.RunWithSystem(w, key, opts, build)
+			sys, res, err = ws.RunWithSystem(w, key, opts, build, prep)
 		} else {
 			var factory prefetch.Factory
 			if build != nil {
 				factory, err = build()
 				if err != nil {
+					m.recordCellOutcome(system.Results{}, err)
 					return system.Results{}, nil, err
 				}
 			}
-			sys, res, err = RunWithSystem(w, factory, opts)
+			sys, err = BuildSystem(w, factory, opts)
+			if err == nil {
+				if prep != nil {
+					prep(sys)
+				}
+				res = sys.Run()
+			}
 		}
+		m.recordCellOutcome(res, err)
 		if err != nil {
+			return system.Results{}, nil, err
+		}
+		if err := m.exportCellTelemetry(key, tel); err != nil {
 			return system.Results{}, nil, err
 		}
 		var aux any

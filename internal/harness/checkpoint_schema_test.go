@@ -38,9 +38,17 @@ func TestCheckpointSchemaGolden(t *testing.T) {
 		" v1 u64 i64 bools u64s*5 i64s u64s" + // tracker filter table
 		" v1 u64 i64 bools u64s*5 i64s u64s" + // tracker accumulation table
 		" v1 u64*7 bools u64s*4 i64s" // unified history table
+	// The system section (v2) freezes, per core: 6 CPU-stat columns, 12
+	// L1-stat columns, and 8 prefetch-lifecycle columns (26 u64s), then
+	// the prefetch queue lens + flat entries. The trailing telemetry
+	// section is present in every checkpoint — enabled flag, collector
+	// header, then 48 u64s columns (23 cumulative-Totals + 2 epoch-bound
+	// + 23 series-Totals) and the registry's counter/gauge/histogram
+	// name+value columns.
+	telemetryFields := "v1 bool v1 u64 i64 bool*2 u64*3 u64s*48 str u64s str i64s str u64s*3"
 	want := []checkpoint.SectionSchema{
 		{ID: "meta", Fields: "v1 str*2 i64"},
-		{ID: "system", Fields: "v1 u64 u8 u64*2 bools u64s*6 i64s u64s"},
+		{ID: "system", Fields: "v2 u64 u8 u64*2 bools u64s*26 i64s u64s"},
 		{ID: "vm", Fields: "v1 u64s*2 i64*2"},
 		{ID: "dram", Fields: "v1 u64*6 u64s*3"},
 		{ID: "llc", Fields: cacheFields},
@@ -56,6 +64,7 @@ func TestCheckpointSchemaGolden(t *testing.T) {
 		{ID: "pf[1]", Fields: bingoFields},
 		{ID: "pf[2]", Fields: bingoFields},
 		{ID: "pf[3]", Fields: bingoFields},
+		{ID: "telemetry", Fields: telemetryFields},
 	}
 
 	if len(schema) != len(want) {

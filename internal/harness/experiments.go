@@ -8,6 +8,7 @@ import (
 	"bingo/internal/core"
 	"bingo/internal/prefetch"
 	"bingo/internal/system"
+	"bingo/internal/telemetry"
 	"bingo/internal/workloads"
 )
 
@@ -31,6 +32,13 @@ type Matrix struct {
 	stats       []CellStat
 	trackAllocs bool
 	warm        *WarmStore
+
+	// Telemetry export configuration (SetTelemetry) and the optional
+	// live-progress registry (SetDebugRegistry). Both are observability
+	// only: simulated results never depend on them.
+	telDir   string
+	telEpoch uint64
+	debugReg *telemetry.Registry
 }
 
 // NewMatrix creates an empty memoised run matrix.

@@ -98,7 +98,9 @@ func experimentCells(name string, m *Matrix) []PlannedCell {
 				})
 			}
 		}
-	case "fig7", "fig8", "fig9":
+	case "fig7", "fig8", "fig9", "timeliness":
+		// timeliness reads the same cells as the Figure 7–9 matrix; the
+		// lifecycle counters ride along in every cell's Results.
 		out = matrixCells(m, PaperPrefetchers())
 	case "fig10":
 		out = matrixCells(m, fig10Variants)

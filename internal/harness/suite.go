@@ -11,6 +11,8 @@ import (
 	"runtime"
 	"strings"
 	"time"
+
+	"bingo/internal/telemetry"
 )
 
 // experimentOrder is the canonical rendering order of the suite: the
@@ -19,7 +21,7 @@ import (
 // workers warmed the matrix.
 var experimentOrder = []string{
 	"table1", "table2", "fig2", "fig3", "fig4", "fig6",
-	"fig7", "fig8", "fig9", "fig10", "ablate-vote", "ablate-region",
+	"fig7", "fig8", "fig9", "fig10", "timeliness", "ablate-vote", "ablate-region",
 	"ablate-sharing", "ablate-queue", "ablate-bandwidth", "ablate-level",
 	"ablate-tags", "extras", "seeds",
 }
@@ -64,6 +66,8 @@ func BuildExperiment(name string, m *Matrix) (Table, error) {
 		return Fig9(m, DefaultAreaModel())
 	case "fig10":
 		return Fig10(m)
+	case "timeliness":
+		return Timeliness(m)
 	case "ablate-vote":
 		return AblateVote(m)
 	case "ablate-region":
@@ -112,6 +116,18 @@ type SuiteConfig struct {
 	// options) and restored on later runs, skipping re-simulation of the
 	// warm-up phase. Rendered tables are byte-identical either way.
 	WarmDir string
+	// TelemetryDir, when non-empty, exports every cell's epoch
+	// time-series (JSON document + Chrome trace_event file) into this
+	// directory. Collectors are pure observers: the rendered tables are
+	// byte-identical with or without it.
+	TelemetryDir string
+	// TelemetryEpoch is the sampling period in simulated cycles for the
+	// exported series (0 selects telemetry.DefaultEpochCycles).
+	TelemetryEpoch uint64
+	// Debug, when non-nil, receives live progress counters (cells
+	// completed/failed, instructions simulated) — typically the registry
+	// served by a telemetry.DebugServer behind -debug-addr.
+	Debug *telemetry.Registry
 }
 
 // jobs resolves the configured worker count.
@@ -175,6 +191,12 @@ func RunSuite(out io.Writer, cfg SuiteConfig) error {
 	// Per-cell allocation accounting is only attributable when cells run
 	// one at a time.
 	m.SetAllocTracking(jobs == 1)
+	if cfg.TelemetryDir != "" {
+		if err := m.SetTelemetry(cfg.TelemetryDir, cfg.TelemetryEpoch); err != nil {
+			return err
+		}
+	}
+	m.SetDebugRegistry(cfg.Debug)
 	var warm *WarmStore
 	if cfg.WarmDir != "" {
 		ws, err := NewWarmStore(cfg.WarmDir)
@@ -217,6 +239,9 @@ func RunSuite(out io.Writer, cfg SuiteConfig) error {
 	}
 
 	writeRunReport(cfg.Report, m, jobs, warmWall, time.Since(wallStart))
+	if cfg.TelemetryDir != "" {
+		reportf(cfg.Report, "telemetry: per-cell epoch series exported to %s\n", cfg.TelemetryDir)
+	}
 	if warm != nil {
 		s := warm.Stats()
 		reportf(cfg.Report, "warm-start store: %d hits (%d warm-up cycles skipped), %d misses (%d warm-up cycles run)\n",

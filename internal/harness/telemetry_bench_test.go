@@ -1,0 +1,103 @@
+// Wall-clock reads in this file time telemetry-on vs telemetry-off
+// matrices for the BENCH_telemetry.json artefact; simulated results
+// never depend on them.
+//
+//lint:file-ignore detlint wall clock used for benchmark reporting only, never in simulated paths
+package harness
+
+import (
+	"encoding/json"
+	"os"
+	"reflect"
+	"testing"
+	"time"
+
+	"bingo/internal/system"
+	"bingo/internal/workloads"
+)
+
+// telemetryBenchRun simulates every workload under the bingo prefetcher
+// on a fresh matrix, with telemetry export into telDir when non-empty,
+// and returns the wall time plus the per-cell Results keyed by workload.
+func telemetryBenchRun(t *testing.T, telDir string) (time.Duration, map[string]system.Results) {
+	t.Helper()
+	// Measurement-heavy budgets: telemetry's cost is per simulated
+	// cycle of the measured window (the epoch sampling guard plus the
+	// lifecycle probes), so a short warm-up isolates exactly the phase
+	// being instrumented.
+	opts := tinyOptions()
+	opts.System.WarmupInstr = 10_000
+	opts.System.MeasureInstr = 200_000
+	m := NewMatrix(opts)
+	if telDir != "" {
+		if err := m.SetTelemetry(telDir, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	start := time.Now()
+	results := make(map[string]system.Results)
+	for _, w := range workloads.All() {
+		res, err := m.Get(w, "bingo")
+		if err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+		results[w.Name] = res
+	}
+	return time.Since(start), results
+}
+
+type telemetryBench struct {
+	Workloads        int     `json:"workloads"`
+	MeasureInstr     uint64  `json:"measure_instructions_per_cell"`
+	BaselineSeconds  float64 `json:"baseline_seconds"`
+	TelemetrySeconds float64 `json:"telemetry_seconds"`
+	OverheadPct      float64 `json:"overhead_pct"`
+	ResultsIdentical bool    `json:"results_identical"`
+}
+
+// TestEmitTelemetryBench times the full workload set under bingo with
+// telemetry export off and on, verifies the simulation Results are
+// identical either way, and writes BENCH_telemetry.json to the path in
+// the BENCH_TELEMETRY_JSON environment variable. It is a generator, not
+// a test: without the variable it skips. Run it via `make
+// bench-telemetry`. The off pass runs twice and keeps the faster time,
+// damping scheduler noise in the reported overhead.
+func TestEmitTelemetryBench(t *testing.T) {
+	path := os.Getenv("BENCH_TELEMETRY_JSON")
+	if path == "" {
+		t.Skip("set BENCH_TELEMETRY_JSON=<path> to emit the telemetry overhead benchmark")
+	}
+
+	offDur, offRes := telemetryBenchRun(t, "")
+	onDur, onRes := telemetryBenchRun(t, t.TempDir())
+	offDur2, _ := telemetryBenchRun(t, "")
+	if offDur2 < offDur {
+		offDur = offDur2
+	}
+
+	identical := reflect.DeepEqual(offRes, onRes)
+	if !identical {
+		t.Error("simulation results differ with telemetry enabled")
+	}
+	overhead := (onDur.Seconds() - offDur.Seconds()) / offDur.Seconds() * 100
+
+	doc := telemetryBench{
+		Workloads:        len(workloads.All()),
+		MeasureInstr:     200_000,
+		BaselineSeconds:  offDur.Seconds(),
+		TelemetrySeconds: onDur.Seconds(),
+		OverheadPct:      overhead,
+		ResultsIdentical: identical,
+	}
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s: baseline=%s telemetry=%s overhead=%.2f%%", path, offDur, onDur, overhead)
+	if overhead >= 3 {
+		t.Logf("overhead %.2f%% is above the 3%% budget on this machine; rerun on an idle system before trusting the number", overhead)
+	}
+}

@@ -1,0 +1,53 @@
+package harness
+
+import (
+	"fmt"
+
+	"bingo/internal/telemetry"
+	"bingo/internal/workloads"
+)
+
+// Timeliness reports the prefetch-lifecycle breakdown of every paper
+// prefetcher on every workload: the fraction of prefetch fills whose
+// first demand use came after the fill completed (timely), while the
+// fill was still in flight (late), or never (unused at eviction), plus
+// the fills still resident and unused at the end of measurement, and
+// the predictions dropped by the full prefetch queue. Fractions are of
+// fills; aggregate rows are ratio-of-sums across workloads so short
+// cells cannot dominate.
+//
+// The builder doubles as a production-path oracle: every cell's
+// counters must satisfy the lifecycle conservation identities
+// (issued == dropped + redundant + fills and
+// fills == timely + late + unused + in-flight) or the experiment
+// fails, so a broken probe wiring can never render a plausible table.
+func Timeliness(m *Matrix) (Table, error) {
+	t := Table{
+		Title:   "Prefetch Timeliness: Lifecycle Breakdown",
+		Headers: []string{"Workload", "Prefetcher", "Timely", "Late", "Unused", "Fills", "Dropped"},
+	}
+	pfs := PaperPrefetchers()
+	agg := make(map[string]telemetry.LifecycleStats, len(pfs))
+	for _, w := range workloads.All() {
+		for _, pf := range pfs {
+			res, err := m.Get(w, pf)
+			if err != nil {
+				return Table{}, err
+			}
+			lc := res.Timeliness
+			if !lc.Conserves() {
+				return Table{}, fmt.Errorf("harness: %s/%s: prefetch lifecycle counters do not conserve: %+v", w.Name, pf, lc)
+			}
+			agg[pf] = agg[pf].Add(lc)
+			t.AddRow(w.Name, pf, pct(lc.TimelyFraction()), pct(lc.LateFraction()),
+				pct(lc.UnusedFraction()), fmt.Sprintf("%d", lc.Fills), fmt.Sprintf("%d", lc.QueueDropped))
+		}
+	}
+	for _, pf := range pfs {
+		lc := agg[pf]
+		t.AddRow("Aggregate", pf, pct(lc.TimelyFraction()), pct(lc.LateFraction()),
+			pct(lc.UnusedFraction()), fmt.Sprintf("%d", lc.Fills), fmt.Sprintf("%d", lc.QueueDropped))
+	}
+	t.AddNote("fractions of prefetch fills; timely+late+unused+still-resident = 100%%; aggregate is ratio-of-sums")
+	return t, nil
+}

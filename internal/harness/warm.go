@@ -90,7 +90,15 @@ func (ws *WarmStore) artifactPath(key CellKey, opts RunOptions) string {
 // prefetcher factory (nil factory for the baseline); it is invoked once
 // per system built here, never shared across systems, because factories
 // may close over per-instance state (SharedFactory does).
-func (ws *WarmStore) RunWithSystem(w workloads.Spec, key CellKey, opts RunOptions, build func() (prefetch.Factory, error)) (*system.System, system.Results, error) {
+//
+// prep, if non-nil, attaches observers (a telemetry collector) to every
+// system built here, immediately after construction — in particular
+// before a checkpoint restore, so restored state can flow into the
+// observer. Artifacts are keyed by cell and options only: a populating
+// run with observers attached writes an artifact that a later
+// observer-free run restores identically (and vice versa), because the
+// checkpoint's telemetry section is ignored or resynced as needed.
+func (ws *WarmStore) RunWithSystem(w workloads.Spec, key CellKey, opts RunOptions, build func() (prefetch.Factory, error), prep func(*system.System)) (*system.System, system.Results, error) {
 	buildSys := func() (*system.System, error) {
 		var factory prefetch.Factory
 		if build != nil {
@@ -100,7 +108,11 @@ func (ws *WarmStore) RunWithSystem(w workloads.Spec, key CellKey, opts RunOption
 				return nil, err
 			}
 		}
-		return BuildSystem(w, factory, opts)
+		sys, err := BuildSystem(w, factory, opts)
+		if err == nil && prep != nil {
+			prep(sys)
+		}
+		return sys, err
 	}
 
 	path := ws.artifactPath(key, opts)

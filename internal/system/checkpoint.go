@@ -5,17 +5,24 @@ import (
 	"io"
 
 	"bingo/internal/checkpoint"
+	"bingo/internal/telemetry"
 )
 
 // Section IDs of a system checkpoint, in write order: metadata, the
-// system-level loop state, then one section per stateful component.
-// Per-core sections are indexed ("cpu[0]", "pf[2]", ...).
+// system-level loop state, then one section per stateful component, and
+// finally the telemetry collector. Per-core sections are indexed
+// ("cpu[0]", "pf[2]", ...). The telemetry section is present in every
+// checkpoint — a disabled collector writes a placeholder body — so the
+// container layout does not depend on observability flags and a
+// warm-start artifact saved without telemetry restores cleanly into a
+// telemetry-enabled run (and vice versa).
 const (
-	sectionMeta   = "meta"
-	sectionSystem = "system"
-	sectionVM     = "vm"
-	sectionDRAM   = "dram"
-	sectionLLC    = "llc"
+	sectionMeta      = "meta"
+	sectionSystem    = "system"
+	sectionVM        = "vm"
+	sectionDRAM      = "dram"
+	sectionLLC       = "llc"
+	sectionTelemetry = "telemetry"
 )
 
 func sectionL1(core int) string  { return fmt.Sprintf("l1[%d]", core) }
@@ -51,35 +58,64 @@ func (s *System) saveSections(fw *checkpoint.FileWriter) error {
 		return err
 	}
 	if err := add(sectionSystem, func(w *checkpoint.Writer) error {
-		w.Version(1)
+		w.Version(2)
 		w.U64(s.clock)
 		w.U8(s.phase)
 		w.U64(s.measureStart)
 		w.U64(s.pfDropped)
-		// Freeze frames (empty until measurement begins).
+		// Freeze frames (empty until measurement begins). v2 freezes the
+		// per-core L1 stats alongside the CPU stats — collect reads the
+		// frame, so a restored run must reproduce it exactly.
 		taken := make([]bool, len(s.snaps))
-		cycles := make([]uint64, len(s.snaps))
-		instrs := make([]uint64, len(s.snaps))
-		memOps := make([]uint64, len(s.snaps))
-		loads := make([]uint64, len(s.snaps))
-		stores := make([]uint64, len(s.snaps))
-		stalls := make([]uint64, len(s.snaps))
+		snapU64 := func(get func(coreSnapshot) uint64) {
+			col := make([]uint64, len(s.snaps))
+			for i, sn := range s.snaps {
+				col[i] = get(sn)
+			}
+			w.U64s(col)
+		}
 		for i, sn := range s.snaps {
 			taken[i] = sn.taken
-			cycles[i] = sn.cycle
-			instrs[i] = sn.stats.Instructions
-			memOps[i] = sn.stats.MemOps
-			loads[i] = sn.stats.Loads
-			stores[i] = sn.stats.Stores
-			stalls[i] = sn.stats.MemStall
 		}
 		w.Bools(taken)
-		w.U64s(cycles)
-		w.U64s(instrs)
-		w.U64s(memOps)
-		w.U64s(loads)
-		w.U64s(stores)
-		w.U64s(stalls)
+		snapU64(func(sn coreSnapshot) uint64 { return sn.cycle })
+		snapU64(func(sn coreSnapshot) uint64 { return sn.stats.Instructions })
+		snapU64(func(sn coreSnapshot) uint64 { return sn.stats.MemOps })
+		snapU64(func(sn coreSnapshot) uint64 { return sn.stats.Loads })
+		snapU64(func(sn coreSnapshot) uint64 { return sn.stats.Stores })
+		snapU64(func(sn coreSnapshot) uint64 { return sn.stats.MemStall })
+		snapU64(func(sn coreSnapshot) uint64 { return sn.l1.Accesses })
+		snapU64(func(sn coreSnapshot) uint64 { return sn.l1.Hits })
+		snapU64(func(sn coreSnapshot) uint64 { return sn.l1.Misses })
+		snapU64(func(sn coreSnapshot) uint64 { return sn.l1.LateHits })
+		snapU64(func(sn coreSnapshot) uint64 { return sn.l1.PrefetchIssued })
+		snapU64(func(sn coreSnapshot) uint64 { return sn.l1.PrefetchFills })
+		snapU64(func(sn coreSnapshot) uint64 { return sn.l1.PrefetchHits })
+		snapU64(func(sn coreSnapshot) uint64 { return sn.l1.UsefulPrefetch })
+		snapU64(func(sn coreSnapshot) uint64 { return sn.l1.LatePrefetch })
+		snapU64(func(sn coreSnapshot) uint64 { return sn.l1.UnusedPrefetch })
+		snapU64(func(sn coreSnapshot) uint64 { return sn.l1.Evictions })
+		snapU64(func(sn coreSnapshot) uint64 { return sn.l1.Writebacks })
+		// Prefetch lifecycle counters (empty columns for the baseline).
+		nlc := 0
+		if s.lc != nil {
+			nlc = s.lc.NumCores()
+		}
+		lcU64 := func(get func(telemetry.LifecycleStats) uint64) {
+			col := make([]uint64, nlc)
+			for i := 0; i < nlc; i++ {
+				col[i] = get(s.lc.Core(i))
+			}
+			w.U64s(col)
+		}
+		lcU64(func(t telemetry.LifecycleStats) uint64 { return t.Issued })
+		lcU64(func(t telemetry.LifecycleStats) uint64 { return t.QueueDropped })
+		lcU64(func(t telemetry.LifecycleStats) uint64 { return t.Redundant })
+		lcU64(func(t telemetry.LifecycleStats) uint64 { return t.Fills })
+		lcU64(func(t telemetry.LifecycleStats) uint64 { return t.Timely })
+		lcU64(func(t telemetry.LifecycleStats) uint64 { return t.Late })
+		lcU64(func(t telemetry.LifecycleStats) uint64 { return t.UnusedEvicted })
+		lcU64(func(t telemetry.LifecycleStats) uint64 { return t.InFlight })
 		// Per-core prefetch queues, flattened with a length column.
 		lens := make([]int, len(s.pfInflight))
 		var flat []uint64
@@ -128,6 +164,19 @@ func (s *System) saveSections(fw *checkpoint.FileWriter) error {
 		}); err != nil {
 			return err
 		}
+	}
+	if err := add(sectionTelemetry, func(w *checkpoint.Writer) error {
+		w.Version(1)
+		w.Bool(s.tel != nil)
+		tel := s.tel
+		if tel == nil {
+			// Zero-valued placeholder: the collector's column layout has a
+			// fixed op sequence, so the schema is identical either way.
+			tel = telemetry.NewCollector(0)
+		}
+		return tel.SaveState(w)
+	}); err != nil {
+		return err
 	}
 	return nil
 }
@@ -231,18 +280,20 @@ func (s *System) LoadCheckpoint(in io.Reader) error {
 	if err != nil {
 		return err
 	}
-	r.Version(1)
+	r.Version(2)
 	clock := r.U64()
 	phase := r.U8()
 	measureStart := r.U64()
 	pfDropped := r.U64()
 	taken := r.Bools()
-	cycles := r.U64s()
-	instrs := r.U64s()
-	memOps := r.U64s()
-	loads := r.U64s()
-	stores := r.U64s()
-	stalls := r.U64s()
+	snapCols := make([][]uint64, 18)
+	for i := range snapCols {
+		snapCols[i] = r.U64s()
+	}
+	lcCols := make([][]uint64, 8)
+	for i := range lcCols {
+		lcCols[i] = r.U64s()
+	}
 	lens := r.Ints()
 	flat := r.U64s()
 	if err := r.Err(); err != nil {
@@ -261,9 +312,22 @@ func (s *System) LoadCheckpoint(in io.Reader) error {
 	if phase >= phaseMeasure {
 		nSnaps = len(s.cores)
 	}
-	if len(taken) != nSnaps || len(cycles) != nSnaps || len(instrs) != nSnaps ||
-		len(memOps) != nSnaps || len(loads) != nSnaps || len(stores) != nSnaps || len(stalls) != nSnaps {
+	if len(taken) != nSnaps {
 		return fmt.Errorf("system: checkpoint snapshot columns hold %d cores, want %d in phase %d", len(taken), nSnaps, phase)
+	}
+	for i, col := range snapCols {
+		if len(col) != nSnaps {
+			return fmt.Errorf("system: checkpoint snapshot column %d holds %d cores, want %d in phase %d", i, len(col), nSnaps, phase)
+		}
+	}
+	nlc := 0
+	if s.lc != nil {
+		nlc = s.lc.NumCores()
+	}
+	for i, col := range lcCols {
+		if len(col) != nlc {
+			return fmt.Errorf("system: checkpoint lifecycle column %d holds %d cores, machine tracks %d", i, len(col), nlc)
+		}
 	}
 	if len(lens) != len(s.pfInflight) {
 		return fmt.Errorf("system: checkpoint prefetch queues cover %d cores, machine has %d", len(lens), len(s.pfInflight))
@@ -349,6 +413,29 @@ func (s *System) LoadCheckpoint(in io.Reader) error {
 		}
 	}
 
+	// Telemetry section: present in every checkpoint. Restore strictly
+	// into an attached collector when the snapshot carried one; otherwise
+	// consume and frame-validate the body without keeping it.
+	r, err = section(sectionTelemetry)
+	if err != nil {
+		return err
+	}
+	r.Version(1)
+	telEnabled := r.Bool()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if telEnabled && s.tel != nil {
+		if err := s.tel.LoadState(r); err != nil {
+			return fmt.Errorf("section %s: %w", sectionTelemetry, err)
+		}
+	} else if err := telemetry.DiscardState(r); err != nil {
+		return fmt.Errorf("section %s: %w", sectionTelemetry, err)
+	}
+	if err := r.Close(); err != nil {
+		return fmt.Errorf("section %s: %w", sectionTelemetry, err)
+	}
+
 	// Commit the system-level state last: everything below here is
 	// already validated.
 	s.clock = clock
@@ -358,18 +445,49 @@ func (s *System) LoadCheckpoint(in io.Reader) error {
 	if phase >= phaseMeasure {
 		s.snaps = make([]coreSnapshot, len(s.cores))
 		for i := range s.snaps {
-			s.snaps[i] = coreSnapshot{taken: taken[i], cycle: cycles[i]}
-			s.snaps[i].stats.Instructions = instrs[i]
-			s.snaps[i].stats.MemOps = memOps[i]
-			s.snaps[i].stats.Loads = loads[i]
-			s.snaps[i].stats.Stores = stores[i]
-			s.snaps[i].stats.MemStall = stalls[i]
+			s.snaps[i] = coreSnapshot{taken: taken[i], cycle: snapCols[0][i]}
+			s.snaps[i].stats.Instructions = snapCols[1][i]
+			s.snaps[i].stats.MemOps = snapCols[2][i]
+			s.snaps[i].stats.Loads = snapCols[3][i]
+			s.snaps[i].stats.Stores = snapCols[4][i]
+			s.snaps[i].stats.MemStall = snapCols[5][i]
+			s.snaps[i].l1.Accesses = snapCols[6][i]
+			s.snaps[i].l1.Hits = snapCols[7][i]
+			s.snaps[i].l1.Misses = snapCols[8][i]
+			s.snaps[i].l1.LateHits = snapCols[9][i]
+			s.snaps[i].l1.PrefetchIssued = snapCols[10][i]
+			s.snaps[i].l1.PrefetchFills = snapCols[11][i]
+			s.snaps[i].l1.PrefetchHits = snapCols[12][i]
+			s.snaps[i].l1.UsefulPrefetch = snapCols[13][i]
+			s.snaps[i].l1.LatePrefetch = snapCols[14][i]
+			s.snaps[i].l1.UnusedPrefetch = snapCols[15][i]
+			s.snaps[i].l1.Evictions = snapCols[16][i]
+			s.snaps[i].l1.Writebacks = snapCols[17][i]
 		}
+	}
+	for i := 0; i < nlc; i++ {
+		s.lc.SetCore(i, telemetry.LifecycleStats{
+			Issued:        lcCols[0][i],
+			QueueDropped:  lcCols[1][i],
+			Redundant:     lcCols[2][i],
+			Fills:         lcCols[3][i],
+			Timely:        lcCols[4][i],
+			Late:          lcCols[5][i],
+			UnusedEvicted: lcCols[6][i],
+			InFlight:      lcCols[7][i],
+		})
 	}
 	off := 0
 	for i, n := range lens {
 		s.pfInflight[i] = append(s.pfInflight[i][:0], flat[off:off+n]...)
 		off += n
+	}
+	// A collector attached to this machine but absent from the snapshot
+	// (the warm-start path: artifacts are saved at the measurement
+	// boundary without telemetry) joins the epoch grid at the measurement
+	// start, so its series matches a cold telemetry-on run.
+	if s.tel != nil && !telEnabled && s.phase >= phaseMeasure {
+		s.tel.Resync(s.measureStart, s.clock)
 	}
 	return nil
 }

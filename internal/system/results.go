@@ -7,6 +7,7 @@ import (
 	"bingo/internal/cache"
 	"bingo/internal/cpu"
 	"bingo/internal/dram"
+	"bingo/internal/telemetry"
 )
 
 // CoreResult is the measured outcome for one core.
@@ -35,14 +36,23 @@ type Results struct {
 	// and DRAM counters must be normalised by this, not by the per-core
 	// snapshot sum).
 	WindowInstructions uint64
+	// Timeliness is the summed prefetch lifecycle: every predicted
+	// address classified as queue-dropped, redundant, or filled, and
+	// every fill as timely, late, unused-evicted, or still in flight.
+	// Zero-valued for the no-prefetcher baseline.
+	Timeliness telemetry.LifecycleStats
 }
 
-// coreSnapshot freezes a core's counters at the cycle it completed its
-// measurement budget.
+// coreSnapshot freezes a core's counters — and its private L1's — at the
+// cycle it completed its measurement budget. Freezing the L1 alongside
+// the CPU stats is what keeps per-core cache numbers consistent with the
+// per-core IPC window: reading the L1 live at collect time would fold in
+// traffic the core generated after its budget while slower cores drained.
 type coreSnapshot struct {
 	taken bool
 	cycle uint64
 	stats cpu.Stats
+	l1    cache.Stats
 }
 
 func (s *System) collect(start uint64, snaps []coreSnapshot) Results {
@@ -51,11 +61,17 @@ func (s *System) collect(start uint64, snaps []coreSnapshot) Results {
 		r.PrefetcherName = s.pfs[0].Name()
 		r.StorageBytes = s.pfs[0].StorageBytes()
 	}
+	if s.lc != nil {
+		r.Timeliness = s.lc.Totals()
+	}
 	for i := range s.cores {
 		st := snaps[i].stats
-		cycles := snaps[i].cycle - start
-		if cycles == 0 {
-			cycles = 1
+		// A snapshot can predate the measurement start when a resumed run
+		// paused exactly at the measurement boundary and a core's trace was
+		// already exhausted; guard the unsigned subtraction.
+		cycles := uint64(1)
+		if snaps[i].cycle > start {
+			cycles = snaps[i].cycle - start
 		}
 		r.PerCore = append(r.PerCore, CoreResult{
 			Instructions: st.Instructions,
@@ -68,7 +84,12 @@ func (s *System) collect(start uint64, snaps []coreSnapshot) Results {
 		if cycles > r.TotalCycles {
 			r.TotalCycles = cycles
 		}
-		r.L1 = append(r.L1, s.l1s[i].Stats())
+		// Per-core L1 stats come from the same freeze frame as the CPU
+		// stats, not a live read: by collect time faster cores' L1s have
+		// kept counting while the slowest core finished its budget.
+		r.L1 = append(r.L1, snaps[i].l1)
+		// WindowInstructions deliberately reads live: it normalises the
+		// shared LLC/DRAM counters, which also run to the end of the window.
 		r.WindowInstructions += s.cores[i].Stats().Instructions
 	}
 	r.LLC = s.llc.Stats()
@@ -151,15 +172,38 @@ func (r Results) Accuracy() float64 {
 	return float64(r.LLC.UsefulPrefetch) / float64(r.LLC.PrefetchFills)
 }
 
-// String renders a compact human-readable summary.
+// String renders a compact human-readable summary. The self-relative
+// coverage prints as selfcov= — it is computed against this run's own
+// demand stream, not the baseline's misses (see Coverage vs
+// CoverageVsBaseline); use StringWithBaseline when baseline misses are
+// at hand for the paper's figure-7 definition.
 func (r Results) String() string {
+	return r.render(0)
+}
+
+// StringWithBaseline is String plus the baseline-relative coverage and
+// overprediction line (the paper's Figure 7 metrics), computed against
+// the supplied no-prefetcher miss count for the identical trace.
+func (r Results) StringWithBaseline(baselineMisses uint64) string {
+	return r.render(baselineMisses)
+}
+
+func (r Results) render(baselineMisses uint64) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "prefetcher=%s storage=%dB\n", r.PrefetcherName, r.StorageBytes)
 	for i, c := range r.PerCore {
 		fmt.Fprintf(&b, "  core%d: instr=%d cycles=%d ipc=%.3f\n", i, c.Instructions, c.Cycles, c.IPC)
 	}
-	fmt.Fprintf(&b, "  llc: acc=%d miss=%d mpki=%.2f cov=%.1f%% acc(pf)=%.1f%%\n",
+	fmt.Fprintf(&b, "  llc: acc=%d miss=%d mpki=%.2f selfcov=%.1f%% acc(pf)=%.1f%%\n",
 		r.LLC.Accesses, r.LLC.Misses, r.LLCMPKI(), r.Coverage()*100, r.Accuracy()*100)
+	if baselineMisses > 0 {
+		fmt.Fprintf(&b, "  vs-baseline: cov=%.1f%% overpred=%.1f%% (baseline miss=%d)\n",
+			r.CoverageVsBaseline(baselineMisses)*100, r.Overprediction(baselineMisses)*100, baselineMisses)
+	}
+	if t := r.Timeliness; t.Issued > 0 {
+		fmt.Fprintf(&b, "  pf: issued=%d fills=%d timely=%.1f%% late=%.1f%% unused=%.1f%% dropped=%d\n",
+			t.Issued, t.Fills, t.TimelyFraction()*100, t.LateFraction()*100, t.UnusedFraction()*100, t.QueueDropped)
+	}
 	fmt.Fprintf(&b, "  dram: reads=%d writes=%d rowhit=%.1f%%\n",
 		r.DRAM.Reads, r.DRAM.Writes, r.DRAM.RowHitRate()*100)
 	return b.String()

@@ -8,6 +8,7 @@ import (
 	"bingo/internal/dram"
 	"bingo/internal/mem"
 	"bingo/internal/prefetch"
+	"bingo/internal/telemetry"
 	"bingo/internal/trace"
 	"bingo/internal/vm"
 )
@@ -33,6 +34,15 @@ type System struct {
 	cores []*cpu.Core
 	pfs   []prefetch.Prefetcher
 	clock uint64
+
+	// lc tracks every prefetched block's lifecycle (issue → fill → use
+	// or eviction). It is always on when a prefetcher is attached — the
+	// counters are a handful of integer adds per prefetch event — so
+	// timeliness lands in every Results. tel, when attached via
+	// EnableTelemetry, additionally samples the epoch time-series; both
+	// are pure observers and never change simulated state.
+	lc  *telemetry.Lifecycle
+	tel *telemetry.Collector
 
 	// Per-core in-flight prefetch completion times: the prefetch queue.
 	// When a core's queue is full, further predictions are dropped —
@@ -96,6 +106,7 @@ func New(cfg Config, sources []trace.Source, factory prefetch.Factory) (*System,
 	if factory != nil {
 		s.pfs = make([]prefetch.Prefetcher, cfg.NumCores)
 		s.pfInflight = make([][]uint64, cfg.NumCores)
+		s.lc = telemetry.NewLifecycle(cfg.NumCores)
 		for i := range s.pfs {
 			s.pfs[i] = factory(i)
 			s.pfInflight[i] = make([]uint64, 0, cfg.PrefetchQueue)
@@ -103,6 +114,7 @@ func New(cfg Config, sources []trace.Source, factory prefetch.Factory) (*System,
 		if cfg.PrefetchAt == AttachLLC {
 			llc.SetEvictionListener(evictionBroadcast{pfs: s.pfs})
 			llc.SetOutcomeFunc(s.routeOutcome)
+			llc.SetPrefetchProbe(s.lc)
 		}
 	}
 
@@ -120,6 +132,7 @@ func New(cfg Config, sources []trace.Source, factory prefetch.Factory) (*System,
 			// into the L1; residencies end on L1 evictions.
 			l1.SetEvictionListener(s.pfs[i])
 			l1.SetOutcomeFunc(s.routeOutcome)
+			l1.SetPrefetchProbe(s.lc)
 			port = l1Port{sys: s, core: i, l1: l1}
 		}
 		core, err := cpu.New(cfg.Core, i, sources[i], xlat, port)
@@ -151,9 +164,11 @@ func (p l1Port) Access(now uint64, req cache.Request) cache.Result {
 		Write: req.Kind == cache.Write,
 		Hit:   hit,
 	})
+	s.lc.Predicted(p.core, len(addrs))
 	for i, a := range addrs {
 		if !s.pfReserve(p.core, now) {
 			s.pfDropped += uint64(len(addrs) - i)
+			s.lc.QueueDropped(p.core, len(addrs)-i)
 			break
 		}
 		pres := p.l1.Access(now, cache.Request{Addr: a, PC: req.PC, Core: req.Core, Kind: cache.Prefetch})
@@ -218,9 +233,11 @@ func (p llcPort) Access(now uint64, req cache.Request) cache.Result {
 		Write: req.Kind == cache.Write,
 		Hit:   hit,
 	})
+	s.lc.Predicted(req.Core, len(addrs))
 	for i, a := range addrs {
 		if !s.pfReserve(req.Core, now) {
 			s.pfDropped += uint64(len(addrs) - i)
+			s.lc.QueueDropped(req.Core, len(addrs)-i)
 			break
 		}
 		pres := s.llc.Access(now, cache.Request{Addr: a, PC: req.PC, Core: req.Core, Kind: cache.Prefetch})
@@ -336,7 +353,7 @@ func (s *System) RunResumable() (Results, bool) {
 			return s.cores[i].Stats().Instructions >= s.cfg.MeasureInstr
 		}, func(i int, cycle uint64) {
 			if !s.snaps[i].taken {
-				s.snaps[i] = coreSnapshot{taken: true, cycle: cycle, stats: s.cores[i].Stats()}
+				s.snaps[i] = coreSnapshot{taken: true, cycle: cycle, stats: s.cores[i].Stats(), l1: s.l1s[i].Stats()}
 			}
 		})
 		if paused {
@@ -344,10 +361,13 @@ func (s *System) RunResumable() (Results, bool) {
 		}
 		for i := range s.snaps {
 			if !s.snaps[i].taken { // trace exhausted before reaching budget
-				s.snaps[i] = coreSnapshot{taken: true, cycle: s.clock, stats: s.cores[i].Stats()}
+				s.snaps[i] = coreSnapshot{taken: true, cycle: s.clock, stats: s.cores[i].Stats(), l1: s.l1s[i].Stats()}
 			}
 		}
 		s.sanAtRunEnd()
+		if s.tel != nil {
+			s.tel.Finish(s.clock, s.telTotals())
+		}
 		s.phase = phaseDone
 	}
 	return s.collect(s.measureStart, s.snaps), false
@@ -365,9 +385,20 @@ func (s *System) enterMeasure() {
 	}
 	s.llc.ResetStats()
 	s.dram.ResetStats()
+	if s.lc != nil {
+		s.lc.Reset()
+	}
+	// The drop counter is a measurement-window stat like everything else
+	// reset here; without this it silently folded warm-up drops into
+	// Results.PrefetchDropped (and broke the lifecycle conservation
+	// identity QueueDropped == PrefetchDropped).
+	s.pfDropped = 0
 	s.measureStart = s.clock
 	s.snaps = make([]coreSnapshot, len(s.cores))
 	s.phase = phaseMeasure
+	if s.tel != nil {
+		s.tel.Begin(s.clock)
+	}
 }
 
 // runUntil advances the clock until pred holds for every core or all
@@ -405,10 +436,59 @@ func (s *System) runUntilMark(pred func(core int) bool, mark func(core int, cycl
 		prev := s.clock
 		s.clock = s.nextCycle()
 		s.sanAtAdvance(prev, s.clock)
+		if s.tel != nil && s.phase == phaseMeasure && s.tel.ShouldSample(s.clock) {
+			s.tel.Sample(s.clock, s.telTotals())
+		}
 		if s.hook != nil && s.hook(s.clock) {
 			return true
 		}
 	}
+}
+
+// EnableTelemetry attaches an epoch collector. The collector observes
+// the same counters collect reads and never feeds back into simulation,
+// so enabling it cannot change Results (the telemetry oracle tests pin
+// this). Attach before Run for a full series; attaching after a restore
+// that landed mid-measurement resynchronises the epoch grid to the
+// measurement start, so a warm-started run reports the same series as a
+// cold one. Panics if a different collector is already attached.
+func (s *System) EnableTelemetry(c *telemetry.Collector) {
+	if c == nil {
+		s.tel = nil
+		return
+	}
+	if s.tel != nil && s.tel != c {
+		panic("system: telemetry collector already attached")
+	}
+	c.BindCores(len(s.cores))
+	if s.lc != nil {
+		c.BindLifecycle(s.lc)
+	}
+	s.tel = c
+	if s.phase >= phaseMeasure {
+		c.Resync(s.measureStart, s.clock)
+	}
+}
+
+// Telemetry returns the attached collector (nil when telemetry is off).
+func (s *System) Telemetry() *telemetry.Collector { return s.tel }
+
+// Lifecycle returns the prefetch lifecycle tracker (nil for the
+// no-prefetcher baseline).
+func (s *System) Lifecycle() *telemetry.Lifecycle { return s.lc }
+
+// telTotals snapshots the cumulative counters the epoch series is
+// differenced over.
+func (s *System) telTotals() telemetry.Totals {
+	t := telemetry.Totals{
+		PerCore: make([]cpu.Stats, len(s.cores)),
+		LLC:     s.llc.Stats(),
+		DRAM:    s.dram.Stats(),
+	}
+	for i, c := range s.cores {
+		t.PerCore[i] = c.Stats()
+	}
+	return t
 }
 
 // nextCycle returns the next cycle to simulate, fast-forwarding when every

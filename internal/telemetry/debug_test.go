@@ -1,0 +1,119 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"testing"
+)
+
+func getJSON(t *testing.T, url string, into any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if cerr := resp.Body.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %s", url, resp.Status)
+	}
+	if err := json.Unmarshal(body, into); err != nil {
+		t.Fatalf("GET %s: bad JSON: %v\n%s", url, err, body)
+	}
+}
+
+func TestDebugServer(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("llc.misses").Add(42)
+	reg.Gauge("queue.depth").Set(-3)
+
+	d, err := StartDebugServer("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := d.Close(); err != nil {
+			t.Errorf("close: %v", err)
+		}
+	}()
+
+	var metrics map[string]int64
+	getJSON(t, fmt.Sprintf("http://%s/debug/metrics", d.Addr), &metrics)
+	if metrics["llc.misses"] != 42 || metrics["queue.depth"] != -3 {
+		t.Fatalf("metrics = %v", metrics)
+	}
+
+	var vars map[string]json.RawMessage
+	getJSON(t, fmt.Sprintf("http://%s/debug/vars", d.Addr), &vars)
+	raw, ok := vars["telemetry"]
+	if !ok {
+		t.Fatalf("expvar missing telemetry key: %v", vars)
+	}
+	var snap map[string]int64
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap["llc.misses"] != 42 {
+		t.Fatalf("expvar telemetry = %v", snap)
+	}
+
+	// pprof index answers.
+	resp, err := http.Get(fmt.Sprintf("http://%s/debug/pprof/", d.Addr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := resp.Body.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof index: %s", resp.Status)
+	}
+}
+
+func TestDebugServerSwapsRegistry(t *testing.T) {
+	// A second server retargets the global expvar hook instead of
+	// panicking on a duplicate Publish.
+	r1 := NewRegistry()
+	r1.Counter("a.one").Inc()
+	d1, err := StartDebugServer("127.0.0.1:0", r1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r2 := NewRegistry()
+	r2.Counter("b.two").Add(2)
+	d2, err := StartDebugServer("127.0.0.1:0", r2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := d2.Close(); err != nil {
+			t.Errorf("close: %v", err)
+		}
+	}()
+	var metrics map[string]int64
+	getJSON(t, fmt.Sprintf("http://%s/debug/metrics", d2.Addr), &metrics)
+	if metrics["b.two"] != 2 {
+		t.Fatalf("metrics = %v", metrics)
+	}
+	if err := StartDebugServerErrCheck(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// StartDebugServerErrCheck exists to exercise the nil-registry error.
+func StartDebugServerErrCheck() error {
+	if _, err := StartDebugServer("127.0.0.1:0", nil); err == nil {
+		return fmt.Errorf("nil registry accepted")
+	}
+	return nil
+}

@@ -1,0 +1,142 @@
+package telemetry
+
+import (
+	"bingo/internal/cache"
+	"bingo/internal/cpu"
+	"bingo/internal/dram"
+)
+
+// Totals is one cumulative observation of the simulated machine's
+// counters: per-core CPU stats plus the shared LLC and DRAM stats, all
+// as they stand at a single cycle boundary. The Collector differences
+// consecutive Totals to produce epoch samples.
+type Totals struct {
+	PerCore []cpu.Stats `json:"per_core"`
+	LLC     cache.Stats `json:"llc"`
+	DRAM    dram.Stats  `json:"dram"`
+}
+
+// delta returns t - prev element-wise. A shorter (or nil) prev reads as
+// zeros, which makes the first epoch after measurement start absorb
+// everything since the stats reset.
+func (t Totals) delta(prev Totals) Totals {
+	d := Totals{
+		PerCore: make([]cpu.Stats, len(t.PerCore)),
+		LLC:     t.LLC.Delta(prev.LLC),
+		DRAM:    t.DRAM.Delta(prev.DRAM),
+	}
+	for i := range t.PerCore {
+		var p cpu.Stats
+		if i < len(prev.PerCore) {
+			p = prev.PerCore[i]
+		}
+		d.PerCore[i] = t.PerCore[i].Delta(p)
+	}
+	return d
+}
+
+// add returns t + o element-wise (the inverse of delta; used by tests
+// to prove the series sums back to the end-of-run totals).
+func (t Totals) add(o Totals) Totals {
+	n := len(t.PerCore)
+	if len(o.PerCore) > n {
+		n = len(o.PerCore)
+	}
+	sum := Totals{PerCore: make([]cpu.Stats, n)}
+	for i := 0; i < n; i++ {
+		var a, b cpu.Stats
+		if i < len(t.PerCore) {
+			a = t.PerCore[i]
+		}
+		if i < len(o.PerCore) {
+			b = o.PerCore[i]
+		}
+		sum.PerCore[i] = cpu.Stats{
+			Instructions: a.Instructions + b.Instructions,
+			MemOps:       a.MemOps + b.MemOps,
+			Loads:        a.Loads + b.Loads,
+			Stores:       a.Stores + b.Stores,
+			MemStall:     a.MemStall + b.MemStall,
+		}
+	}
+	sum.LLC = addCacheStats(t.LLC, o.LLC)
+	sum.DRAM = dram.Stats{
+		Reads:        t.DRAM.Reads + o.DRAM.Reads,
+		Writes:       t.DRAM.Writes + o.DRAM.Writes,
+		RowHits:      t.DRAM.RowHits + o.DRAM.RowHits,
+		RowEmpty:     t.DRAM.RowEmpty + o.DRAM.RowEmpty,
+		RowConflicts: t.DRAM.RowConflicts + o.DRAM.RowConflicts,
+		BusBusy:      t.DRAM.BusBusy + o.DRAM.BusBusy,
+	}
+	return sum
+}
+
+func addCacheStats(a, b cache.Stats) cache.Stats {
+	return cache.Stats{
+		Accesses:       a.Accesses + b.Accesses,
+		Hits:           a.Hits + b.Hits,
+		Misses:         a.Misses + b.Misses,
+		LateHits:       a.LateHits + b.LateHits,
+		PrefetchIssued: a.PrefetchIssued + b.PrefetchIssued,
+		PrefetchFills:  a.PrefetchFills + b.PrefetchFills,
+		PrefetchHits:   a.PrefetchHits + b.PrefetchHits,
+		UsefulPrefetch: a.UsefulPrefetch + b.UsefulPrefetch,
+		LatePrefetch:   a.LatePrefetch + b.LatePrefetch,
+		UnusedPrefetch: a.UnusedPrefetch + b.UnusedPrefetch,
+		Evictions:      a.Evictions + b.Evictions,
+		Writebacks:     a.Writebacks + b.Writebacks,
+	}
+}
+
+// Instructions sums retired instructions across cores.
+func (t Totals) Instructions() uint64 {
+	var n uint64
+	for _, c := range t.PerCore {
+		n += c.Instructions
+	}
+	return n
+}
+
+// EpochSample is one interval of the epoch time-series: the counter
+// deltas accumulated over [StartCycle, EndCycle). Epochs are nominally
+// EpochCycles wide, but the simulation clock advances in jumps (the
+// loop fast-forwards provably idle stretches), so an epoch ends at the
+// first cycle boundary at or past its nominal edge and a single jump
+// across several edges yields one correspondingly wider epoch.
+type EpochSample struct {
+	Index      int    `json:"index"`
+	StartCycle uint64 `json:"start_cycle"`
+	EndCycle   uint64 `json:"end_cycle"`
+	Totals
+}
+
+// Cycles is the epoch's width.
+func (e EpochSample) Cycles() uint64 { return e.EndCycle - e.StartCycle }
+
+// IPC is the epoch's aggregate instructions-per-cycle: total retired
+// instructions over the epoch width (cores run in lockstep, so this is
+// also the sum of per-core IPCs).
+func (e EpochSample) IPC() float64 {
+	if e.Cycles() == 0 {
+		return 0
+	}
+	return float64(e.Instructions()) / float64(e.Cycles())
+}
+
+// MPKI is LLC demand misses per kilo-instruction within the epoch.
+func (e EpochSample) MPKI() float64 { return e.LLC.MPKI(e.Instructions()) }
+
+// SelfCoverage is the epoch's self-relative coverage: useful prefetches
+// over (demand misses + useful prefetches). Like Results.Coverage it is
+// computed against this run's own demand stream, not a baseline run.
+func (e EpochSample) SelfCoverage() float64 {
+	return frac(e.LLC.UsefulPrefetch, e.LLC.Misses+e.LLC.UsefulPrefetch)
+}
+
+// Accuracy is useful prefetches over prefetch fills within the epoch.
+func (e EpochSample) Accuracy() float64 {
+	return frac(e.LLC.UsefulPrefetch, e.LLC.PrefetchFills)
+}
+
+// RowHitRate is the DRAM row-buffer hit rate within the epoch.
+func (e EpochSample) RowHitRate() float64 { return e.DRAM.RowHitRate() }

@@ -1,0 +1,102 @@
+package telemetry
+
+import "testing"
+
+func TestLifecycleConservation(t *testing.T) {
+	l := NewLifecycle(2)
+
+	// Core 0: predicts 6; 1 dropped at the queue, 1 redundant, 4 fill.
+	// Of the fills: 1 timely use, 1 late use, 1 unused eviction, 1 still
+	// resident.
+	l.Predicted(0, 6)
+	l.QueueDropped(0, 1)
+	l.PrefetchRedundant(0)
+	for i := 0; i < 4; i++ {
+		l.PrefetchFill(0)
+	}
+	l.PrefetchUse(0, false, 120)
+	l.PrefetchUse(0, true, 35)
+	l.PrefetchEvictUnused(0)
+
+	// Core 1: everything dropped.
+	l.Predicted(1, 3)
+	l.QueueDropped(1, 3)
+
+	c0 := l.Core(0)
+	want := LifecycleStats{Issued: 6, QueueDropped: 1, Redundant: 1, Fills: 4, Timely: 1, Late: 1, UnusedEvicted: 1, InFlight: 1}
+	if c0 != want {
+		t.Fatalf("core 0 stats = %+v, want %+v", c0, want)
+	}
+	if !c0.Conserves() {
+		t.Fatal("core 0 does not conserve")
+	}
+	tot := l.Totals()
+	if !tot.Conserves() {
+		t.Fatalf("totals do not conserve: %+v", tot)
+	}
+	if tot.Issued != 9 || tot.QueueDropped != 4 {
+		t.Fatalf("totals = %+v", tot)
+	}
+	if got := tot.Used(); got != 2 {
+		t.Fatalf("Used = %d, want 2", got)
+	}
+}
+
+func TestLifecycleFractions(t *testing.T) {
+	var s LifecycleStats
+	if s.TimelyFraction() != 0 || s.LateFraction() != 0 || s.UnusedFraction() != 0 {
+		t.Fatal("zero stats must yield zero fractions")
+	}
+	s = LifecycleStats{Fills: 8, Timely: 4, Late: 2, UnusedEvicted: 1, InFlight: 1, Issued: 8}
+	if s.TimelyFraction() != 0.5 {
+		t.Errorf("timely fraction = %v, want 0.5", s.TimelyFraction())
+	}
+	if s.LateFraction() != 0.25 {
+		t.Errorf("late fraction = %v, want 0.25", s.LateFraction())
+	}
+	if s.UnusedFraction() != 0.125 {
+		t.Errorf("unused fraction = %v, want 0.125", s.UnusedFraction())
+	}
+}
+
+func TestLifecycleHistograms(t *testing.T) {
+	l := NewLifecycle(1)
+	var margins, lateness Histogram
+	l.AttachHistograms(&margins, &lateness)
+	l.PrefetchFill(0)
+	l.PrefetchFill(0)
+	l.PrefetchUse(0, false, 100)
+	l.PrefetchUse(0, true, 7)
+	if margins.Count() != 1 || margins.Sum() != 100 {
+		t.Errorf("margins = %d obs / sum %d, want 1/100", margins.Count(), margins.Sum())
+	}
+	if lateness.Count() != 1 || lateness.Sum() != 7 {
+		t.Errorf("lateness = %d obs / sum %d, want 1/7", lateness.Count(), lateness.Sum())
+	}
+}
+
+func TestLifecycleResetAndBounds(t *testing.T) {
+	l := NewLifecycle(1)
+	l.Predicted(0, 2)
+	l.PrefetchFill(0)
+	l.Reset()
+	if l.Totals() != (LifecycleStats{}) {
+		t.Fatalf("reset left state: %+v", l.Totals())
+	}
+	// Out-of-range cores are dropped, not a crash.
+	l.Predicted(5, 1)
+	l.PrefetchFill(-1)
+	l.PrefetchUse(7, true, 1)
+	l.PrefetchEvictUnused(9)
+	l.QueueDropped(-2, 1)
+	l.PrefetchRedundant(3)
+	if l.Totals() != (LifecycleStats{}) {
+		t.Fatalf("out-of-range events recorded: %+v", l.Totals())
+	}
+	// A use without a tracked fill (possible across a stats reset) must
+	// not underflow InFlight.
+	l.PrefetchUse(0, false, 1)
+	if l.Core(0).InFlight != 0 {
+		t.Fatalf("InFlight underflowed: %+v", l.Core(0))
+	}
+}

@@ -1,0 +1,158 @@
+package telemetry
+
+import (
+	"testing"
+)
+
+func TestValidName(t *testing.T) {
+	good := []string{"a", "llc.misses", "prefetch.use_margin_cycles", "a1.b2", "x_y.z"}
+	for _, n := range good {
+		if !validName(n) {
+			t.Errorf("validName(%q) = false, want true", n)
+		}
+	}
+	bad := []string{"", ".", "a.", ".a", "a..b", "A", "llc-misses", "llc misses", "Ünïcode"}
+	for _, n := range bad {
+		if validName(n) {
+			t.Errorf("validName(%q) = true, want false", n)
+		}
+	}
+}
+
+func TestRegistryIdempotentLookup(t *testing.T) {
+	r := NewRegistry()
+	c1 := r.Counter("llc.misses")
+	c1.Add(3)
+	c2 := r.Counter("llc.misses")
+	if c1 != c2 {
+		t.Fatal("same name returned distinct counters")
+	}
+	if got := c2.Value(); got != 3 {
+		t.Fatalf("counter value = %d, want 3", got)
+	}
+	if r.Gauge("queue.depth") != r.Gauge("queue.depth") {
+		t.Fatal("same name returned distinct gauges")
+	}
+	if r.Histogram("lat") != r.Histogram("lat") {
+		t.Fatal("same name returned distinct histograms")
+	}
+}
+
+func TestRegistryCrossTypePanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x.y")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering a counter name as a gauge did not panic")
+		}
+	}()
+	r.Gauge("x.y")
+}
+
+func TestRegistryInvalidNamePanics(t *testing.T) {
+	r := NewRegistry()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid metric name did not panic")
+		}
+	}()
+	r.Counter("Not A Name")
+}
+
+func TestSnapshotDelta(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("a.count")
+	g := r.Gauge("b.level")
+	c.Add(10)
+	g.Set(-2)
+	before := r.Snapshot()
+	c.Add(5)
+	g.Add(7)
+	r.Counter("c.fresh").Inc()
+	after := r.Snapshot()
+	d := after.Delta(before)
+	if d["a.count"] != 5 {
+		t.Errorf("counter delta = %d, want 5", d["a.count"])
+	}
+	if d["b.level"] != 7 {
+		t.Errorf("gauge delta = %d, want 7", d["b.level"])
+	}
+	if d["c.fresh"] != 1 {
+		t.Errorf("fresh counter delta = %d, want 1", d["c.fresh"])
+	}
+	// A key present only in prev reads as negative in the delta.
+	d2 := before.Delta(after)
+	if d2["c.fresh"] != -1 {
+		t.Errorf("removed-key delta = %d, want -1", d2["c.fresh"])
+	}
+	names := d.Names()
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("Names not sorted: %v", names)
+		}
+	}
+}
+
+func TestSnapshotIncludesHistograms(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat")
+	h.Observe(3)
+	h.Observe(5)
+	s := r.Snapshot()
+	if s["lat.count"] != 2 || s["lat.sum"] != 8 {
+		t.Fatalf("histogram snapshot = count %d sum %d, want 2 and 8", s["lat.count"], s["lat.sum"])
+	}
+}
+
+func TestHistogramBucketsAndQuantile(t *testing.T) {
+	var h Histogram
+	if got := h.Quantile(0.5); got != 0 {
+		t.Fatalf("empty quantile = %d, want 0", got)
+	}
+	h.Observe(0)
+	h.Observe(1)
+	h.Observe(2)
+	h.Observe(3)
+	h.Observe(1000)
+	b := h.Buckets()
+	if b[0] != 1 { // v = 0
+		t.Errorf("bucket 0 = %d, want 1", b[0])
+	}
+	if b[1] != 1 { // v = 1
+		t.Errorf("bucket 1 = %d, want 1", b[1])
+	}
+	if b[2] != 2 { // v in [2,3]
+		t.Errorf("bucket 2 = %d, want 2", b[2])
+	}
+	if b[10] != 1 { // 1000 in [512,1023]
+		t.Errorf("bucket 10 = %d, want 1", b[10])
+	}
+	if h.Count() != 5 || h.Sum() != 1006 {
+		t.Fatalf("count/sum = %d/%d, want 5/1006", h.Count(), h.Sum())
+	}
+	if got := h.Quantile(0); got != 0 {
+		t.Errorf("p0 = %d, want 0", got)
+	}
+	// p50 lands in bucket 2 → upper bound 3.
+	if got := h.Quantile(0.5); got != 3 {
+		t.Errorf("p50 = %d, want 3", got)
+	}
+	if got := h.Quantile(1); got != BucketUpper(10) {
+		t.Errorf("p100 = %d, want %d", got, BucketUpper(10))
+	}
+	if got := h.Mean(); got != 1006.0/5 {
+		t.Errorf("mean = %v, want %v", got, 1006.0/5)
+	}
+}
+
+func TestBucketUpper(t *testing.T) {
+	if BucketUpper(0) != 0 || BucketUpper(-1) != 0 {
+		t.Error("bucket 0 upper must be 0")
+	}
+	if BucketUpper(1) != 1 || BucketUpper(3) != 7 {
+		t.Error("power-of-two bucket upper bounds wrong")
+	}
+	if BucketUpper(64) != ^uint64(0) || BucketUpper(100) != ^uint64(0) {
+		t.Error("top bucket upper must saturate")
+	}
+}
