@@ -57,8 +57,15 @@ func main() {
 		traceOutFlag = flag.String("trace-out", "", "write the epoch time-series as a Chrome trace_event file (chrome://tracing, Perfetto) to this file")
 		epochFlag    = flag.Uint64("epoch", 0, "telemetry sampling period in cycles (0 = default)")
 		debugFlag    = flag.String("debug-addr", "", "serve net/http/pprof, expvar, and live metrics on this address while running")
+		engineFlag   = flag.String("engine", "lockstep", "simulation engine: lockstep (reference) or event (cycle-skipping; identical results, faster on memory-bound workloads)")
 	)
 	flag.Parse()
+
+	engine, err := system.ParseEngine(*engineFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bingosim: %v\n", err)
+		os.Exit(2)
+	}
 
 	if *sanFlag && !san.Compiled {
 		fmt.Fprintln(os.Stderr, "bingosim: -san requires a binary built with -tags=san")
@@ -87,6 +94,7 @@ func main() {
 
 	opts := harness.DefaultRunOptions()
 	opts.Seed = *seedFlag
+	opts.Engine = engine
 	if *warmupFlag > 0 {
 		opts.System.WarmupInstr = *warmupFlag
 	}
@@ -352,5 +360,6 @@ func buildTraceSystem(path, prefetcher string, opts harness.RunOptions) (*system
 		_ = cleanup() // best-effort: the construction error wins
 		return nil, nil, err
 	}
+	sys.SetEngine(opts.Engine)
 	return sys, cleanup, nil
 }

@@ -32,6 +32,7 @@ import (
 
 	"bingo/internal/harness"
 	"bingo/internal/san"
+	"bingo/internal/system"
 	"bingo/internal/telemetry"
 )
 
@@ -48,8 +49,15 @@ func main() {
 		telFlag    = flag.String("telemetry", "", "export each cell's epoch time-series (JSON + Chrome trace) into this directory")
 		epochFlag  = flag.Uint64("epoch", 0, "telemetry sampling period in cycles (0 = default)")
 		debugFlag  = flag.String("debug-addr", "", "serve net/http/pprof, expvar, and live progress counters on this address while running")
+		engineFlag = flag.String("engine", "lockstep", "simulation engine: lockstep (reference) or event (cycle-skipping; identical tables, faster on memory-bound workloads)")
 	)
 	flag.Parse()
+
+	engine, err := system.ParseEngine(*engineFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(2)
+	}
 
 	if *sanFlag && !san.Compiled {
 		fmt.Fprintln(os.Stderr, "experiments: -san requires a binary built with -tags=san")
@@ -62,6 +70,7 @@ func main() {
 		opts = harness.FastRunOptions()
 	}
 	opts.Seed = *seedFlag
+	opts.Engine = engine
 
 	var report io.Writer = os.Stderr
 	if *quietFlag {

@@ -46,9 +46,10 @@ func TestPrefetchProbeLifecycle(t *testing.T) {
 		t.Fatalf("late demand completes at %d, want 102", res.CompleteAt)
 	}
 
-	// Timely use: prefetch at 0 arrives at 102; demand at 200 has
-	// ready=202, margin 100.
-	c.Access(0, Request{Addr: 0x2000, Core: 3, Kind: Prefetch})
+	// Timely use: prefetch at 2 arrives at 104; demand at 200 has
+	// ready=202, margin 98. (Cycle 2, not 0: access clocks must be
+	// monotone — the sanitized build enforces SAN-CACHE-CLOCK.)
+	c.Access(2, Request{Addr: 0x2000, Core: 3, Kind: Prefetch})
 	c.Access(200, Request{Addr: 0x2000, Core: 0, Kind: Demand})
 
 	want := []probeEvent{
@@ -56,7 +57,7 @@ func TestPrefetchProbeLifecycle(t *testing.T) {
 		{kind: "redundant", core: 2},
 		{kind: "use", core: 1, late: true, cycles: 99}, // arrival 102 - ready 3
 		{kind: "fill", core: 3},
-		{kind: "use", core: 3, late: false, cycles: 100}, // ready 202 - arrival 102
+		{kind: "use", core: 3, late: false, cycles: 98}, // ready 202 - arrival 104
 	}
 	if !reflect.DeepEqual(probe.events, want) {
 		t.Fatalf("probe events:\n got %+v\nwant %+v", probe.events, want)

@@ -88,6 +88,10 @@ type Bingo struct {
 	tracker *prefetch.RegionTracker
 	history *HistoryTable
 	stats   Stats
+
+	// addrBuf backs the slice OnAccess returns; reused across calls so the
+	// per-access hot path stays allocation-free.
+	addrBuf []mem.Addr
 }
 
 // New builds a Bingo instance.
@@ -172,7 +176,8 @@ func (b *Bingo) OnAccess(ev prefetch.AccessEvent) []mem.Addr {
 		b.stats.NoMatches++
 		return nil
 	}
-	addrs := fp.Addrs(b.rc, trigger.Base, trigger.Offset)
+	addrs := fp.AppendAddrs(b.addrBuf[:0], b.rc, trigger.Base, trigger.Offset)
+	b.addrBuf = addrs
 	if b.cfg.MaxDegree > 0 && len(addrs) > b.cfg.MaxDegree {
 		addrs = addrs[:b.cfg.MaxDegree]
 	}

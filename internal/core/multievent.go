@@ -21,6 +21,10 @@ type MultiEvent struct {
 	tracker *prefetch.RegionTracker
 	maxDeg  int
 
+	// addrBuf backs the slice OnAccess returns; reused across calls so the
+	// per-access hot path stays allocation-free.
+	addrBuf []mem.Addr
+
 	// Per-kind lookup statistics (parallel to events).
 	Consulted []uint64 // table i was consulted
 	Matched   []uint64 // table i supplied the prediction
@@ -183,7 +187,8 @@ func (m *MultiEvent) OnAccess(ev prefetch.AccessEvent) []mem.Addr {
 		m.Matched[i]++
 		m.Predicted++
 		fp := entry.fp.Rotate(0, trigger.Offset, m.rc.Blocks())
-		addrs := fp.Addrs(m.rc, trigger.Base, trigger.Offset)
+		addrs := fp.AppendAddrs(m.addrBuf[:0], m.rc, trigger.Base, trigger.Offset)
+		m.addrBuf = addrs
 		if m.maxDeg > 0 && len(addrs) > m.maxDeg {
 			addrs = addrs[:m.maxDeg]
 		}

@@ -47,10 +47,11 @@ type Stats struct {
 	MemOps       uint64 // retired memory operations
 	Loads        uint64
 	Stores       uint64
-	// MemStall counts observed cycles where retirement was blocked by a
-	// memory op at the ROB head. It is a sampling counter: when the
-	// simulation loop fast-forwards through provably idle stalls, the
-	// skipped cycles are not observed, so MemStall is a lower bound.
+	// MemStall counts cycles where retirement was blocked by a memory op
+	// at the ROB head. The count is exact under both simulation engines:
+	// the lockstep loop observes every cycle directly, and the
+	// event-driven loop accounts for each skipped stall stretch through
+	// CatchUp before the clock lands past it.
 	MemStall uint64
 }
 
@@ -185,7 +186,10 @@ func (c *Core) retire(now uint64) {
 		if head.isMem {
 			c.stats.MemOps++
 		}
-		c.robHead = (c.robHead + 1) % c.cfg.ROBSize
+		c.robHead++
+		if c.robHead == c.cfg.ROBSize {
+			c.robHead = 0
+		}
 		c.robCount--
 	}
 }
@@ -271,29 +275,129 @@ func (c *Core) lsqReserve(now uint64) bool {
 }
 
 func (c *Core) push(e robEntry) {
-	tail := (c.robHead + c.robCount) % c.cfg.ROBSize
+	tail := c.robHead + c.robCount
+	if tail >= c.cfg.ROBSize {
+		tail -= c.cfg.ROBSize
+	}
 	c.rob[tail] = e
 	c.robCount++
 }
 
-// NextEventAt returns the earliest future cycle at which this core can make
-// progress, given that it made none at cycle now. Used by the system loop
-// to fast-forward through long stalls.
+// NextEventAt returns the earliest cycle strictly after now at which this
+// core can retire or dispatch anything, given its state after Tick(now).
+// It implements the event engine's Waker contract (see internal/sched):
+// between two ticks every piece of core state is frozen except time
+// itself — completion cycles, the ROB, the LSQ, and the pending record
+// only change inside Tick — so the next progress cycle is an exact
+// function of the post-tick state, and the value returned here is that
+// exact cycle, not a conservative bound:
+//
+//   - Retirement resumes when the ROB head completes (or next cycle, if
+//     the head is already complete and only the retire width stopped it).
+//   - Dispatch, when the ROB has room, resumes next cycle for non-memory
+//     work or a fetchable record; a memory op additionally waits out its
+//     address dependence (lastLoadDone) and, when the LSQ is full with no
+//     already-completed entry to compact, the earliest in-flight
+//     completion.
+//
+// A full ROB makes retirement the only candidate: dispatch cannot beat
+// the retire that frees its slot, and both happen in the same Tick.
 func (c *Core) NextEventAt(now uint64) uint64 {
 	if c.Done() {
 		return ^uint64(0)
 	}
-	if c.robCount == 0 {
-		return now + 1
-	}
-	head := c.rob[c.robHead]
-	if head.completeAt > now+1 {
-		// Retirement blocked until the head completes. Dispatch may still
-		// be possible if the ROB has room, so only skip when it is full
-		// or the LSQ blocks the pending memory op.
+	next := ^uint64(0)
+	if c.robCount > 0 {
+		retireAt := c.rob[c.robHead].completeAt
+		if retireAt <= now {
+			retireAt = now + 1 // complete but width-limited this cycle
+		}
+		next = retireAt
 		if c.robCount == c.cfg.ROBSize {
-			return head.completeAt
+			return next
 		}
 	}
-	return now + 1
+	switch {
+	case c.curValid && c.nonMemLeft > 0:
+		// Non-memory work always dispatches once width and ROB allow.
+		if now+1 < next {
+			next = now + 1
+		}
+	case c.curValid:
+		// Pending memory op: wait out the address dependence, then the
+		// LSQ. Both constraints must clear simultaneously, so the
+		// candidate is their maximum.
+		dispatchAt := now + 1
+		if c.cur.Dep && c.lastLoadDone > now {
+			dispatchAt = c.lastLoadDone
+		}
+		if len(c.outstanding) >= c.cfg.LSQSize {
+			earliest := ^uint64(0)
+			hasRoom := false
+			for _, t := range c.outstanding {
+				if t <= now {
+					hasRoom = true // compacts away on the next reserve
+					break
+				}
+				if t < earliest {
+					earliest = t
+				}
+			}
+			if !hasRoom && earliest > dispatchAt {
+				dispatchAt = earliest
+			}
+		}
+		if dispatchAt < next {
+			next = dispatchAt
+		}
+	case !c.exhausted:
+		// Nothing in hand but the trace has more: fetch next cycle.
+		if now+1 < next {
+			next = now + 1
+		}
+	}
+	return next
+}
+
+// CatchUp accounts for the cycles in the open interval (from, to) that
+// the event engine is about to skip. A skip is only legal when the core
+// can neither retire nor dispatch anywhere inside the gap, so each
+// skipped cycle's Tick would have been a no-op — except for MemStall,
+// which the lockstep loop increments once per cycle a memory op blocks
+// the ROB head. Adding exactly that count here is what keeps the two
+// engines' statistics identical (the endpoints are excluded: the core
+// was ticked at from and will be ticked at to).
+func (c *Core) CatchUp(from, to uint64) {
+	if to <= from+1 || c.robCount == 0 {
+		return
+	}
+	head := c.rob[c.robHead]
+	if !head.isMem || head.completeAt <= from {
+		// A complete (or non-memory) head cannot have stalled the gap:
+		// it would have retired, making the gap illegal. Defensive only.
+		return
+	}
+	end := to
+	if head.completeAt < end {
+		end = head.completeAt
+	}
+	if end > from+1 {
+		c.stats.MemStall += end - from - 1
+	}
+}
+
+// IdleAt applies the one side effect a Tick has on a core with no
+// progress available at cycle now: the retire stage's MemStall count
+// when a memory op blocks the ROB head. The event engine calls it in
+// place of a full Tick for cores whose next event lies beyond a landed
+// cycle — same statistics, none of the retire/dispatch probing
+// (TestEventSteppedCoreMatchesLockstep pins the equivalence). Calling it
+// on a core that could make progress at now would lose that progress;
+// the caller guarantees NextEventAt(prev) > now.
+func (c *Core) IdleAt(now uint64) {
+	if c.robCount > 0 {
+		if head := &c.rob[c.robHead]; head.isMem && head.completeAt > now {
+			c.stats.MemStall++
+		}
+	}
 }

@@ -1,0 +1,261 @@
+package cpu
+
+import (
+	"math/rand"
+	"testing"
+
+	"bingo/internal/cache"
+	"bingo/internal/mem"
+	"bingo/internal/trace"
+	"bingo/internal/vm"
+)
+
+// variedPort completes accesses after a deterministic but irregular
+// latency, so ROB-head stalls, LSQ pressure, and dependence stalls all
+// overlap in the reference runs below.
+type variedPort struct{ n uint64 }
+
+func (p *variedPort) Access(now uint64, req cache.Request) cache.Result {
+	p.n++
+	lat := 3 + (p.n*p.n*31)%211 // 3..213 cycles, irregular
+	return cache.Result{CompleteAt: now + lat, HitLevel: "X"}
+}
+
+// randomRecords builds a trace mixing short non-memory bursts, loads,
+// stores, and dependent (pointer-chase) loads.
+func randomRecords(seed int64, n int) []trace.Record {
+	rng := rand.New(rand.NewSource(seed))
+	recs := make([]trace.Record, n)
+	for i := range recs {
+		r := trace.Record{
+			PC:     mem.PC(rng.Intn(64) * 4),
+			Addr:   mem.Addr(rng.Intn(1 << 16) * 8),
+			NonMem: uint32(rng.Intn(6)),
+		}
+		if rng.Intn(4) == 0 {
+			r.Kind = trace.Store
+		}
+		if rng.Intn(3) == 0 {
+			r.Dep = true
+		}
+		recs[i] = r
+	}
+	return recs
+}
+
+// progressSnapshot captures everything a Tick can change besides time
+// and the MemStall sampling counter.
+type progressSnapshot struct {
+	instructions uint64
+	fetched      uint64
+	robCount     int
+	nonMemLeft   uint32
+	curValid     bool
+	outstanding  int
+}
+
+func snap(c *Core) progressSnapshot {
+	return progressSnapshot{
+		instructions: c.stats.Instructions,
+		fetched:      c.fetched,
+		robCount:     c.robCount,
+		nonMemLeft:   c.nonMemLeft,
+		curValid:     c.curValid,
+		outstanding:  len(c.outstanding),
+	}
+}
+
+// TestNextEventAtIsExact drives a core cycle by cycle (the lockstep
+// reference) and checks, at every cycle, that NextEventAt names exactly
+// the next cycle at which the core retires or dispatches anything.
+// Exactness matters in both directions: a late prediction would let the
+// event engine skip real work (wrong simulation), an early one would
+// only cost skipped cycles — but the analysis in NextEventAt claims to
+// be exact, so the test pins equality, not just safety.
+func TestNextEventAtIsExact(t *testing.T) {
+	for _, cfg := range []Config{
+		{Width: 4, ROBSize: 256, LSQSize: 64},
+		{Width: 2, ROBSize: 16, LSQSize: 4}, // tiny windows: LSQ/ROB pressure
+		{Width: 1, ROBSize: 4, LSQSize: 2},
+	} {
+		c, err := New(cfg, 0, trace.NewSliceSource(randomRecords(11, 3000)), vm.Identity{}, &variedPort{})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Lockstep reference: record the cycles at which progress happened
+		// and the prediction made right after each tick.
+		var progressCycles []uint64
+		predictions := make(map[uint64]uint64)
+		for cycle := uint64(0); !c.Done(); cycle++ {
+			before := snap(c)
+			c.Tick(cycle)
+			if snap(c) != before {
+				progressCycles = append(progressCycles, cycle)
+			}
+			if !c.Done() {
+				predictions[cycle] = c.NextEventAt(cycle)
+			}
+			if cycle > 5_000_000 {
+				t.Fatal("core did not drain")
+			}
+		}
+		if len(progressCycles) == 0 {
+			t.Fatal("reference run made no progress")
+		}
+
+		next := ^uint64(0) // next progress cycle strictly after the key
+		idx := len(progressCycles) - 1
+		for cycle := progressCycles[len(progressCycles)-1]; ; cycle-- {
+			for idx >= 0 && progressCycles[idx] > cycle {
+				idx--
+			}
+			if pred, ok := predictions[cycle]; ok {
+				if pred != next {
+					t.Fatalf("cfg %+v: NextEventAt(%d) = %d, but next progress cycle is %d", cfg, cycle, pred, next)
+				}
+			}
+			// Entering cycle-1, cycle itself becomes a candidate "next".
+			if idx >= 0 && progressCycles[idx] == cycle {
+				next = cycle
+			}
+			if cycle == 0 {
+				break
+			}
+		}
+	}
+}
+
+// TestEventSteppedCoreMatchesLockstep runs the same core twice: once
+// ticking every cycle, once ticking only at the cycles NextEventAt
+// names, with CatchUp applied over each gap. Final statistics must be
+// deeply equal — including MemStall, the one counter the skipped cycles
+// would otherwise lose.
+func TestEventSteppedCoreMatchesLockstep(t *testing.T) {
+	for _, cfg := range []Config{
+		{Width: 4, ROBSize: 256, LSQSize: 64},
+		{Width: 2, ROBSize: 16, LSQSize: 4},
+	} {
+		build := func() *Core {
+			c, err := New(cfg, 0, trace.NewSliceSource(randomRecords(23, 4000)), vm.Identity{}, &variedPort{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return c
+		}
+
+		lock := build()
+		var lockCycles uint64
+		for cycle := uint64(0); !lock.Done(); cycle++ {
+			lock.Tick(cycle)
+			lockCycles = cycle
+			if cycle > 5_000_000 {
+				t.Fatal("lockstep core did not drain")
+			}
+		}
+
+		ev := build()
+		var cycle, ticks uint64
+		for !ev.Done() {
+			ev.Tick(cycle)
+			ticks++
+			if ev.Done() {
+				break
+			}
+			next := ev.NextEventAt(cycle)
+			if next == ^uint64(0) {
+				t.Fatalf("cfg %+v: live core reported no next event at cycle %d", cfg, cycle)
+			}
+			if next <= cycle {
+				t.Fatalf("cfg %+v: NextEventAt(%d) = %d, not strictly in the future", cfg, cycle, next)
+			}
+			ev.CatchUp(cycle, next)
+			cycle = next
+			if cycle > 5_000_000 {
+				t.Fatal("event-stepped core did not drain")
+			}
+		}
+
+		if cycle != lockCycles {
+			t.Fatalf("cfg %+v: event-stepped core drained at cycle %d, lockstep at %d", cfg, cycle, lockCycles)
+		}
+		if ev.Stats() != lock.Stats() {
+			t.Fatalf("cfg %+v: stats diverge:\n  event:    %+v\n  lockstep: %+v", cfg, ev.Stats(), lock.Stats())
+		}
+		if ticks > lockCycles {
+			t.Fatalf("cfg %+v: event stepping took %d ticks over %d cycles — no skipping happened", cfg, ticks, lockCycles)
+		}
+	}
+}
+
+// TestIdleAtMatchesLockstepAtForeignLandings mirrors the system loop's
+// selective-ticking discipline: in a multi-core run the clock lands on
+// cycles *other* cores need, and a core whose own deadline is still in
+// the future receives IdleAt there instead of a full Tick. The test
+// drives one core with extra foreign landings injected between its own
+// event cycles — IdleAt at the foreign cycles, Tick at its own — and
+// requires the final statistics (MemStall included) to match a lockstep
+// run exactly.
+func TestIdleAtMatchesLockstepAtForeignLandings(t *testing.T) {
+	for _, cfg := range []Config{
+		{Width: 4, ROBSize: 256, LSQSize: 64},
+		{Width: 2, ROBSize: 16, LSQSize: 4},
+	} {
+		build := func() *Core {
+			c, err := New(cfg, 0, trace.NewSliceSource(randomRecords(31, 4000)), vm.Identity{}, &variedPort{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return c
+		}
+
+		lock := build()
+		for cycle := uint64(0); !lock.Done(); cycle++ {
+			lock.Tick(cycle)
+			if cycle > 5_000_000 {
+				t.Fatal("lockstep core did not drain")
+			}
+		}
+
+		ev := build()
+		rng := rand.New(rand.NewSource(47))
+		cycle, next := uint64(0), uint64(0) // due at entry
+		var idles uint64
+		for !ev.Done() {
+			if next > cycle {
+				// Foreign landing: some other core needed this cycle; this
+				// one is frozen until `next`.
+				ev.IdleAt(cycle)
+				idles++
+			} else {
+				ev.Tick(cycle)
+				if ev.Done() {
+					break
+				}
+				next = ev.NextEventAt(cycle)
+				if next <= cycle {
+					t.Fatalf("cfg %+v: NextEventAt(%d) = %d, not strictly in the future", cfg, cycle, next)
+				}
+			}
+			// Land either on this core's own deadline (after catching up the
+			// gap) or on a random foreign cycle strictly inside it.
+			target := next
+			if gap := next - cycle; gap > 1 && rng.Intn(2) == 0 {
+				target = cycle + 1 + uint64(rng.Intn(int(gap-1)))
+			}
+			ev.CatchUp(cycle, target)
+			cycle = target
+			if cycle > 5_000_000 {
+				t.Fatal("event-stepped core did not drain")
+			}
+		}
+
+		if idles == 0 {
+			t.Fatal("no foreign landings exercised IdleAt")
+		}
+		if ev.Stats() != lock.Stats() {
+			t.Fatalf("cfg %+v: stats diverge after %d IdleAt landings:\n  event:    %+v\n  lockstep: %+v",
+				cfg, idles, ev.Stats(), lock.Stats())
+		}
+	}
+}

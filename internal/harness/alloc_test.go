@@ -1,0 +1,112 @@
+package harness
+
+import (
+	"testing"
+
+	"bingo/internal/mem"
+	"bingo/internal/prefetch"
+	"bingo/internal/workloads"
+)
+
+// The per-access hot path — every prefetcher's OnAccess/OnEviction, the
+// region tracker, and the footprint expansion — must not allocate in
+// steady state: a simulation retires hundreds of millions of accesses,
+// and a single heap allocation per access dominates the profile. The
+// guards below pin 0 allocs/op for every registered prefetcher after a
+// warm-up long enough for tables, trackers, and prediction buffers to
+// reach their steady-state capacity. (Construction-time allocation and
+// page-table growth in vm — proportional to pages touched, not accesses
+// — are outside the guard.)
+
+// allocWorkload builds a deterministic access stream with enough spatial
+// structure that pattern prefetchers actually predict (exercising their
+// prediction-buffer path, the part that used to allocate).
+func allocWorkload(n int) []prefetch.AccessEvent {
+	w, ok := workloads.ByName("em3d")
+	if !ok {
+		panic("em3d workload missing")
+	}
+	src := w.Sources(1, 1)[0]
+	evs := make([]prefetch.AccessEvent, 0, n)
+	for len(evs) < n {
+		rec, ok := src.Next()
+		if !ok {
+			break
+		}
+		evs = append(evs, prefetch.AccessEvent{
+			Addr: rec.Addr.BlockAlign(),
+			PC:   rec.PC,
+			Hit:  len(evs)%3 != 0,
+		})
+	}
+	return evs
+}
+
+func TestPrefetcherHotPathZeroAlloc(t *testing.T) {
+	evs := allocWorkload(60_000)
+	for _, name := range PrefetcherNames() {
+		if name == "none" {
+			continue
+		}
+		t.Run(name, func(t *testing.T) {
+			factory, err := FactoryByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pf := factory(0)
+			i, j := 0, 0
+			onAccess := func() {
+				pf.OnAccess(evs[i%len(evs)])
+				i++
+			}
+			onEvict := func() {
+				pf.OnEviction(evs[j%len(evs)].Addr)
+				j++
+			}
+			// Steady state: tables filled, buffers grown to capacity.
+			for k := 0; k < len(evs); k++ {
+				onAccess()
+				if k%4 == 3 {
+					onEvict()
+				}
+			}
+			if got := testing.AllocsPerRun(10_000, onAccess); got != 0 {
+				t.Errorf("%s.OnAccess allocates %.2f allocs/op in steady state, want 0", name, got)
+			}
+			if got := testing.AllocsPerRun(10_000, onEvict); got != 0 {
+				t.Errorf("%s.OnEviction allocates %.2f allocs/op in steady state, want 0", name, got)
+			}
+		})
+	}
+}
+
+// BenchmarkPrefetcherOnAccess reports ns/op and allocs/op for each
+// registered prefetcher over the same structured stream the zero-alloc
+// guard uses; run with -benchmem to see the allocation column the guard
+// pins at zero.
+func BenchmarkPrefetcherOnAccess(b *testing.B) {
+	evs := allocWorkload(60_000)
+	for _, name := range PrefetcherNames() {
+		if name == "none" {
+			continue
+		}
+		b.Run(name, func(b *testing.B) {
+			factory, err := FactoryByName(name)
+			if err != nil {
+				b.Fatal(err)
+			}
+			pf := factory(0)
+			for k := 0; k < len(evs); k++ {
+				pf.OnAccess(evs[k])
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			var sink []mem.Addr
+			for i := 0; i < b.N; i++ {
+				sink = pf.OnAccess(evs[i%len(evs)])
+			}
+			_ = sink
+		})
+	}
+}
+

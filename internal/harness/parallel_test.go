@@ -237,9 +237,16 @@ func BenchmarkMatrixParallel(b *testing.B) {
 	}
 }
 
-// runnerBench is the BENCH_runner.json document.
+// runnerBench is the BENCH_runner.json document. The environment block
+// records the machine the numbers were taken on: the parallel speedup is
+// meaningless without knowing how many CPUs the worker pool had.
 type runnerBench struct {
+	GoVersion   string  `json:"go_version"`
+	GOOS        string  `json:"goos"`
+	GOARCH      string  `json:"goarch"`
+	NumCPU      int     `json:"num_cpu"`
 	GOMAXPROCS  int     `json:"gomaxprocs"`
+	Note        string  `json:"note,omitempty"`
 	Cells       int     `json:"cells"`
 	Experiments string  `json:"experiments"`
 	SeqSeconds  float64 `json:"seq_seconds"`
@@ -268,6 +275,10 @@ func TestEmitRunnerBench(t *testing.T) {
 		t.Fatal(err)
 	}
 	doc := runnerBench{
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		NumCPU:      runtime.NumCPU(),
 		GOMAXPROCS:  jobs,
 		Cells:       cells,
 		Experiments: fmt.Sprintf("%v", determinismExperiments),
@@ -275,6 +286,9 @@ func TestEmitRunnerBench(t *testing.T) {
 		ParJobs:     jobs,
 		ParSeconds:  par.Seconds(),
 		Speedup:     seq.Seconds() / par.Seconds(),
+	}
+	if doc.NumCPU == 1 {
+		doc.Note = "single-CPU host: the worker pool cannot beat sequential; re-record on a multi-core machine for a meaningful speedup"
 	}
 	buf, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {

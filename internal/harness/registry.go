@@ -51,7 +51,7 @@ var registry = map[string]func() prefetch.Factory{
 	"vldp-aggr":    func() prefetch.Factory { return vldp.Factory(vldp.AggressiveConfig()) },
 	"stride":       func() prefetch.Factory { return stride.Factory(stride.DefaultConfig()) },
 	"nextline": func() prefetch.Factory {
-		return func(int) prefetch.Prefetcher { return stride.NextLine{N: 1} }
+		return func(int) prefetch.Prefetcher { return &stride.NextLine{N: 1} }
 	},
 	"fdp-sms": func() prefetch.Factory {
 		return fdp.Factory(fdp.DefaultConfig(), sms.Factory(sms.DefaultConfig()))

@@ -19,6 +19,13 @@ type RunOptions struct {
 	// the identical trace, which is what makes cross-prefetcher
 	// comparisons exact.
 	Seed int64
+	// Engine selects the simulation loop's clock-advance strategy
+	// (lockstep by default). It lives here rather than in system.Config
+	// because it changes only wall-clock cost, never results: the two
+	// engines are proven byte-identical by the engine-differential
+	// oracles, so it must not participate in configuration identity
+	// (checkpoint cross-checks, warm-artifact cache keys).
+	Engine system.Engine
 }
 
 // DefaultRunOptions returns the paper-faithful configuration.
@@ -43,6 +50,7 @@ func Run(w workloads.Spec, factory prefetch.Factory, opts RunOptions) (system.Re
 	if err != nil {
 		return system.Results{}, fmt.Errorf("harness: building system for %s: %w", w.Name, err)
 	}
+	sys.SetEngine(opts.Engine)
 	return sys.Run(), nil
 }
 
@@ -65,6 +73,7 @@ func BuildSystem(w workloads.Spec, factory prefetch.Factory, opts RunOptions) (*
 	if err != nil {
 		return nil, fmt.Errorf("harness: building system for %s: %w", w.Name, err)
 	}
+	sys.SetEngine(opts.Engine)
 	return sys, nil
 }
 
@@ -77,6 +86,7 @@ func RunWithSystem(w workloads.Spec, factory prefetch.Factory, opts RunOptions) 
 	if err != nil {
 		return nil, system.Results{}, fmt.Errorf("harness: building system for %s: %w", w.Name, err)
 	}
+	sys.SetEngine(opts.Engine)
 	res := sys.Run()
 	return sys, res, nil
 }

@@ -24,7 +24,11 @@ type Prefetcher interface {
 	// Name identifies the algorithm and configuration.
 	Name() string
 	// OnAccess observes a demand access and returns the block-aligned
-	// addresses that should be prefetched into the attach level.
+	// addresses that should be prefetched into the attach level. The
+	// returned slice may alias storage the prefetcher reuses: it is valid
+	// only until the next OnAccess call, and callers must consume (or
+	// copy) it before then. The system issues the prefetches immediately,
+	// so per-instance buffers keep the hot path allocation-free.
 	OnAccess(ev AccessEvent) []mem.Addr
 	// OnEviction observes a block leaving the attach level. PPH
 	// prefetchers use this as the end-of-region-residency signal.

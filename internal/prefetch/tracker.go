@@ -45,6 +45,11 @@ type RegionTracker struct {
 	CapacityCompletions uint64
 	// DroppedSingles counts filter entries that ended with one block only.
 	DroppedSingles uint64
+
+	// trig is the scratch result Observe returns a pointer into, so the
+	// per-access hot path stays allocation-free. It is overwritten by the
+	// next Observe call.
+	trig Trigger
 }
 
 // SetCompleteFunc registers the callback invoked whenever a region's
@@ -99,6 +104,9 @@ func (rt *RegionTracker) Region() mem.RegionConfig { return rt.rc }
 // Accumulation entries displaced by capacity pressure end their residency
 // early and are reported through the SetCompleteFunc callback, as in the
 // authors' released implementation.
+//
+// The returned pointer aliases tracker-owned scratch storage and is valid
+// only until the next Observe call — consume it inside the same OnAccess.
 func (rt *RegionTracker) Observe(pc mem.PC, addr mem.Addr, hit bool) (trigger *Trigger) {
 	region := rt.rc.RegionNumber(addr)
 	blockIdx := rt.rc.BlockIndex(addr)
@@ -133,13 +141,14 @@ func (rt *RegionTracker) Observe(pc mem.PC, addr mem.Addr, hit bool) (trigger *T
 	if hit {
 		return nil
 	}
-	return &Trigger{
+	rt.trig = Trigger{
 		PC:     pc,
 		Addr:   addr.BlockAlign(),
 		Offset: blockIdx,
 		Region: region,
 		Base:   rt.rc.RegionBase(addr),
 	}
+	return &rt.trig
 }
 
 // OnEviction processes a block eviction at the attach level. If the block

@@ -42,6 +42,10 @@ type AMPM struct {
 	cfg   Config
 	rc    mem.RegionConfig
 	zones *prefetch.Table[zoneMap]
+
+	// addrBuf backs the slice OnAccess returns; reused across calls so
+	// the per-access hot path stays allocation-free.
+	addrBuf []mem.Addr
 }
 
 // New builds an AMPM instance.
@@ -88,13 +92,14 @@ func (a *AMPM) OnAccess(ev prefetch.AccessEvent) []mem.Addr {
 
 	blocks := a.rc.Blocks()
 	base := a.rc.RegionBase(ev.Addr)
-	var out []mem.Addr
+	out := a.addrBuf[:0]
 	for k := 1; k <= a.cfg.MaxStride && len(out) < a.cfg.MaxDegree; k++ {
 		out = a.tryStride(zm, base, idx, k, blocks, out)
 		if len(out) < a.cfg.MaxDegree {
 			out = a.tryStride(zm, base, idx, -k, blocks, out)
 		}
 	}
+	a.addrBuf = out
 	return out
 }
 

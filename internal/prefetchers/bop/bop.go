@@ -74,6 +74,10 @@ type BOP struct {
 	best    int // currently selected offset; 0 disables prefetching
 	rr      []uint64
 	rrMask  uint64
+
+	// addrBuf backs the slice OnAccess returns; reused across calls so
+	// the per-access hot path stays allocation-free.
+	addrBuf []mem.Addr
 }
 
 // New builds a BOP instance.
@@ -140,7 +144,7 @@ func (b *BOP) OnAccess(ev prefetch.AccessEvent) []mem.Addr {
 	}
 	blocksPerPage := uint64(b.rc.Blocks())
 	pageBlockBase := block &^ (blocksPerPage - 1)
-	var out []mem.Addr
+	out := b.addrBuf[:0]
 	for m := 1; m <= b.cfg.Degree; m++ {
 		t := block + uint64(b.best*m)
 		if t&^(blocksPerPage-1) != pageBlockBase {
@@ -148,6 +152,7 @@ func (b *BOP) OnAccess(ev prefetch.AccessEvent) []mem.Addr {
 		}
 		out = append(out, mem.Addr(t<<mem.BlockShift))
 	}
+	b.addrBuf = out
 	return out
 }
 

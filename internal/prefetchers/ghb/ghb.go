@@ -37,6 +37,13 @@ type GHB struct {
 	buf   []ghbEntry
 	head  int64                  // total entries ever pushed; buf index = head % len
 	index *prefetch.Table[int64] // PC -> absolute index of newest entry
+
+	// addrBuf backs the slice OnAccess returns; reused across calls so
+	// the per-access hot path stays allocation-free.
+	addrBuf []mem.Addr
+	// chainBuf and deltaBuf are reusable scratch for the delta search.
+	chainBuf []uint64
+	deltaBuf []int64
 }
 
 // New builds a GHB instance.
@@ -81,12 +88,13 @@ func (g *GHB) at(abs int64) *ghbEntry { return &g.buf[abs%int64(len(g.buf))] }
 // chain collects the block numbers of the PC's chain, newest first, up to
 // max entries.
 func (g *GHB) chain(newest int64, max int) []uint64 {
-	out := make([]uint64, 0, max)
+	out := g.chainBuf[:0]
 	for abs := newest; g.live(abs) && len(out) < max; {
 		e := g.at(abs)
 		out = append(out, e.block)
 		abs = e.prev
 	}
+	g.chainBuf = out
 	return out
 }
 
@@ -109,10 +117,11 @@ func (g *GHB) OnAccess(ev prefetch.AccessEvent) []mem.Addr {
 	if len(blocks) < 4 {
 		return nil
 	}
-	deltas := make([]int64, len(blocks)-1) // deltas[i] = blocks[i] - blocks[i+1]
+	deltas := g.deltaBuf[:0] // deltas[i] = blocks[i] - blocks[i+1]
 	for i := 0; i+1 < len(blocks); i++ {
-		deltas[i] = int64(blocks[i]) - int64(blocks[i+1])
+		deltas = append(deltas, int64(blocks[i])-int64(blocks[i+1]))
 	}
+	g.deltaBuf = deltas
 	d1, d2 := deltas[0], deltas[1]
 	// Search older history for the same (newer=d1, older=d2) context.
 	for i := 2; i+1 < len(deltas); i++ {
@@ -121,7 +130,7 @@ func (g *GHB) OnAccess(ev prefetch.AccessEvent) []mem.Addr {
 		}
 		// Found: the deltas that followed the historical context are
 		// deltas[i-1], deltas[i-2], ... (toward the present).
-		out := make([]mem.Addr, 0, g.cfg.Degree)
+		out := g.addrBuf[:0]
 		cur := int64(block)
 		for j := i - 1; j >= 0 && len(out) < g.cfg.Degree; j-- {
 			cur += deltas[j]
@@ -130,6 +139,7 @@ func (g *GHB) OnAccess(ev prefetch.AccessEvent) []mem.Addr {
 			}
 			out = append(out, mem.Addr(uint64(cur)<<mem.BlockShift))
 		}
+		g.addrBuf = out
 		return out
 	}
 	return nil

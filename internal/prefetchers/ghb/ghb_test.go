@@ -71,10 +71,11 @@ func TestPerPCChains(t *testing.T) {
 	g := MustNew(DefaultConfig())
 	// Interleave two PCs with different strides; each must be predicted
 	// from its own chain.
+	// OnAccess results are valid only until the next call, so keep copies.
 	var gotA, gotB []mem.Addr
 	for i := uint64(0); i < 10; i++ {
-		gotA = g.OnAccess(access(0x400, 1000+i*2))
-		gotB = g.OnAccess(access(0x500, 50000+i*5))
+		gotA = append(gotA[:0], g.OnAccess(access(0x400, 1000+i*2))...)
+		gotB = append(gotB[:0], g.OnAccess(access(0x500, 50000+i*5))...)
 	}
 	if len(gotA) == 0 || len(gotB) == 0 {
 		t.Fatal("both PCs should predict")

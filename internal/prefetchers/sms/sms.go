@@ -47,6 +47,10 @@ type SMS struct {
 	// Triggers and Matches expose match probability for analyses.
 	Triggers uint64
 	Matches  uint64
+
+	// addrBuf backs the slice OnAccess returns; reused across calls so the
+	// per-access hot path stays allocation-free.
+	addrBuf []mem.Addr
 }
 
 // New builds an SMS instance.
@@ -106,7 +110,8 @@ func (s *SMS) OnAccess(ev prefetch.AccessEvent) []mem.Addr {
 	}
 	s.Matches++
 	fp := entry.fp.Rotate(0, trigger.Offset, s.rc.Blocks())
-	addrs := fp.Addrs(s.rc, trigger.Base, trigger.Offset)
+	addrs := fp.AppendAddrs(s.addrBuf[:0], s.rc, trigger.Base, trigger.Offset)
+	s.addrBuf = addrs
 	if s.cfg.MaxDegree > 0 && len(addrs) > s.cfg.MaxDegree {
 		addrs = addrs[:s.cfg.MaxDegree]
 	}

@@ -77,6 +77,10 @@ type SPP struct {
 	ptMask  uint32
 	filter  []uint64
 	fMask   uint64
+
+	// addrBuf backs the slice OnAccess returns; reused across calls so
+	// the per-access hot path stays allocation-free.
+	addrBuf []mem.Addr
 }
 
 // New builds an SPP instance.
@@ -202,7 +206,7 @@ func (s *SPP) OnAccess(ev prefetch.AccessEvent) []mem.Addr {
 	entry.lastOffset = offset
 
 	// Lookahead down the signature path.
-	var out []mem.Addr
+	out := s.addrBuf[:0]
 	sig := entry.sig
 	off := offset
 	conf := 1.0
@@ -226,6 +230,7 @@ func (s *SPP) OnAccess(ev prefetch.AccessEvent) []mem.Addr {
 		}
 		sig = updateSig(sig, d)
 	}
+	s.addrBuf = out
 	return out
 }
 

@@ -33,6 +33,10 @@ type rptEntry struct {
 type Stride struct {
 	cfg Config
 	rpt *prefetch.Table[rptEntry]
+
+	// addrBuf backs the slice OnAccess returns; reused across calls so
+	// the per-access hot path stays allocation-free.
+	addrBuf []mem.Addr
 }
 
 // New builds a stride prefetcher.
@@ -85,7 +89,7 @@ func (s *Stride) OnAccess(ev prefetch.AccessEvent) []mem.Addr {
 	if e.conf < s.cfg.ConfThreshold || e.stride == 0 {
 		return nil
 	}
-	out := make([]mem.Addr, 0, s.cfg.Degree)
+	out := s.addrBuf[:0]
 	for i := 1; i <= s.cfg.Degree; i++ {
 		t := int64(block) + e.stride*int64(i)
 		if t <= 0 {
@@ -93,6 +97,7 @@ func (s *Stride) OnAccess(ev prefetch.AccessEvent) []mem.Addr {
 		}
 		out = append(out, mem.Addr(uint64(t)<<mem.BlockShift))
 	}
+	s.addrBuf = out
 	return out
 }
 
@@ -109,29 +114,34 @@ var _ prefetch.Prefetcher = (*Stride)(nil)
 // NextLine prefetches the next n sequential blocks on every access.
 type NextLine struct {
 	N int
+
+	// addrBuf backs the slice OnAccess returns; reused across calls so
+	// the per-access hot path stays allocation-free.
+	addrBuf []mem.Addr
 }
 
 // Name implements prefetch.Prefetcher.
-func (p NextLine) Name() string { return "nextline" }
+func (p *NextLine) Name() string { return "nextline" }
 
 // OnAccess implements prefetch.Prefetcher.
-func (p NextLine) OnAccess(ev prefetch.AccessEvent) []mem.Addr {
+func (p *NextLine) OnAccess(ev prefetch.AccessEvent) []mem.Addr {
 	n := p.N
 	if n <= 0 {
 		n = 1
 	}
-	out := make([]mem.Addr, 0, n)
+	out := p.addrBuf[:0]
 	block := ev.Addr.BlockNumber()
 	for i := 1; i <= n; i++ {
 		out = append(out, mem.Addr((block+uint64(i))<<mem.BlockShift))
 	}
+	p.addrBuf = out
 	return out
 }
 
 // OnEviction implements prefetch.Prefetcher.
-func (NextLine) OnEviction(mem.Addr) {}
+func (*NextLine) OnEviction(mem.Addr) {}
 
 // StorageBytes implements prefetch.Prefetcher.
-func (NextLine) StorageBytes() int { return 0 }
+func (*NextLine) StorageBytes() int { return 0 }
 
-var _ prefetch.Prefetcher = NextLine{}
+var _ prefetch.Prefetcher = (*NextLine)(nil)

@@ -89,11 +89,11 @@ func TestNextLine(t *testing.T) {
 			t.Fatalf("prefetch[%d] = %v", i, a)
 		}
 	}
-	if got := (NextLine{}).OnAccess(access(1, 10)); len(got) != 1 {
+	if got := (&NextLine{}).OnAccess(access(1, 10)); len(got) != 1 {
 		t.Fatal("zero N should default to 1")
 	}
-	if (NextLine{}).Name() != "nextline" || (NextLine{}).StorageBytes() != 0 {
+	if (&NextLine{}).Name() != "nextline" || (&NextLine{}).StorageBytes() != 0 {
 		t.Fatal("identity wrong")
 	}
-	NextLine{}.OnEviction(0)
+	(&NextLine{}).OnEviction(0)
 }

@@ -62,6 +62,10 @@ type VLDP struct {
 	dhb  *prefetch.Table[dhbEntry]
 	dpts [3]*prefetch.Table[dptEntry] // index i keyed by history length i+1
 	opt  []int                        // first-offset -> first delta (0 = unknown)
+
+	// addrBuf backs the slice OnAccess returns; reused across calls so
+	// the per-access hot path stays allocation-free.
+	addrBuf []mem.Addr
 }
 
 // New builds a VLDP instance.
@@ -139,7 +143,8 @@ func (v *VLDP) OnAccess(ev prefetch.AccessEvent) []mem.Addr {
 		// First access to the page: consult the OPT for a first-delta guess.
 		if d := v.opt[offset%len(v.opt)]; d != 0 {
 			if t := offset + d; t >= 0 && t < v.rc.Blocks() {
-				return []mem.Addr{v.rc.BlockAddr(base, t)}
+				v.addrBuf = append(v.addrBuf[:0], v.rc.BlockAddr(base, t))
+				return v.addrBuf
 			}
 		}
 		return nil
@@ -167,7 +172,7 @@ func (v *VLDP) OnAccess(ev prefetch.AccessEvent) []mem.Addr {
 	e.lastOffset = offset
 
 	// Multi-degree chained prediction: feed each prediction back in.
-	var out []mem.Addr
+	out := v.addrBuf[:0]
 	h := e.deltas
 	n := e.numDeltas
 	off := offset
@@ -186,6 +191,7 @@ func (v *VLDP) OnAccess(ev prefetch.AccessEvent) []mem.Addr {
 			n++
 		}
 	}
+	v.addrBuf = out
 	return out
 }
 

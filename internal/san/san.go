@@ -88,6 +88,10 @@ const (
 	// SysEvents: end-to-end event conservation — every L1 demand miss is an
 	// LLC demand access, per-core prefetch queues respect their bound.
 	SysEvents ID = "SAN-SYS-EVENTS"
+	// SysSkip: the event engine never jumps the clock over a pending
+	// wakeup — on every skip prev→next, no registered waker (hard or
+	// lazy) reports an event strictly inside (prev, next).
+	SysSkip ID = "SAN-SYS-SKIP"
 
 	// BingoResidency: the unified history table never exceeds its
 	// configured residency (valid entries per set ≤ ways, unique long tags

@@ -1,0 +1,244 @@
+package sched
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// scriptWaker replays a fixed schedule of event cycles: NextEventAt
+// returns the earliest scheduled cycle strictly after now.
+type scriptWaker struct {
+	events []uint64 // sorted ascending
+}
+
+func (s *scriptWaker) NextEventAt(now uint64) uint64 {
+	for _, e := range s.events {
+		if e > now {
+			return e
+		}
+	}
+	return None
+}
+
+// naiveMin is the reference implementation NextWake is checked against.
+func naiveMin(wakers []*scriptWaker, now uint64) uint64 {
+	min := uint64(None)
+	for _, w := range wakers {
+		if at := w.NextEventAt(now); at < min {
+			min = at
+		}
+	}
+	return min
+}
+
+// TestNextWakeMatchesNaiveMin drives randomly scheduled wakers through
+// randomly advancing clocks and requires the heap-backed queue to agree
+// with a linear scan at every step.
+func TestNextWakeMatchesNaiveMin(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(12)
+		q := New()
+		wakers := make([]*scriptWaker, n)
+		for i := range wakers {
+			events := make([]uint64, rng.Intn(40))
+			for j := range events {
+				events[j] = uint64(1 + rng.Intn(5000))
+			}
+			// scriptWaker scans in order, so keep the schedule sorted.
+			for a := 1; a < len(events); a++ {
+				for b := a; b > 0 && events[b] < events[b-1]; b-- {
+					events[b], events[b-1] = events[b-1], events[b]
+				}
+			}
+			wakers[i] = &scriptWaker{events: events}
+			q.Register(fmt.Sprintf("w%d", i), wakers[i])
+		}
+		now := uint64(0)
+		for step := 0; step < 200; step++ {
+			got := q.NextWake(now)
+			want := naiveMin(wakers, now)
+			if got != want {
+				t.Fatalf("trial %d step %d: NextWake(%d) = %d, naive min = %d", trial, step, now, got, want)
+			}
+			if want == None {
+				break
+			}
+			// Advance either exactly to the wakeup (the engine's move) or
+			// somewhere short of it, to exercise re-polling mid-interval.
+			if rng.Intn(2) == 0 {
+				now = want
+			} else {
+				now += 1 + uint64(rng.Intn(int(want-now)+1))
+			}
+		}
+	}
+}
+
+// lateWaker misbehaves: it schedules an event at or before the clock.
+type lateWaker struct{}
+
+func (lateWaker) NextEventAt(now uint64) uint64 { return now }
+
+// TestNextWakePanicsOnPastWakeup pins the queue's side of the waker
+// contract: no registered wakeup may land at or before the current
+// clock, and a waker that tries is an engine bug worth dying for.
+func TestNextWakePanicsOnPastWakeup(t *testing.T) {
+	q := New()
+	q.Register("late", lateWaker{})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NextWake accepted a wakeup at the current cycle; want panic")
+		}
+	}()
+	q.NextWake(100)
+}
+
+// movingWaker reports a fixed event the queue has already cached, then
+// silently acquires an earlier one — the stale-deadline hazard passive
+// components create when a core's tick hands them new timers.
+type movingWaker struct{ at uint64 }
+
+func (m *movingWaker) NextEventAt(now uint64) uint64 {
+	if m.at <= now {
+		return None
+	}
+	return m.at
+}
+
+// TestNextWakeSeesMovedDeadlines verifies the queue never trusts a
+// cached deadline: moving a waker's event earlier between calls must be
+// visible on the very next NextWake.
+func TestNextWakeSeesMovedDeadlines(t *testing.T) {
+	q := New()
+	w := &movingWaker{at: 1000}
+	q.Register("m", w)
+	if got := q.NextWake(0); got != 1000 {
+		t.Fatalf("NextWake = %d, want 1000", got)
+	}
+	w.at = 10 // a tick just handed the component an earlier timer
+	if got := q.NextWake(0); got != 10 {
+		t.Fatalf("NextWake after deadline moved earlier = %d, want 10", got)
+	}
+	w.at = 500 // and one that moved later
+	if got := q.NextWake(0); got != 500 {
+		t.Fatalf("NextWake after deadline moved later = %d, want 500", got)
+	}
+}
+
+// TestAuditFlagsSkippedEvents checks both directions of the skip
+// invariant: events strictly inside (prev, next) are reported with the
+// offending waker's name, events at the endpoints or outside are not.
+func TestAuditFlagsSkippedEvents(t *testing.T) {
+	q := New()
+	q.Register("inside", &movingWaker{at: 150})
+	q.Register("at-next", &movingWaker{at: 200})
+	q.Register("beyond", &movingWaker{at: 300})
+	q.Register("idle", &movingWaker{at: 0}) // reports None
+
+	var names []string
+	var ats []uint64
+	q.Audit(100, 200, func(name string, at uint64) {
+		names = append(names, name)
+		ats = append(ats, at)
+	})
+	if len(names) != 1 || names[0] != "inside" || ats[0] != 150 {
+		t.Fatalf("Audit(100,200) flagged %v at %v, want [inside] at [150]", names, ats)
+	}
+}
+
+// TestLazyWakersClampOnlyNextWakeAll pins the two-class skip policy:
+// lazy wakers (passive components) are invisible to NextWake but clamp
+// NextWakeAll, and both classes are audited.
+func TestLazyWakersClampOnlyNextWakeAll(t *testing.T) {
+	q := New()
+	q.Register("core", &movingWaker{at: 400})
+	q.RegisterLazy("dram", &movingWaker{at: 150})
+	if q.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", q.Len())
+	}
+	if got := q.NextWake(100); got != 400 {
+		t.Fatalf("NextWake = %d, want 400 (lazy waker must not clamp)", got)
+	}
+	if got := q.NextWakeAll(100); got != 150 {
+		t.Fatalf("NextWakeAll = %d, want 150 (lazy waker must clamp)", got)
+	}
+	var names []string
+	q.Audit(100, 400, func(name string, at uint64) { names = append(names, name) })
+	if len(names) != 1 || names[0] != "dram" {
+		t.Fatalf("Audit flagged %v, want [dram]", names)
+	}
+}
+
+// TestNextWakeAllMatchesNaiveMin mirrors the NextWake property test over
+// a mixed hard/lazy population: NextWakeAll must equal the naive min of
+// every waker, whichever class holds the earliest event.
+func TestNextWakeAllMatchesNaiveMin(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		q := New()
+		var all []*scriptWaker
+		for i := 0; i < 1+rng.Intn(10); i++ {
+			events := make([]uint64, rng.Intn(30))
+			for j := range events {
+				events[j] = uint64(1 + rng.Intn(4000))
+			}
+			for a := 1; a < len(events); a++ {
+				for b := a; b > 0 && events[b] < events[b-1]; b-- {
+					events[b], events[b-1] = events[b-1], events[b]
+				}
+			}
+			w := &scriptWaker{events: events}
+			all = append(all, w)
+			if rng.Intn(2) == 0 {
+				q.Register(fmt.Sprintf("hard%d", i), w)
+			} else {
+				q.RegisterLazy(fmt.Sprintf("lazy%d", i), w)
+			}
+		}
+		now := uint64(0)
+		for step := 0; step < 150; step++ {
+			got := q.NextWakeAll(now)
+			want := naiveMin(all, now)
+			if got != want {
+				t.Fatalf("trial %d step %d: NextWakeAll(%d) = %d, naive min = %d", trial, step, now, got, want)
+			}
+			if want == None {
+				break
+			}
+			if rng.Intn(2) == 0 {
+				now = want
+			} else {
+				now += 1 + uint64(rng.Intn(int(want-now)+1))
+			}
+		}
+	}
+}
+
+// TestLazyWakerPanicsOnPastWakeup: the strictly-after-now contract binds
+// lazy wakers exactly like hard ones.
+func TestLazyWakerPanicsOnPastWakeup(t *testing.T) {
+	q := New()
+	q.RegisterLazy("late", lateWaker{})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NextWakeAll accepted a wakeup at the current cycle; want panic")
+		}
+	}()
+	q.NextWakeAll(100)
+}
+
+// TestEmptyQueue: a queue with no wakers reports None and audits clean.
+func TestEmptyQueue(t *testing.T) {
+	q := New()
+	if got := q.NextWake(5); got != None {
+		t.Fatalf("empty NextWake = %d, want None", got)
+	}
+	q.Audit(0, 100, func(name string, at uint64) {
+		t.Fatalf("empty queue audit flagged %s at %d", name, at)
+	})
+	if q.Len() != 0 {
+		t.Fatalf("empty queue Len = %d", q.Len())
+	}
+}

@@ -1,7 +1,10 @@
 // Package system assembles cores, private L1 data caches, the shared LLC,
 // DRAM, address translation, and per-core prefetchers into the simulated
-// machine of the paper's Table I, and runs the lockstep simulation loop
-// that produces per-core IPC and memory-system statistics.
+// machine of the paper's Table I, and runs the simulation loop that
+// produces per-core IPC and memory-system statistics. The loop has two
+// byte-identical clock-advance strategies (engine.go): lockstep ticking
+// of every cycle (the default) and event-driven cycle skipping over the
+// shared wakeup scheduler (internal/sched).
 package system
 
 import (

@@ -9,4 +9,6 @@ type sanState struct{}
 
 func (s *System) sanAtAdvance(prev, next uint64) {}
 
+func (s *System) sanConservativeSkips() bool { return false }
+
 func (s *System) sanAtRunEnd() {}

@@ -8,9 +8,18 @@ import "bingo/internal/san"
 // sanitizer (build tag `san`).
 type sanState struct{}
 
-// sanAtAdvance verifies the lockstep clock is strictly monotone and the
-// per-core prefetch queues respect their configured bound. Called on
-// every clock advance of the simulation loop.
+// sanConservativeSkips reports whether the event engine should take
+// maximally conservative skips (clamped to the passive wakers too, not
+// just the cores) so the skip audit below is a strict invariant. True
+// exactly when the sanitizer is enabled; the engines stay byte-identical
+// either way, which the san/non-san differential oracle re-proves.
+func (s *System) sanConservativeSkips() bool { return san.Enabled() }
+
+// sanAtAdvance verifies the simulation clock is strictly monotone, the
+// per-core prefetch queues respect their configured bound, and — under
+// the event engine — that no registered waker had a pending event inside
+// a skipped clock gap. Called on every clock advance of the simulation
+// loop.
 func (s *System) sanAtAdvance(prev, next uint64) {
 	if !san.Enabled() {
 		return
@@ -25,6 +34,18 @@ func (s *System) sanAtAdvance(prev, next uint64) {
 				"core %d prefetch queue holds %d in-flight entries, capacity %d",
 				i, len(s.pfInflight[i]), s.cfg.PrefetchQueue)
 		}
+	}
+	if s.engine == EngineEvent && next > prev+1 && s.queue != nil {
+		// Skip audit (DESIGN.md §6b): the event engine claims nothing
+		// happens strictly inside (prev, next). Re-poll every waker and
+		// fail if any reports a pending event inside the gap the clock is
+		// about to jump over — that would mean a component transition was
+		// silently lost and the engines could diverge.
+		s.queue.Audit(prev, next, func(name string, at uint64) {
+			san.Failf("system", next, san.SysSkip,
+				"event engine skipping %d -> %d over a pending wakeup: %s at cycle %d",
+				prev, next, name, at)
+		})
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"bingo/internal/dram"
 	"bingo/internal/mem"
 	"bingo/internal/prefetch"
+	"bingo/internal/sched"
 	"bingo/internal/telemetry"
 	"bingo/internal/trace"
 	"bingo/internal/vm"
@@ -63,8 +64,21 @@ type System struct {
 
 	// hook, when set, observes every clock advance; returning true pauses
 	// RunResumable at a checkpoint-safe boundary (no core has ticked at
-	// the new cycle yet).
+	// the new cycle yet). Under the event engine advances jump, so a
+	// hook watching for a threshold must compare with >=, not ==.
 	hook func(cycle uint64) bool
+
+	// engine selects the clock-advance strategy (see engine.go); queue
+	// is the event engine's wakeup scheduler, built lazily at run entry,
+	// and engineStats counts its advances and skipped cycles. coreNext
+	// caches each core's exact next-event cycle: a core's deadline can
+	// only change when that core ticks, so the loop refreshes the entry
+	// at tick time and advanceClock just takes the min — the event
+	// engine's poll-on-state-change discipline.
+	engine      Engine
+	queue       *sched.Queue
+	engineStats EngineStats
+	coreNext    []uint64
 
 	san sanState // runtime invariant sanitizer (empty without -tags=san)
 }
@@ -323,6 +337,7 @@ func (s *System) RunWarmup() {
 	if s.phase != phaseWarmup {
 		panic("system: RunWarmup after warm-up already completed")
 	}
+	s.ensureScheduler()
 	if s.cfg.WarmupInstr > 0 {
 		if paused := s.runUntil(func(i int) bool {
 			return s.cores[i].Stats().Instructions >= s.cfg.WarmupInstr
@@ -338,6 +353,7 @@ func (s *System) RunWarmup() {
 // checkpointed and later resumed — calling RunResumable (or Run) again,
 // on this system or a restored copy, continues the identical simulation.
 func (s *System) RunResumable() (Results, bool) {
+	s.ensureScheduler()
 	if s.phase == phaseWarmup {
 		if s.cfg.WarmupInstr > 0 {
 			if paused := s.runUntil(func(i int) bool {
@@ -414,27 +430,58 @@ func (s *System) runUntil(pred func(core int) bool) bool {
 // pause hit, and mark-once idempotence is the caller's taken guard.
 func (s *System) runUntilMark(pred func(core int) bool, mark func(core int, cycle uint64)) bool {
 	reached := make([]bool, len(s.cores))
+	event := s.engine == EngineEvent
+	if event {
+		// Every core is due at loop entry, mirroring the lockstep loop's
+		// unconditional tick on the first iteration (phase transitions and
+		// resumes re-enter here at the current clock).
+		for i := range s.coreNext {
+			s.coreNext[i] = s.clock
+		}
+	}
+	first := true
 	for {
 		allReached := true
 		allDone := true
 		for i, c := range s.cores {
+			ticked := first
 			if !c.Done() {
 				allDone = false
-				c.Tick(s.clock)
-			}
-			if !reached[i] && (pred(i) || c.Done()) {
-				reached[i] = true
-				mark(i, s.clock)
+				if event && s.coreNext[i] > s.clock {
+					// The core's next event is still ahead: a full Tick
+					// would be a no-op apart from the retire stage's
+					// memory-stall count, so apply just that.
+					c.IdleAt(s.clock)
+				} else {
+					c.Tick(s.clock)
+					ticked = true
+					if event {
+						at := c.NextEventAt(s.clock)
+						if at <= s.clock {
+							panic(fmt.Sprintf("system: core %d scheduled a wakeup at cycle %d, at or before the current cycle %d", i, at, s.clock))
+						}
+						s.coreNext[i] = at
+					}
+				}
 			}
 			if !reached[i] {
-				allReached = false
+				// pred depends only on state a Tick mutates (retired
+				// instructions, Done) — never on IdleAt's stall count — so
+				// between ticks its value is frozen and needs no re-check.
+				if ticked && (pred(i) || c.Done()) {
+					reached[i] = true
+					mark(i, s.clock)
+				} else {
+					allReached = false
+				}
 			}
 		}
+		first = false
 		if allReached || allDone {
 			return false
 		}
 		prev := s.clock
-		s.clock = s.nextCycle()
+		s.clock = s.advanceClock(prev)
 		s.sanAtAdvance(prev, s.clock)
 		if s.tel != nil && s.phase == phaseMeasure && s.tel.ShouldSample(s.clock) {
 			s.tel.Sample(s.clock, s.telTotals())
@@ -489,19 +536,4 @@ func (s *System) telTotals() telemetry.Totals {
 		t.PerCore[i] = c.Stats()
 	}
 	return t
-}
-
-// nextCycle returns the next cycle to simulate, fast-forwarding when every
-// core is provably stalled past it.
-func (s *System) nextCycle() uint64 {
-	next := ^uint64(0)
-	for _, c := range s.cores {
-		if e := c.NextEventAt(s.clock); e < next {
-			next = e
-		}
-	}
-	if next == ^uint64(0) || next <= s.clock {
-		return s.clock + 1
-	}
-	return next
 }

@@ -121,6 +121,18 @@ func (c *Collector) ShouldSample(cycle uint64) bool {
 	return c.begun && !c.finished && cycle >= c.nextAt
 }
 
+// NextSampleAt returns the next nominal epoch edge, or ^uint64(0) when
+// the collector is not currently sampling (before Begin, after Finish).
+// The event engine clamps its clock skips to this edge so the epoch
+// series closes at exactly the cycles a lockstep run closes at; without
+// the clamp a jump across an edge would merge epochs into one wider one.
+func (c *Collector) NextSampleAt() uint64 {
+	if !c.begun || c.finished {
+		return ^uint64(0)
+	}
+	return c.nextAt
+}
+
 // Sample closes the current epoch at cycle given the cumulative totals
 // at that boundary.
 func (c *Collector) Sample(cycle uint64, cum Totals) {
