@@ -31,10 +31,12 @@ vet:
 	$(GO) vet ./...
 
 # simlint is the project-specific invariant suite (determinism,
-# address-unit safety, concurrency contracts, parameter hygiene); see
-# README.md "Static analysis & invariants".
+# address-unit safety, concurrency contracts, checkpoint completeness,
+# sanitizer gating, parameter hygiene); see README.md "Static analysis &
+# invariants". The flag also reports //lint: directives that no longer
+# suppress anything, so stale suppressions cannot accumulate.
 simlint:
-	$(GO) run ./cmd/simlint ./...
+	$(GO) run ./cmd/simlint -unused-suppressions ./...
 
 # lint runs every static gate: go vet, simlint, and — when installed —
 # staticcheck and govulncheck (the repo carries no dependency on either;
@@ -45,8 +47,8 @@ lint:
 	set -e; \
 	echo ">> go vet ./..."; \
 	$(GO) vet ./...; \
-	echo ">> simlint ./..."; \
-	$(GO) run ./cmd/simlint ./...; \
+	echo ">> simlint -unused-suppressions ./..."; \
+	$(GO) run ./cmd/simlint -unused-suppressions ./...; \
 	if command -v staticcheck >/dev/null 2>&1; then \
 		echo ">> staticcheck ./..."; staticcheck ./...; \
 	else echo ">> staticcheck not installed; skipping"; fi; \

@@ -1,15 +1,21 @@
 // Command simlint runs the simulator's invariant suite — detlint,
-// unitlint, contractlint, paramlint — over the repository. It is the
-// project-specific complement to go vet: the analyzers encode contracts
-// (determinism, address-unit safety, concurrency documentation, parameter
-// hygiene) that generic tooling cannot know about.
+// unitlint, contractlint, paramlint, errlint, statelint, sharelint,
+// sanlint — over the repository. It is the project-specific complement to
+// go vet: the analyzers encode contracts (determinism, address-unit
+// safety, concurrency documentation, checkpoint completeness, sanitizer
+// gating) that generic tooling cannot know about.
 //
 // Usage:
 //
-//	simlint [-only name,name] [-list] [packages]
+//	simlint [-only name,name] [-json] [-tests] [-san] [-unused-suppressions] [-list] [packages]
 //
-// Packages default to ./... relative to the enclosing module. Exit status
-// is 0 when no findings are reported, 1 on findings, 2 on usage or load
+// Packages default to ./... relative to the enclosing module. By default
+// the suite analyzes test files too (-tests) and runs a second pass under
+// the `san` build tag (-san) so the sanitizer's gated files are covered;
+// disable either for a faster partial run. -json emits a structured
+// report that includes suppressed findings; -unused-suppressions reports
+// stale //lint: directives as findings. Exit status is 0 when no
+// actionable findings are reported, 1 on findings, 2 on usage or load
 // errors. Suppress a single finding with
 //
 //	//lint:ignore <analyzer> <reason>
@@ -31,8 +37,12 @@ import (
 func main() {
 	only := flag.String("only", "", "comma-separated subset of analyzers to run")
 	list := flag.Bool("list", false, "list the analyzers in the suite and exit")
+	jsonOut := flag.Bool("json", false, "emit findings as JSON (includes suppressed findings, marked)")
+	tests := flag.Bool("tests", true, "also analyze _test.go compilation units")
+	san := flag.Bool("san", true, "also analyze the -tags=san build configuration")
+	unused := flag.Bool("unused-suppressions", false, "report //lint: directives that no longer suppress anything")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: simlint [-only name,name] [-list] [packages]\n\nAnalyzers:\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: simlint [-only name,name] [-json] [-tests] [-san] [-unused-suppressions] [-list] [packages]\n\nAnalyzers:\n")
 		for _, a := range lint.Suite() {
 			fmt.Fprintf(flag.CommandLine.Output(), "  %-13s %s\n", a.Name, a.Doc)
 		}
@@ -77,7 +87,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, "simlint:", err)
 		os.Exit(2)
 	}
-	n, err := lint.Check(os.Stdout, root, patterns, suite)
+	n, err := lint.Check(os.Stdout, root, patterns, lint.Options{
+		Analyzers:          suite,
+		Tests:              *tests,
+		San:                *san,
+		JSON:               *jsonOut,
+		UnusedSuppressions: *unused,
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "simlint:", err)
 		os.Exit(2)

@@ -83,14 +83,19 @@ type Stats struct {
 // residency tracker feeding a single unified history table that is looked
 // up first with PC+Address and then with PC+Offset.
 type Bingo struct {
-	cfg     Config
-	rc      mem.RegionConfig
+	//ckpt:skip construction parameter, re-supplied by New before restore
+	cfg Config
+	//ckpt:skip derived from cfg.RegionBytes in New
+	rc mem.RegionConfig
+	//conc:core-local each core owns its Bingo instance and its tables
 	tracker *prefetch.RegionTracker
+	//conc:core-local each core owns its Bingo instance and its tables
 	history *HistoryTable
 	stats   Stats
 
 	// addrBuf backs the slice OnAccess returns; reused across calls so the
 	// per-access hot path stays allocation-free.
+	//ckpt:skip scratch buffer, contents dead between calls
 	addrBuf []mem.Addr
 }
 

@@ -73,16 +73,23 @@ type historyEntry struct {
 // longest (PC+Address), so one physical structure serves both lookup
 // events and redundant storage is eliminated by construction.
 type HistoryTable struct {
-	rc       mem.RegionConfig
-	ways     int
-	setMask  uint64
-	sets     []historyEntry
-	clock    uint64
-	vote     float64
-	recent   bool // use the most-recent short match instead of voting
+	//ckpt:skip construction parameter, re-supplied by NewHistoryTable; LoadState validates against it
+	rc mem.RegionConfig
+	//ckpt:skip derived geometry, recomputed by NewHistoryTable; LoadState validates against it
+	ways int
+	//ckpt:skip derived geometry, recomputed by NewHistoryTable; LoadState validates against it
+	setMask uint64
+	sets    []historyEntry
+	clock   uint64
+	//ckpt:skip tuning knob set at construction, not mutated by simulation
+	vote float64
+	//ckpt:skip tuning knob set at construction, not mutated by simulation
+	recent bool // use the most-recent short match instead of voting
+	//ckpt:skip tuning knob set at construction, not mutated by simulation
 	longBits uint // 0 = full-width tags; else hardware-style truncation
 	stats    HistoryStats
-	san      sanState // runtime invariant sanitizer (empty without -tags=san)
+	//ckpt:skip checker scratch state, not simulation state; rebuilt as events replay
+	san sanState // runtime invariant sanitizer (empty without -tags=san)
 }
 
 // SetTagTruncation folds stored tags down to the given widths, modelling

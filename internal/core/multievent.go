@@ -15,14 +15,20 @@ import (
 // classic single-event PPH prefetchers of Figure 2; with two events and
 // redundancy probing enabled it produces Figure 4's measurements.
 type MultiEvent struct {
-	rc      mem.RegionConfig
-	events  []prefetch.EventKind // longest first
-	tables  []*prefetch.Table[patternEntry]
+	//ckpt:skip derived from the region size re-supplied at construction
+	rc mem.RegionConfig
+	//ckpt:skip construction parameter, re-supplied by NewMultiEvent; LoadState validates the table count
+	events []prefetch.EventKind // longest first
+	//conc:core-local each core owns its MultiEvent instance and its tables
+	tables []*prefetch.Table[patternEntry]
+	//conc:core-local each core owns its MultiEvent instance and its tables
 	tracker *prefetch.RegionTracker
-	maxDeg  int
+	//ckpt:skip construction parameter, re-supplied by NewMultiEvent
+	maxDeg int
 
 	// addrBuf backs the slice OnAccess returns; reused across calls so the
 	// per-access hot path stays allocation-free.
+	//ckpt:skip scratch buffer, contents dead between calls
 	addrBuf []mem.Addr
 
 	// Per-kind lookup statistics (parallel to events).
@@ -31,6 +37,7 @@ type MultiEvent struct {
 
 	// Redundancy probing (Figure 4): for every prediction opportunity the
 	// two longest tables are checked independently.
+	//ckpt:skip measurement-mode flag set by the experiment cell, not simulation state
 	ProbeRedundancy bool
 	BothHit         uint64
 	Identical       uint64

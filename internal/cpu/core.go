@@ -77,10 +77,18 @@ type robEntry struct {
 // Core simulates one hardware context. Drive it with Tick from a lockstep
 // system loop.
 type Core struct {
-	cfg  Config
-	id   int
-	src  trace.Source
+	//ckpt:skip construction parameter, re-supplied by New; LoadState validates the ROB size
+	cfg Config
+	//ckpt:skip identity, re-supplied by New before restore
+	id int
+	//ckpt:skip rebuilt fresh and fast-forwarded past the persisted cursor by LoadState
+	//conc:core-local each core consumes its own trace source
+	src trace.Source
+	//ckpt:skip wiring, re-established by system.New before restore
+	//conc:barrier-guarded the shared translator is consulted only in the serialized dispatch phase
 	xlat vm.Mapper
+	//ckpt:skip wiring, re-established by system.New before restore
+	//conc:core-local points at this core's private L1
 	port cache.Level
 
 	rob      []robEntry // ring buffer
@@ -106,8 +114,11 @@ type Core struct {
 	fetched uint64
 
 	stats Stats
-	tap   DemandTap
-	san   sanState // runtime invariant sanitizer (empty without -tags=san)
+	//ckpt:skip wiring, re-established by the harness before restore
+	//conc:core-local observes only this core's demand stream
+	tap DemandTap
+	//ckpt:skip checker scratch state, not simulation state; rebuilt as events replay
+	san sanState // runtime invariant sanitizer (empty without -tags=san)
 }
 
 // DemandTap observes every demand memory operation at dispatch, in

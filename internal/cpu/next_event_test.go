@@ -29,7 +29,7 @@ func randomRecords(seed int64, n int) []trace.Record {
 	for i := range recs {
 		r := trace.Record{
 			PC:     mem.PC(rng.Intn(64) * 4),
-			Addr:   mem.Addr(rng.Intn(1 << 16) * 8),
+			Addr:   mem.Addr(rng.Intn(1<<16) * 8),
 			NonMem: uint32(rng.Intn(6)),
 		}
 		if rng.Intn(4) == 0 {

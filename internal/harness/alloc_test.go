@@ -109,4 +109,3 @@ func BenchmarkPrefetcherOnAccess(b *testing.B) {
 		})
 	}
 }
-

@@ -1,8 +1,6 @@
 // Wall-clock reads in this file time the cold vs warm-start matrix for
 // the BENCH_checkpoint.json artefact; simulated results never depend on
-// them.
-//
-//lint:file-ignore detlint wall clock used for benchmark reporting only, never in simulated paths
+// them (and detlint exempts _test.go files for exactly this reason).
 package harness
 
 import (

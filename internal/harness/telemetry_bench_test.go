@@ -1,8 +1,7 @@
 // Wall-clock reads in this file time telemetry-on vs telemetry-off
 // matrices for the BENCH_telemetry.json artefact; simulated results
-// never depend on them.
-//
-//lint:file-ignore detlint wall clock used for benchmark reporting only, never in simulated paths
+// never depend on them (and detlint exempts _test.go files for exactly
+// this reason).
 package harness
 
 import (

@@ -15,15 +15,19 @@ import (
 	"strings"
 )
 
-// Package is one loaded, type-checked package.
+// Package is one loaded, type-checked package (or test unit).
 type Package struct {
 	ImportPath string
 	Dir        string
 	Fset       *token.FileSet
-	// Files are the package's non-test source files, ordered by file name.
+	// Files are the unit's source files, ordered by file name. For plain
+	// packages these are the non-test files; test units add or consist of
+	// _test.go files.
 	Files []*ast.File
 	Types *types.Package
 	Info  *types.Info
+
+	loader *Loader // for dependency-order re-analysis (see analysis.Run)
 }
 
 // Loader parses and type-checks packages of the enclosing module.
@@ -35,6 +39,12 @@ type Loader struct {
 	Fset       *token.FileSet
 	ModuleRoot string
 	ModulePath string
+	// Tags are extra build tags treated as satisfied when evaluating
+	// //go:build constraints, on top of the default configuration. The
+	// san-tagged lint pass sets Tags = ["san"] so the sanitizer's gated
+	// files enter the type-checked world; a Loader models exactly one
+	// build configuration, so use one Loader per tag set.
+	Tags []string
 
 	std       types.ImporterFrom
 	pkgs      map[string]*Package
@@ -123,7 +133,89 @@ func (l *Loader) Load(importPath string) (*Package, error) {
 	if len(files) == 0 {
 		return nil, fmt.Errorf("%s: no buildable Go files in %s", importPath, dir)
 	}
+	pkg, err := l.check(importPath, dir, files)
+	if err != nil {
+		return nil, err
+	}
+	l.pkgs[importPath] = pkg
+	return pkg, nil
+}
 
+// TestUnits loads the test code of an already-loadable package as up to
+// two extra compilation units, mirroring `go test`'s package split:
+//
+//   - the in-package unit: the package's files plus its same-package
+//     _test.go files, re-type-checked together under the same import path
+//     (test helpers see unexported state);
+//   - the external unit: the package_test files, type-checked as their
+//     own package under the synthetic path importPath+"_test", importing
+//     the package under test through the ordinary loader path.
+//
+// Test units are leaves — nothing may import them — so they are not
+// cached under the package's import path and never shadow the shipping
+// unit. A package with no test files yields no units.
+func (l *Loader) TestUnits(importPath string) ([]*Package, error) {
+	pkg, err := l.Load(importPath)
+	if err != nil {
+		return nil, err
+	}
+	inPkg, external, err := l.parseTestFiles(pkg.Dir, pkg.Types.Name())
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", importPath, err)
+	}
+	var units []*Package
+	if len(inPkg) > 0 {
+		unit, err := l.check(importPath, pkg.Dir, append(append([]*ast.File{}, pkg.Files...), inPkg...))
+		if err != nil {
+			return nil, err
+		}
+		units = append(units, unit)
+	}
+	if len(external) > 0 {
+		unit, err := l.check(importPath+"_test", pkg.Dir, external)
+		if err != nil {
+			return nil, err
+		}
+		units = append(units, unit)
+	}
+	return units, nil
+}
+
+// parseTestFiles parses dir's buildable _test.go files, split into the
+// in-package set (package pkgName) and the external set (pkgName_test).
+func (l *Loader) parseTestFiles(dir, pkgName string) (inPkg, external []*ast.File, err error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if !e.IsDir() && strings.HasSuffix(name, "_test.go") && !strings.HasPrefix(name, ".") {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, nil, err
+		}
+		if !l.fileIncluded(f) {
+			continue
+		}
+		switch f.Name.Name {
+		case pkgName:
+			inPkg = append(inPkg, f)
+		case pkgName + "_test":
+			external = append(external, f)
+		}
+	}
+	return inPkg, external, nil
+}
+
+// check type-checks a set of parsed files as one unit without caching it.
+func (l *Loader) check(importPath, dir string, files []*ast.File) (*Package, error) {
 	info := &types.Info{
 		Types:      map[ast.Expr]types.TypeAndValue{},
 		Defs:       map[*ast.Ident]types.Object{},
@@ -144,16 +236,15 @@ func (l *Loader) Load(importPath string) (*Package, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", importPath, err)
 	}
-	pkg := &Package{
+	return &Package{
 		ImportPath: importPath,
 		Dir:        dir,
 		Fset:       l.Fset,
 		Files:      files,
 		Types:      tpkg,
 		Info:       info,
-	}
-	l.pkgs[importPath] = pkg
-	return pkg, nil
+		loader:     l,
+	}, nil
 }
 
 func (l *Loader) dirFor(importPath string) (string, error) {
@@ -191,7 +282,7 @@ func (l *Loader) parseDir(dir string) ([]*ast.File, error) {
 		if err != nil {
 			return nil, err
 		}
-		if !fileIncluded(f) {
+		if !l.fileIncluded(f) {
 			continue
 		}
 		files = append(files, f)
@@ -200,11 +291,29 @@ func (l *Loader) parseDir(dir string) ([]*ast.File, error) {
 }
 
 // fileIncluded evaluates a parsed file's //go:build constraint (if any)
-// under the default build configuration — host GOOS/GOARCH and no custom
-// tags — matching what `go build ./...` would compile. This is what keeps
-// mutually exclusive tag pairs (sancheck_san.go / sancheck_nosan.go) from
-// both entering one type-checked package.
-func fileIncluded(f *ast.File) bool {
+// under this loader's build configuration — host GOOS/GOARCH plus the
+// loader's extra Tags — matching what `go build [-tags=...] ./...` would
+// compile. This is what keeps mutually exclusive tag pairs
+// (sancheck_san.go / sancheck_nosan.go) from both entering one
+// type-checked package.
+func (l *Loader) fileIncluded(f *ast.File) bool {
+	return FileBuildable(f, l.Tags)
+}
+
+// FileBuildable reports whether f's //go:build constraint (if any) is
+// satisfied under the default build configuration extended with the given
+// custom tags. Analyzers use it with no tags to ask the question "does
+// this file ship in an untagged build?" regardless of which configuration
+// loaded it — the heart of sanlint's zero-cost proof.
+func FileBuildable(f *ast.File, tags []string) bool {
+	eval := func(tag string) bool {
+		for _, t := range tags {
+			if tag == t {
+				return true
+			}
+		}
+		return defaultBuildTag(tag)
+	}
 	for _, cg := range f.Comments {
 		if cg.Pos() >= f.Package {
 			break // constraints must precede the package clause
@@ -217,7 +326,7 @@ func fileIncluded(f *ast.File) bool {
 			if err != nil {
 				continue // malformed constraint: keep the file, let vet complain
 			}
-			return expr.Eval(defaultBuildTag)
+			return expr.Eval(eval)
 		}
 	}
 	return true

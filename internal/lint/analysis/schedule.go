@@ -1,0 +1,55 @@
+package analysis
+
+import "fmt"
+
+// Schedule expands analyzers to their Requires closure and returns an
+// execution order in which every analyzer runs after all of its
+// requirements (and, among unconstrained peers, in first-mention order,
+// so output stays byte-stable). A cycle in the Requires graph is a
+// configuration bug: Schedule reports it as an error naming the cycle
+// rather than recursing forever.
+func Schedule(analyzers []*Analyzer) ([]*Analyzer, error) {
+	const (
+		unvisited = iota
+		visiting
+		done
+	)
+	state := map[*Analyzer]int{}
+	var order []*Analyzer
+	var stack []string
+
+	var visit func(a *Analyzer) error
+	visit = func(a *Analyzer) error {
+		switch state[a] {
+		case done:
+			return nil
+		case visiting:
+			// Reconstruct the cycle from the visit stack for the report.
+			cycle := a.Name
+			for i := len(stack) - 1; i >= 0; i-- {
+				cycle = stack[i] + " -> " + cycle
+				if stack[i] == a.Name {
+					break
+				}
+			}
+			return fmt.Errorf("analyzer requirement cycle: %s", cycle)
+		}
+		state[a] = visiting
+		stack = append(stack, a.Name)
+		for _, req := range a.Requires {
+			if err := visit(req); err != nil {
+				return err
+			}
+		}
+		stack = stack[:len(stack)-1]
+		state[a] = done
+		order = append(order, a)
+		return nil
+	}
+	for _, a := range analyzers {
+		if err := visit(a); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}

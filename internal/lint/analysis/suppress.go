@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"go/ast"
+	"go/token"
 	"strings"
 )
 
@@ -19,79 +20,90 @@ import (
 // analyzer field may be a comma-separated list; the reason is mandatory —
 // a directive without one is ignored, so the justification is always on
 // record next to the exemption.
+//
+// Suppressed findings are not dropped: they are marked (Diagnostic.
+// Suppressed) so structured output can show them, and each directive
+// records whether it ever matched a finding — the -unused-suppressions
+// sweep reports the ones that no longer earn their keep.
 
-type ignoreKey struct {
-	file string
-	line int
-	name string
+// Directive is one parsed //lint:ignore or //lint:file-ignore comment,
+// narrowed to a single analyzer name (a comma-separated directive yields
+// one Directive per name).
+type Directive struct {
+	Pos      token.Pos
+	File     string
+	Line     int
+	Col      int
+	Analyzer string
+	Reason   string
+	// FileWide marks a //lint:file-ignore.
+	FileWide bool
+	// Used is set when the directive suppresses at least one finding.
+	Used bool
 }
 
-type fileIgnoreKey struct {
-	file string
-	name string
-}
-
-type suppressions struct {
-	lines map[ignoreKey]bool
-	files map[fileIgnoreKey]bool
-}
-
-func collectSuppressions(pkg *Package) suppressions {
-	s := suppressions{lines: map[ignoreKey]bool{}, files: map[fileIgnoreKey]bool{}}
+func collectDirectives(pkg *Package) []*Directive {
+	var dirs []*Directive
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				s.record(pkg, c)
+				dirs = append(dirs, parseDirective(pkg, c)...)
 			}
 		}
 	}
-	return s
+	return dirs
 }
 
-func (s suppressions) record(pkg *Package, c *ast.Comment) {
+func parseDirective(pkg *Package, c *ast.Comment) []*Directive {
 	text, ok := strings.CutPrefix(c.Text, "//lint:")
 	if !ok {
-		return
+		return nil
 	}
 	fields := strings.Fields(text)
 	// fields[0] is the directive, fields[1] the analyzer list; a reason
 	// (≥1 further field) is required for the directive to take effect.
 	if len(fields) < 3 {
-		return
+		return nil
+	}
+	if fields[0] != "ignore" && fields[0] != "file-ignore" {
+		return nil
 	}
 	pos := pkg.Fset.Position(c.Pos())
+	reason := strings.Join(fields[2:], " ")
+	var dirs []*Directive
 	for _, name := range strings.Split(fields[1], ",") {
-		switch fields[0] {
-		case "ignore":
-			s.lines[ignoreKey{pos.Filename, pos.Line, name}] = true
-		case "file-ignore":
-			s.files[fileIgnoreKey{pos.Filename, name}] = true
-		}
+		dirs = append(dirs, &Directive{
+			Pos:      c.Pos(),
+			File:     pos.Filename,
+			Line:     pos.Line,
+			Col:      pos.Column,
+			Analyzer: name,
+			Reason:   reason,
+			FileWide: fields[0] == "file-ignore",
+		})
 	}
+	return dirs
 }
 
-func (s suppressions) covers(pkg *Package, d Diagnostic) bool {
-	pos := pkg.Fset.Position(d.Pos)
-	if s.files[fileIgnoreKey{pos.Filename, d.Analyzer}] {
-		return true
+// markSuppressed sets the Suppressed flag on every diagnostic a directive
+// covers and the Used flag on every directive that covers one.
+func markSuppressed(pkg *Package, dirs []*Directive, diags []Diagnostic) {
+	if len(dirs) == 0 || len(diags) == 0 {
+		return
 	}
-	return s.lines[ignoreKey{pos.Filename, pos.Line, d.Analyzer}] ||
-		s.lines[ignoreKey{pos.Filename, pos.Line - 1, d.Analyzer}]
-}
-
-func filterSuppressed(pkg *Package, diags []Diagnostic) []Diagnostic {
-	if len(diags) == 0 {
-		return diags
-	}
-	s := collectSuppressions(pkg)
-	if len(s.lines) == 0 && len(s.files) == 0 {
-		return diags
-	}
-	kept := diags[:0]
-	for _, d := range diags {
-		if !s.covers(pkg, d) {
-			kept = append(kept, d)
+	for i := range diags {
+		pos := pkg.Fset.Position(diags[i].Pos)
+		for _, d := range dirs {
+			if d.Analyzer != diags[i].Analyzer || d.File != pos.Filename {
+				continue
+			}
+			if d.FileWide || d.Line == pos.Line || d.Line == pos.Line-1 {
+				d.Used = true
+				diags[i].Suppressed = true
+				diags[i].SuppressedBy = d.Reason
+				// Keep scanning: every directive covering this finding
+				// counts as used, so duplicates don't read as stale.
+			}
 		}
 	}
-	return kept
 }

@@ -31,24 +31,51 @@ var (
 	wantMarkerRe = regexp.MustCompile(`^//\s*want\s`)
 )
 
+// Config customises a fixture run beyond Run's defaults.
+type Config struct {
+	// Tags are extra build tags satisfied while loading the fixture,
+	// mirroring the real driver's one-loader-per-tag-set rule. Want
+	// comments in files excluded by the configuration are not collected.
+	Tags []string
+	// Deps maps additional fixture packages — synthetic import path to
+	// directory — that the package under test imports. Their analysis
+	// happens first (facts committed, serialized, and re-imported), so a
+	// fixture with a Deps entry exercises the cross-package fact path.
+	Deps map[string]string
+}
+
 // Run loads the package in dir under the synthetic import path importPath
 // (chosen by the caller to land inside the analyzer's package scope),
 // applies the analyzer, and reports expectation mismatches on t. It
 // returns the diagnostics for callers that want extra assertions.
 func Run(t *testing.T, moduleRoot, dir, importPath string, a *analysis.Analyzer) []analysis.Diagnostic {
 	t.Helper()
+	return RunConfig(t, moduleRoot, dir, importPath, a, Config{})
+}
+
+// RunConfig is Run with build tags and dependency fixture packages.
+func RunConfig(t *testing.T, moduleRoot, dir, importPath string, a *analysis.Analyzer, cfg Config) []analysis.Diagnostic {
+	t.Helper()
 	loader, err := analysis.NewLoader(moduleRoot)
 	if err != nil {
 		t.Fatalf("loader: %v", err)
 	}
+	loader.Tags = cfg.Tags
 	loader.Override(importPath, dir)
-	pkg, err := loader.Load(importPath)
+	for depPath, depDir := range cfg.Deps {
+		loader.Override(depPath, depDir)
+	}
+	runner, err := analysis.NewRunner(loader, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("runner: %v", err)
+	}
+	diags, err := runner.Package(importPath)
+	if err != nil {
+		t.Fatalf("run %s on %s (%s): %v", a.Name, importPath, dir, err)
+	}
+	pkg, err := loader.Load(importPath) // memoized: same unit the runner analyzed
 	if err != nil {
 		t.Fatalf("load %s (%s): %v", importPath, dir, err)
-	}
-	diags, err := analysis.Run(pkg, []*analysis.Analyzer{a})
-	if err != nil {
-		t.Fatalf("run %s: %v", a.Name, err)
 	}
 
 	type key struct {
@@ -76,6 +103,16 @@ func Run(t *testing.T, moduleRoot, dir, importPath string, a *analysis.Analyzer)
 			}
 		}
 	}
+
+	// Honor //lint:ignore directives as the real driver does: suppressed
+	// diagnostics are invisible to want matching and to callers.
+	visible := diags[:0]
+	for _, d := range diags {
+		if !d.Suppressed {
+			visible = append(visible, d)
+		}
+	}
+	diags = visible
 
 	matched := map[key]int{}
 	for _, d := range diags {

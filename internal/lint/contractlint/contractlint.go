@@ -1,7 +1,8 @@
-// Package contractlint enforces the concurrency contracts of the packages
-// that actually run goroutines: internal/harness (the parallel experiment
-// engine) and internal/system (the simulated machine the engine runs many
-// instances of concurrently). Three rules:
+// Package contractlint enforces the documentation half of the
+// concurrency contracts in the packages that actually run goroutines:
+// internal/harness (the parallel experiment engine) and internal/system
+// (the simulated machine the engine runs many instances of concurrently).
+// Two rules:
 //
 //  1. Exported package-level vars are shared mutable state by default, so
 //     their doc comment must state the contract — that they are immutable
@@ -9,13 +10,15 @@
 //     fixed by writing the contract down, which is the point.)
 //
 //  2. Exported types whose struct carries a lock (sync.Mutex, RWMutex,
-//     WaitGroup, Once, sync.Map — directly or via an embedded value) must
-//     likewise document their concurrency contract.
+//     WaitGroup, Once, sync.Map — directly or via an embedded value,
+//     including one imported from another package) must likewise document
+//     their concurrency contract.
 //
-//  3. Lock-bearing types must not be copied: methods with value receivers
-//     and function parameters passed by value both duplicate the lock,
-//     which is the classic deadlock/lost-update footgun `go vet`'s
-//     copylocks only partially covers.
+// Whether a type carries a lock is answered by sharelint's LockFact,
+// imported across package boundaries, so a harness type that embeds a
+// mutex-bearing type from elsewhere in the module is caught too. The
+// by-value copy rule that used to live here moved to sharelint, which
+// applies it module-wide with the same fact.
 //
 // A doc comment "states a contract" when it mentions concurrency
 // vocabulary: "concurren*", "goroutine", "mutex", "lock", "immutable",
@@ -29,28 +32,29 @@ import (
 	"strings"
 
 	"bingo/internal/lint/analysis"
+	"bingo/internal/lint/sharelint"
 )
 
 // Analyzer enforces documented concurrency contracts in harness/system.
 var Analyzer = &analysis.Analyzer{
 	Name: "contractlint",
 	Doc: "require documented concurrency contracts on exported mutable state in " +
-		"internal/harness and internal/system, and forbid by-value copies of lock-bearing types",
-	Run: run,
+		"internal/harness and internal/system",
+	Requires: []*analysis.Analyzer{sharelint.Facts},
+	Run:      run,
 }
 
 func run(pass *analysis.Pass) error {
 	if !inScope(pass.Pkg.Path()) {
 		return nil
 	}
-	lb := &lockBearing{memo: map[types.Type]bool{}}
 	for _, f := range pass.Files {
+		if pass.InTestFile(f.Package) {
+			continue // test files export no API to document
+		}
 		for _, decl := range f.Decls {
-			switch decl := decl.(type) {
-			case *ast.GenDecl:
-				checkGenDecl(pass, lb, decl)
-			case *ast.FuncDecl:
-				checkFuncDecl(pass, lb, decl)
+			if decl, ok := decl.(*ast.GenDecl); ok {
+				checkGenDecl(pass, decl)
 			}
 		}
 	}
@@ -85,7 +89,7 @@ func statesContract(docs ...*ast.CommentGroup) bool {
 	return false
 }
 
-func checkGenDecl(pass *analysis.Pass, lb *lockBearing, decl *ast.GenDecl) {
+func checkGenDecl(pass *analysis.Pass, decl *ast.GenDecl) {
 	for _, spec := range decl.Specs {
 		switch spec := spec.(type) {
 		case *ast.ValueSpec:
@@ -105,7 +109,7 @@ func checkGenDecl(pass *analysis.Pass, lb *lockBearing, decl *ast.GenDecl) {
 				continue
 			}
 			obj, ok := pass.ObjectOf(spec.Name).(*types.TypeName)
-			if !ok || !lb.holdsLock(obj.Type()) {
+			if !ok || !sharelint.HoldsLock(pass, obj.Type()) {
 				continue
 			}
 			if !statesContract(spec.Doc, decl.Doc) {
@@ -113,71 +117,4 @@ func checkGenDecl(pass *analysis.Pass, lb *lockBearing, decl *ast.GenDecl) {
 			}
 		}
 	}
-}
-
-func checkFuncDecl(pass *analysis.Pass, lb *lockBearing, decl *ast.FuncDecl) {
-	if decl.Recv != nil {
-		for _, field := range decl.Recv.List {
-			checkByValue(pass, lb, field, "receiver of method "+decl.Name.Name)
-		}
-	}
-	if decl.Type.Params != nil {
-		for _, field := range decl.Type.Params.List {
-			checkByValue(pass, lb, field, "parameter of "+decl.Name.Name)
-		}
-	}
-}
-
-func checkByValue(pass *analysis.Pass, lb *lockBearing, field *ast.Field, where string) {
-	t := pass.TypeOf(field.Type)
-	if t == nil {
-		return
-	}
-	if _, isPtr := t.Underlying().(*types.Pointer); isPtr {
-		return
-	}
-	if lb.holdsLock(t) {
-		pass.Reportf(field.Type.Pos(), "%s copies %s by value, duplicating the lock it holds; use a pointer", where, types.TypeString(t, types.RelativeTo(pass.Pkg)))
-	}
-}
-
-// lockBearing decides whether a type transitively contains a lock by
-// value, memoized because the same named types recur across declarations.
-type lockBearing struct {
-	memo map[types.Type]bool
-}
-
-var syncNoCopyTypes = map[string]bool{
-	"Mutex": true, "RWMutex": true, "WaitGroup": true, "Once": true,
-	"Map": true, "Cond": true, "Pool": true,
-}
-
-func (lb *lockBearing) holdsLock(t types.Type) bool {
-	if v, ok := lb.memo[t]; ok {
-		return v
-	}
-	lb.memo[t] = false // break recursive type cycles
-	v := lb.compute(t)
-	lb.memo[t] = v
-	return v
-}
-
-func (lb *lockBearing) compute(t types.Type) bool {
-	switch t := t.(type) {
-	case *types.Named:
-		obj := t.Obj()
-		if obj.Pkg() != nil && obj.Pkg().Path() == "sync" && syncNoCopyTypes[obj.Name()] {
-			return true
-		}
-		return lb.holdsLock(t.Underlying())
-	case *types.Struct:
-		for i := 0; i < t.NumFields(); i++ {
-			if lb.holdsLock(t.Field(i).Type()) {
-				return true
-			}
-		}
-	case *types.Array:
-		return lb.holdsLock(t.Elem())
-	}
-	return false
 }

@@ -44,6 +44,9 @@ func run(pass *analysis.Pass) error {
 		return nil
 	}
 	for _, f := range pass.Files {
+		if pass.InTestFile(f.Package) {
+			continue // determinism is a shipping-binary property; tests may shuffle
+		}
 		ast.Inspect(f, func(n ast.Node) bool {
 			call, ok := n.(*ast.CallExpr)
 			if !ok {

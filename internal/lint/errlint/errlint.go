@@ -41,6 +41,9 @@ func run(pass *analysis.Pass) error {
 		return nil
 	}
 	for _, f := range pass.Files {
+		if pass.InTestFile(f.Package) {
+			continue // tests surface failures through *testing.T, not returns
+		}
 		jl := justificationLines(pass.Fset, f)
 		ast.Inspect(f, func(n ast.Node) bool {
 			switch n := n.(type) {

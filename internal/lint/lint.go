@@ -1,73 +1,278 @@
-// Package lint assembles simlint, the simulator's invariant suite: five
-// project-specific analyzers on the mini go/analysis framework in
-// internal/lint/analysis. See the package docs of detlint, errlint,
-// unitlint, contractlint, and paramlint for the invariant each one
-// guards, and README.md ("Static analysis & invariants") for the
+// Package lint assembles simlint, the simulator's invariant suite:
+// project-specific analyzers on the cross-package mini go/analysis
+// framework in internal/lint/analysis. See the package docs of detlint,
+// errlint, unitlint, contractlint, paramlint, statelint, sharelint, and
+// sanlint for the invariant each one guards, DESIGN.md §10 for the
+// catalog, and README.md ("Static analysis & invariants") for the
 // suppression directives.
 package lint
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
 
 	"bingo/internal/lint/analysis"
 	"bingo/internal/lint/contractlint"
 	"bingo/internal/lint/detlint"
 	"bingo/internal/lint/errlint"
 	"bingo/internal/lint/paramlint"
+	"bingo/internal/lint/sanlint"
+	"bingo/internal/lint/sharelint"
+	"bingo/internal/lint/statelint"
 	"bingo/internal/lint/unitlint"
 )
 
 // Suite returns the full analyzer suite in stable (alphabetical) order.
+// Fact-producing prerequisites (sharelint's lock facts) are not listed —
+// the scheduler pulls them in through Requires.
 func Suite() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		contractlint.Analyzer,
 		detlint.Analyzer,
 		errlint.Analyzer,
 		paramlint.Analyzer,
+		sanlint.Analyzer,
+		sharelint.Analyzer,
+		statelint.Analyzer,
 		unitlint.Analyzer,
 	}
 }
 
+// Options configures one Check run.
+type Options struct {
+	// Analyzers to run; nil means the full Suite.
+	Analyzers []*analysis.Analyzer
+	// Tests also analyzes each package's _test.go compilation units (the
+	// in-package unit and the external package_test unit).
+	Tests bool
+	// San runs a second pass with the `san` build tag, so the sanitizer's
+	// gated files (sancheck_san.go and friends) are analyzed too.
+	// Duplicate findings from files shared by both configurations are
+	// deduplicated.
+	San bool
+	// JSON switches the output from "path:line:col: message [analyzer]"
+	// lines to a single JSON document that also includes suppressed
+	// findings, marked with their suppression reason.
+	JSON bool
+	// UnusedSuppressions reports //lint:ignore and //lint:file-ignore
+	// directives (for analyzers in this run) that no longer suppress any
+	// finding; they count as findings.
+	UnusedSuppressions bool
+}
+
+// Finding is one diagnostic with its position resolved, as emitted in
+// -json output. File is relative to the module root.
+type Finding struct {
+	File         string `json:"file"`
+	Line         int    `json:"line"`
+	Col          int    `json:"col"`
+	Analyzer     string `json:"analyzer"`
+	Message      string `json:"message"`
+	Suppressed   bool   `json:"suppressed,omitempty"`
+	SuppressedBy string `json:"suppressedBy,omitempty"`
+}
+
 // Check loads every package matched by patterns (relative to moduleRoot)
-// and runs the given analyzers, writing findings to w as
-// "path:line:col: message [analyzer]" with paths relative to the module
-// root. It returns the number of findings.
-func Check(w io.Writer, moduleRoot string, patterns []string, analyzers []*analysis.Analyzer) (int, error) {
-	loader, err := analysis.NewLoader(moduleRoot)
+// and runs the configured analyzers, writing findings to w. It returns
+// the number of actionable findings: unsuppressed diagnostics plus, when
+// requested, unused suppression directives. Suppressed findings appear
+// (marked) only in JSON output.
+func Check(w io.Writer, moduleRoot string, patterns []string, opts Options) (int, error) {
+	analyzers := opts.Analyzers
+	if analyzers == nil {
+		analyzers = Suite()
+	}
+	findings, dirs, err := runConfig(moduleRoot, nil, patterns, analyzers, opts.Tests)
 	if err != nil {
 		return 0, err
 	}
-	paths, err := loader.Expand(patterns)
-	if err != nil {
-		return 0, err
+	if opts.San {
+		sanFindings, sanDirs, err := runConfig(moduleRoot, []string{"san"}, patterns, analyzers, opts.Tests)
+		if err != nil {
+			return 0, err
+		}
+		findings = append(findings, sanFindings...)
+		dirs = append(dirs, sanDirs...)
 	}
+	findings = dedupeFindings(findings)
+	if opts.UnusedSuppressions {
+		findings = append(findings, unusedSuppressions(moduleRoot, dirs, analyzers)...)
+	}
+	sortFindings(findings)
+
 	count := 0
-	for _, path := range paths {
-		pkg, err := loader.Load(path)
-		if err != nil {
-			return count, err
-		}
-		diags, err := analysis.Run(pkg, analyzers)
-		if err != nil {
-			return count, err
-		}
-		for _, d := range diags {
-			pos := pkg.Fset.Position(d.Pos)
-			file := pos.Filename
-			if rel, ok := relativeTo(moduleRoot, file); ok {
-				file = rel
-			}
-			fmt.Fprintf(w, "%s:%d:%d: %s [%s]\n", file, pos.Line, pos.Column, d.Message, d.Analyzer)
+	for _, f := range findings {
+		if !f.Suppressed {
 			count++
 		}
+	}
+	if opts.JSON {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(struct {
+			Findings []Finding `json:"findings"`
+		}{Findings: findings}); err != nil {
+			return count, err
+		}
+		return count, nil
+	}
+	for _, f := range findings {
+		if f.Suppressed {
+			continue
+		}
+		fmt.Fprintf(w, "%s:%d:%d: %s [%s]\n", f.File, f.Line, f.Col, f.Message, f.Analyzer)
 	}
 	return count, nil
 }
 
-func relativeTo(root, path string) (string, bool) {
-	if len(path) > len(root)+1 && path[:len(root)] == root && path[len(root)] == '/' {
-		return path[len(root)+1:], true
+// runConfig analyzes patterns under one build configuration (tag set) and
+// returns resolved findings plus the suppression directives seen.
+func runConfig(moduleRoot string, tags, patterns []string, analyzers []*analysis.Analyzer, tests bool) ([]Finding, []*analysis.Directive, error) {
+	loader, err := analysis.NewLoader(moduleRoot)
+	if err != nil {
+		return nil, nil, err
 	}
-	return "", false
+	loader.Tags = tags
+	runner, err := analysis.NewRunner(loader, analyzers)
+	if err != nil {
+		return nil, nil, err
+	}
+	paths, err := loader.Expand(patterns)
+	if err != nil {
+		return nil, nil, err
+	}
+	var findings []Finding
+	for _, path := range paths {
+		diags, err := runner.Package(path)
+		if err != nil {
+			return nil, nil, err
+		}
+		if tests {
+			testDiags, err := runner.TestUnits(path)
+			if err != nil {
+				return nil, nil, err
+			}
+			diags = append(diags, testDiags...)
+		}
+		for _, d := range diags {
+			pos := loader.Fset.Position(d.Pos)
+			findings = append(findings, Finding{
+				File:         relPath(moduleRoot, pos.Filename),
+				Line:         pos.Line,
+				Col:          pos.Column,
+				Analyzer:     d.Analyzer,
+				Message:      d.Message,
+				Suppressed:   d.Suppressed,
+				SuppressedBy: d.SuppressedBy,
+			})
+		}
+	}
+	return findings, runner.Directives(), nil
+}
+
+// dedupeFindings collapses findings reported identically by more than one
+// build configuration (untagged files are analyzed by both the default
+// and the san pass). A finding suppressed in either pass stays marked.
+func dedupeFindings(findings []Finding) []Finding {
+	type key struct {
+		file          string
+		line, col     int
+		analyzer, msg string
+	}
+	idx := map[key]int{}
+	out := findings[:0:0]
+	for _, f := range findings {
+		k := key{f.File, f.Line, f.Col, f.Analyzer, f.Message}
+		if i, ok := idx[k]; ok {
+			if f.Suppressed && !out[i].Suppressed {
+				out[i].Suppressed = true
+				out[i].SuppressedBy = f.SuppressedBy
+			}
+			continue
+		}
+		idx[k] = len(out)
+		out = append(out, f)
+	}
+	return out
+}
+
+// unusedSuppressions turns directives that suppressed nothing in any
+// configuration into findings. Usage is merged across configurations
+// first: a directive used only under -tags=san is not stale. Directives
+// naming analyzers outside this run are skipped — a partial run proves
+// nothing about them.
+func unusedSuppressions(moduleRoot string, dirs []*analysis.Directive, analyzers []*analysis.Analyzer) []Finding {
+	inRun := map[string]bool{}
+	for _, a := range analyzers {
+		inRun[a.Name] = true
+	}
+	type key struct {
+		file     string
+		line     int
+		analyzer string
+	}
+	merged := map[key]*analysis.Directive{}
+	used := map[key]bool{}
+	for _, d := range dirs {
+		k := key{d.File, d.Line, d.Analyzer}
+		merged[k] = d
+		used[k] = used[k] || d.Used
+	}
+	keys := make([]key, 0, len(merged))
+	for k := range merged {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].file != keys[j].file {
+			return keys[i].file < keys[j].file
+		}
+		if keys[i].line != keys[j].line {
+			return keys[i].line < keys[j].line
+		}
+		return keys[i].analyzer < keys[j].analyzer
+	})
+	var out []Finding
+	for _, k := range keys {
+		d := merged[k]
+		if used[k] || !inRun[d.Analyzer] {
+			continue
+		}
+		kind := "ignore"
+		if d.FileWide {
+			kind = "file-ignore"
+		}
+		out = append(out, Finding{
+			File:     relPath(moduleRoot, d.File),
+			Line:     d.Line,
+			Col:      d.Col,
+			Analyzer: "unused-suppression",
+			Message:  fmt.Sprintf("//lint:%s %s no longer suppresses anything; delete it (reason was: %s)", kind, d.Analyzer, d.Reason),
+		})
+	}
+	return out
+}
+
+func sortFindings(findings []Finding) {
+	sort.SliceStable(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}
+
+func relPath(root, path string) string {
+	if len(path) > len(root)+1 && path[:len(root)] == root && path[len(root)] == '/' {
+		return path[len(root)+1:]
+	}
+	return path
 }

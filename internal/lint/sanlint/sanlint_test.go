@@ -1,0 +1,41 @@
+package sanlint_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"bingo/internal/lint/analysis"
+	"bingo/internal/lint/analysistest"
+	"bingo/internal/lint/sanlint"
+)
+
+func fixture(t *testing.T) (root, dir string) {
+	t.Helper()
+	root, err := analysis.FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return root, filepath.Join(root, "internal", "lint", "testdata", "src", "sanlint")
+}
+
+// TestSanlintUntagged analyzes the fixture as the default build sees it:
+// check_san.go is excluded by its constraint, and every finding comes
+// from the untagged file's unguarded or mis-cataloged san uses.
+func TestSanlintUntagged(t *testing.T) {
+	root, dir := fixture(t)
+	diags := analysistest.Run(t, root, dir, "bingo/internal/sanfixture", sanlint.Analyzer)
+	if len(diags) == 0 {
+		t.Fatal("fixture seeded violations but sanlint reported nothing")
+	}
+}
+
+// TestSanlintTagged analyzes the fixture under -tags=san, the driver's
+// second pass: check_san.go now enters the type-checked world, and its
+// unguarded checking calls must stay finding-free because the file's
+// build constraint is itself the gate.
+func TestSanlintTagged(t *testing.T) {
+	root, dir := fixture(t)
+	analysistest.RunConfig(t, root, dir, "bingo/internal/sanfixture", sanlint.Analyzer, analysistest.Config{
+		Tags: []string{"san"},
+	})
+}

@@ -11,14 +11,24 @@ import (
 // TestRepoIsCleanUnderSimlint is the smoke test the CI gate relies on:
 // `cmd/simlint ./...` must exit 0 on the repository itself. It runs the
 // same code path as the command (lint.Check over ./... with the full
-// suite) in-process.
+// suite, at the command's default configuration: test units analyzed,
+// the -tags=san world included, stale suppressions reported). The scope
+// is the whole module — internal/, cmd/, examples/, and the root
+// package's bench/integration tests.
 func TestRepoIsCleanUnderSimlint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module twice; skipped in -short")
+	}
 	root, err := analysis.FindModuleRoot(".")
 	if err != nil {
 		t.Fatal(err)
 	}
 	var buf bytes.Buffer
-	n, err := lint.Check(&buf, root, []string{"./..."}, lint.Suite())
+	n, err := lint.Check(&buf, root, []string{"./..."}, lint.Options{
+		Tests:              true,
+		San:                true,
+		UnusedSuppressions: true,
+	})
 	if err != nil {
 		t.Fatalf("simlint failed to run: %v", err)
 	}

@@ -1,0 +1,125 @@
+package sharelint
+
+import (
+	"go/types"
+
+	"bingo/internal/lint/analysis"
+)
+
+// LockFact marks a package-scope named type whose value transitively
+// contains a synchronization primitive (sync.Mutex and friends, or any
+// sync/atomic type) by value. It is the cross-package currency of the
+// copy check: a type that embeds a harness mutex three packages away is
+// just as dangerous to copy as sync.Mutex itself, and only a fact can
+// carry that knowledge across the package boundary.
+type LockFact struct{}
+
+// AFact marks LockFact as a fact type.
+func (*LockFact) AFact() {}
+
+// Facts is the fact-producing half of sharelint: it emits no diagnostics,
+// only LockFact annotations on lock-bearing package-scope named types.
+// Analyzers that need the cross-package answer (sharelint itself,
+// contractlint's documented-contract rule) list it in Requires and query
+// with HoldsLock.
+var Facts = &analysis.Analyzer{
+	Name:      "sharefacts",
+	Doc:       "export a LockFact for every package-scope named type that transitively holds a sync primitive by value",
+	FactTypes: []analysis.Fact{new(LockFact)},
+	Run:       runFacts,
+}
+
+func runFacts(pass *analysis.Pass) error {
+	lc := newLockComputer(pass)
+	scope := pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		if lc.holds(tn.Type()) {
+			pass.ExportObjectFact(tn, &LockFact{})
+		}
+	}
+	return nil
+}
+
+// HoldsLock reports whether t transitively contains a sync primitive by
+// value. Named types from other packages are resolved through LockFact
+// (exported by the Facts analyzer, so callers must require it); the
+// structural walk is the fallback for types no analyzed package exported
+// a fact for (standard library structs beyond sync itself).
+func HoldsLock(pass *analysis.Pass, t types.Type) bool {
+	return newLockComputer(pass).holds(t)
+}
+
+// syncNoCopyTypes are the sync types that must never be copied after
+// first use, per their package documentation.
+var syncNoCopyTypes = map[string]bool{
+	"Mutex": true, "RWMutex": true, "WaitGroup": true, "Once": true,
+	"Map": true, "Cond": true, "Pool": true,
+}
+
+// lockComputer memoizes the transitive lock-bearing decision for one
+// pass; the same named types recur across declarations.
+type lockComputer struct {
+	pass *analysis.Pass
+	memo map[types.Type]bool
+}
+
+func newLockComputer(pass *analysis.Pass) *lockComputer {
+	return &lockComputer{pass: pass, memo: map[types.Type]bool{}}
+}
+
+func (lc *lockComputer) holds(t types.Type) bool {
+	if v, ok := lc.memo[t]; ok {
+		return v
+	}
+	lc.memo[t] = false // break recursive type cycles
+	v := lc.compute(t)
+	lc.memo[t] = v
+	return v
+}
+
+func (lc *lockComputer) compute(t types.Type) bool {
+	switch t := t.(type) {
+	case *types.Named:
+		obj := t.Obj()
+		if obj.Pkg() == nil {
+			return false // error and other universe types
+		}
+		switch obj.Pkg().Path() {
+		case "sync":
+			return syncNoCopyTypes[obj.Name()]
+		case "sync/atomic":
+			return true // every atomic.T pins its address after first use
+		}
+		// Another analyzed package's verdict arrives as a serialized fact;
+		// for everything else (the standard library beyond sync) fall back
+		// to walking the structure, which the shared type-checked world
+		// makes possible.
+		if obj.Pkg() != lc.pass.Pkg {
+			var lf LockFact
+			if lc.pass.ImportObjectFact(obj, &lf) {
+				return true
+			}
+		}
+		return lc.holds(t.Underlying())
+	case *types.Struct:
+		for i := 0; i < t.NumFields(); i++ {
+			if lc.holds(t.Field(i).Type()) {
+				return true
+			}
+		}
+	case *types.Array:
+		return lc.holds(t.Elem())
+	}
+	return false
+}
+
+// IsSynchronized reports whether t is, or by value contains, a sync
+// primitive — the "already guarded" exemption of the shared-state rules.
+// It is HoldsLock today; the alias keeps call sites saying what they mean.
+func IsSynchronized(pass *analysis.Pass, t types.Type) bool {
+	return HoldsLock(pass, t)
+}

@@ -1,0 +1,62 @@
+package sharelint_test
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"bingo/internal/lint/analysis"
+	"bingo/internal/lint/analysistest"
+	"bingo/internal/lint/sharelint"
+)
+
+func fixture(t *testing.T) (root, dir string) {
+	t.Helper()
+	root, err := analysis.FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return root, filepath.Join(root, "internal", "lint", "testdata", "src", "sharelint")
+}
+
+// TestSharelint runs the fixture with its dep subpackage, so the
+// mutex-bearing dep.Locked reaches the fixture through a serialized
+// LockFact — the cross-package path of rule 3.
+func TestSharelint(t *testing.T) {
+	root, dir := fixture(t)
+	diags := analysistest.RunConfig(t, root, dir, "bingo/internal/cachefixture", sharelint.Analyzer, analysistest.Config{
+		Deps: map[string]string{"bingo/internal/cachefixture/dep": filepath.Join(dir, "dep")},
+	})
+	if len(diags) == 0 {
+		t.Fatal("fixture seeded violations but sharelint reported nothing")
+	}
+}
+
+// TestScopeIsFrontendOnly loads the same fixture under a non-frontend
+// import path: rules 1 and 2 must go quiet, while rule 3 (by-value lock
+// copies) applies everywhere and must keep firing.
+func TestScopeIsFrontendOnly(t *testing.T) {
+	root, dir := fixture(t)
+	loader, err := analysis.NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader.Override("bingo/internal/elsewherefixture", dir)
+	loader.Override("bingo/internal/cachefixture/dep", filepath.Join(dir, "dep"))
+	runner, err := analysis.NewRunner(loader, []*analysis.Analyzer{sharelint.Analyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := runner.Package("bingo/internal/elsewherefixture")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		if !strings.Contains(d.Message, "by value") {
+			t.Errorf("non-frontend package got a rule 1/2 diagnostic: %s", d.Message)
+		}
+	}
+	if len(diags) == 0 {
+		t.Error("rule 3 (by-value lock copy) must fire outside the frontend scope too")
+	}
+}

@@ -1,0 +1,329 @@
+// Package statelint proves checkpoint completeness statically: for every
+// type implementing checkpoint.Checkpointable, every struct field must be
+// referenced in both SaveState and LoadState — directly or through
+// package-local helpers they call — or carry an explicit exemption
+//
+//	//ckpt:skip <reason>
+//
+// on the field. The bug this closes is silent field drift: a new mutable
+// field added to a component but forgotten in its SaveState/LoadState
+// pair produces checkpoints that restore into subtly wrong simulations
+// (Bingo's results are sensitive to exact metadata state — PHT votes,
+// region trackers — so a dropped field shifts every downstream number
+// without failing a single runtime check until a resume-equivalence
+// oracle happens to cover that field's effect). The golden-schema test
+// pins the wire format; statelint pins the field coverage that format is
+// supposed to carry.
+//
+// Reference tracking is reachability-based: the analyzer builds the
+// package-local call graph from each SaveState/LoadState body (helper
+// methods and functions included, function literals too) and accepts a
+// field as covered if any reachable body mentions it — selector reads,
+// writes, or composite-literal keys all count. Fields that are derived,
+// rebuilt at construction, or deliberately transient must say so with
+// //ckpt:skip and a reason; an annotation without a reason is itself a
+// finding, so every exemption is justified on record.
+package statelint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"bingo/internal/lint/analysis"
+)
+
+// checkpointPkg is the package whose Writer/Reader anchor the
+// Checkpointable signature match.
+const checkpointPkg = "bingo/internal/checkpoint"
+
+// Analyzer reports checkpointable struct fields missing from the
+// SaveState/LoadState pair.
+var Analyzer = &analysis.Analyzer{
+	Name: "statelint",
+	Doc: "require every field of a checkpoint.Checkpointable struct to be referenced in both " +
+		"SaveState and LoadState or carry a //ckpt:skip <reason> annotation",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg.Path() == checkpointPkg {
+		return nil // the codec itself holds no simulation state
+	}
+	pkg := newPkgIndex(pass)
+	scope := pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		st, ok := named.Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		save, load := checkpointMethods(named)
+		if save == nil || load == nil {
+			continue
+		}
+		checkType(pass, pkg, named, st, save, load)
+	}
+	return nil
+}
+
+// checkpointMethods returns the SaveState/LoadState methods of *named if
+// their signatures match checkpoint.Checkpointable, else nils. Matching
+// by signature rather than by interface identity keeps fixture packages
+// (which import the real codec) and generic helpers with extra
+// parameters (prefetch.Table's encoder-taking SaveState) correctly in
+// and out of scope.
+func checkpointMethods(named *types.Named) (save, load *types.Func) {
+	ms := types.NewMethodSet(types.NewPointer(named))
+	for i := 0; i < ms.Len(); i++ {
+		fn, ok := ms.At(i).Obj().(*types.Func)
+		if !ok {
+			continue
+		}
+		switch fn.Name() {
+		case "SaveState":
+			if matchesCodecSignature(fn, "Writer") {
+				save = fn
+			}
+		case "LoadState":
+			if matchesCodecSignature(fn, "Reader") {
+				load = fn
+			}
+		}
+	}
+	return save, load
+}
+
+// matchesCodecSignature reports whether fn is func(*checkpoint.<which>)
+// error.
+func matchesCodecSignature(fn *types.Func, which string) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Params().Len() != 1 || sig.Results().Len() != 1 {
+		return false
+	}
+	if !isErrorType(sig.Results().At(0).Type()) {
+		return false
+	}
+	ptr, ok := sig.Params().At(0).Type().(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == which && obj.Pkg() != nil && obj.Pkg().Path() == checkpointPkg
+}
+
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}
+
+func checkType(pass *analysis.Pass, pkg *pkgIndex, named *types.Named, st *types.Struct, save, load *types.Func) {
+	saveRefs := pkg.reachableFields(save)
+	loadRefs := pkg.reachableFields(load)
+	fields := pkg.fieldDecls(named)
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if f.Name() == "_" {
+			continue
+		}
+		decl := fields[f]
+		if skip, hasReason := skipAnnotated(decl); skip {
+			if !hasReason {
+				pass.Reportf(f.Pos(), "//ckpt:skip on field %s of %s needs a reason", f.Name(), named.Obj().Name())
+			}
+			continue
+		}
+		// A promoted SaveState/LoadState pair counts as covering the
+		// embedded field that provides it.
+		if f.Embedded() && (providesMethod(f.Type(), save) || providesMethod(f.Type(), load)) {
+			continue
+		}
+		missing := ""
+		switch {
+		case !saveRefs[f] && !loadRefs[f]:
+			missing = "SaveState or LoadState"
+		case !saveRefs[f]:
+			missing = "SaveState"
+		case !loadRefs[f]:
+			missing = "LoadState"
+		default:
+			continue
+		}
+		pass.Reportf(f.Pos(), "field %s of checkpointable type %s is not referenced in %s; serialize it or annotate //ckpt:skip <reason>",
+			f.Name(), named.Obj().Name(), missing)
+	}
+}
+
+// providesMethod reports whether the (possibly pointer) field type's
+// method set is where fn comes from — i.e. fn was promoted through this
+// embedded field.
+func providesMethod(fieldType types.Type, fn *types.Func) bool {
+	t := fieldType
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	for i := 0; i < named.NumMethods(); i++ {
+		if named.Method(i) == fn {
+			return true
+		}
+	}
+	return false
+}
+
+// skipAnnotated reports whether the field declaration carries a
+// //ckpt:skip directive, and whether the directive has a reason.
+func skipAnnotated(decl *ast.Field) (skip, hasReason bool) {
+	if decl == nil {
+		return false, false
+	}
+	for _, cg := range []*ast.CommentGroup{decl.Doc, decl.Comment} {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			rest, ok := strings.CutPrefix(c.Text, "//ckpt:skip")
+			if !ok {
+				continue
+			}
+			return true, strings.TrimSpace(rest) != ""
+		}
+	}
+	return false, false
+}
+
+// pkgIndex caches the package-local call graph and per-function field
+// references: one traversal of every function body serves every
+// checkpointable type in the package.
+type pkgIndex struct {
+	pass   *analysis.Pass
+	bodies map[*types.Func]*funcInfo
+}
+
+type funcInfo struct {
+	fields  map[*types.Var]bool
+	callees []*types.Func
+}
+
+func newPkgIndex(pass *analysis.Pass) *pkgIndex {
+	pkg := &pkgIndex{pass: pass, bodies: map[*types.Func]*funcInfo{}}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pass.ObjectOf(fd.Name).(*types.Func)
+			if !ok {
+				continue
+			}
+			pkg.bodies[fn] = pkg.scan(fd.Body)
+		}
+	}
+	return pkg
+}
+
+// scan collects the struct fields referenced and the package-local
+// functions called anywhere under n (function literals included).
+func (pkg *pkgIndex) scan(n ast.Node) *funcInfo {
+	info := &funcInfo{fields: map[*types.Var]bool{}}
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			if sel, ok := pkg.pass.Info.Selections[n]; ok && sel.Kind() == types.FieldVal {
+				if v, ok := sel.Obj().(*types.Var); ok {
+					info.fields[v] = true
+				}
+			}
+		case *ast.Ident:
+			// Composite-literal keys and plain uses both land in Uses.
+			if v, ok := pkg.pass.Info.Uses[n].(*types.Var); ok && v.IsField() {
+				info.fields[v] = true
+			}
+		case *ast.CallExpr:
+			if fn := pkg.pass.CalleeFunc(n); fn != nil && fn.Pkg() == pkg.pass.Pkg {
+				info.callees = append(info.callees, fn)
+			}
+		}
+		return true
+	})
+	return info
+}
+
+// reachableFields unions the field references of root and every
+// package-local function transitively reachable from it.
+func (pkg *pkgIndex) reachableFields(root *types.Func) map[*types.Var]bool {
+	out := map[*types.Var]bool{}
+	seen := map[*types.Func]bool{}
+	var walk func(fn *types.Func)
+	walk = func(fn *types.Func) {
+		if seen[fn] {
+			return
+		}
+		seen[fn] = true
+		info := pkg.bodies[fn]
+		if info == nil {
+			return
+		}
+		for v := range info.fields {
+			out[v] = true
+		}
+		for _, callee := range info.callees {
+			walk(callee)
+		}
+	}
+	walk(root)
+	return out
+}
+
+// fieldDecls maps the field objects of named's struct to their AST
+// declarations (for annotation lookup) by position containment, which
+// handles named and embedded fields uniformly.
+func (pkg *pkgIndex) fieldDecls(named *types.Named) map[*types.Var]*ast.Field {
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return nil
+	}
+	out := map[*types.Var]*ast.Field{}
+	for _, f := range pkg.pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok || pkg.pass.ObjectOf(ts.Name) != named.Obj() {
+					continue
+				}
+				stAST, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				for _, field := range stAST.Fields.List {
+					for i := 0; i < st.NumFields(); i++ {
+						v := st.Field(i)
+						if field.Pos() <= v.Pos() && v.Pos() <= field.End() {
+							out[v] = field
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,87 @@
+package statelint_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"bingo/internal/lint/analysis"
+	"bingo/internal/lint/analysistest"
+	"bingo/internal/lint/statelint"
+)
+
+func fixtureDir(t *testing.T, name string) (root, dir string) {
+	t.Helper()
+	root, err := analysis.FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return root, filepath.Join(root, "internal", "lint", "testdata", "src", name)
+}
+
+func TestStatelint(t *testing.T) {
+	root, dir := fixtureDir(t, "statelint")
+	diags := analysistest.Run(t, root, dir, "bingo/internal/statefixture", statelint.Analyzer)
+	if len(diags) == 0 {
+		t.Fatal("fixture seeded violations but statelint reported nothing")
+	}
+}
+
+func TestStatelintCleanFixture(t *testing.T) {
+	root, dir := fixtureDir(t, "statelintclean")
+	diags := analysistest.Run(t, root, dir, "bingo/internal/statecleanfixture", statelint.Analyzer)
+	if len(diags) != 0 {
+		t.Errorf("clean fixture produced %d diagnostics", len(diags))
+	}
+}
+
+// TestStatelintCatchesDroppedSaveField is the seeded-mutation test: start
+// from the clean fixture, delete the line that saves Counter.total, and
+// statelint must report exactly that field as missing from SaveState.
+func TestStatelintCatchesDroppedSaveField(t *testing.T) {
+	root, dir := fixtureDir(t, "statelintclean")
+	src, err := os.ReadFile(filepath.Join(dir, "clean.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var kept []string
+	dropped := 0
+	for _, line := range strings.Split(string(src), "\n") {
+		if strings.Contains(line, "w.U64(c.total)") {
+			dropped++
+			continue
+		}
+		kept = append(kept, line)
+	}
+	if dropped != 1 {
+		t.Fatalf("mutation dropped %d lines, want exactly 1 (fixture drifted?)", dropped)
+	}
+
+	mutDir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(mutDir, "clean.go"), []byte(strings.Join(kept, "\n")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	loader, err := analysis.NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader.Override("bingo/internal/statecleanfixture", mutDir)
+	runner, err := analysis.NewRunner(loader, []*analysis.Analyzer{statelint.Analyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := runner.Package("bingo/internal/statecleanfixture")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 {
+		t.Fatalf("mutated fixture produced %d diagnostics, want 1: %v", len(diags), diags)
+	}
+	msg := diags[0].Message
+	if !strings.Contains(msg, "field total") || !strings.Contains(msg, "SaveState") {
+		t.Errorf("diagnostic %q does not name the dropped field's missing SaveState reference", msg)
+	}
+}

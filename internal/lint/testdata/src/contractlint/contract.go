@@ -34,11 +34,13 @@ func (c *Counters) Inc() {
 	c.mu.Unlock()
 }
 
-func (c Counters) Snapshot() int { // want `receiver of method Snapshot copies Counters by value`
+// Snapshot copies the lock by value; that is sharelint's rule 3 now,
+// so contractlint stays quiet here.
+func (c Counters) Snapshot() int {
 	return c.n
 }
 
-func merge(a *Counters, b Counters) { // want `parameter of merge copies Counters by value`
+func merge(a *Counters, b Counters) {
 	a.n += b.n
 }
 
@@ -47,7 +49,7 @@ type embedder struct {
 	Counters
 }
 
-func consume(e embedder) int { // want `parameter of consume copies embedder by value`
+func consume(e embedder) int {
 	return e.n
 }
 

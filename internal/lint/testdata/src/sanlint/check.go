@@ -1,0 +1,42 @@
+// Package sanfixture seeds zero-cost-gating and catalog violations for
+// the sanlint analyzer. This file ships untagged, so every checking call
+// must sit behind a constant-folding guard; check_san.go carries the
+// build tag and is exempt.
+package sanfixture
+
+import "bingo/internal/san"
+
+// Configure flips the sanitizer on; the configuration API is allowed
+// anywhere.
+func Configure() {
+	san.SetEnabled(true)
+}
+
+// Unguarded calls the checking API where an untagged build compiles it.
+func Unguarded() uint64 {
+	return san.DeepInterval() // want `san\.DeepInterval in a file compiled without the san tag`
+}
+
+// Guarded uses the constant-folding guards; both forms are free
+// untagged.
+func Guarded(cycle uint64) {
+	if san.Compiled {
+		san.Failf("fixture", cycle,
+			san.CacheClock, // a cataloged ID: no finding
+			"clock went backwards")
+	}
+	if san.Enabled() {
+		san.Failf("fixture", cycle,
+			san.ID("SAN-FIXTURE-BOGUS"), // want `invariant SAN-FIXTURE-BOGUS is not in DESIGN.md §6b's catalog`
+			"made-up invariant")
+	}
+}
+
+// NonConstant passes a runtime value as the invariant ID.
+func NonConstant(cycle uint64, id san.ID) {
+	if san.Compiled {
+		san.Failf("fixture", cycle,
+			id, // want `invariant passed to san\.Failf must be a constant san\.ID`
+			"whichever invariant the caller meant")
+	}
+}

@@ -1,0 +1,14 @@
+//go:build san
+
+package sanfixture
+
+import "bingo/internal/san"
+
+// DeepCheck runs only in san-tagged builds: the file's build constraint
+// is the gate, so unguarded checking calls are allowed here.
+func DeepCheck(cycle uint64) {
+	if !san.Enabled() {
+		return
+	}
+	san.Failf("fixture", cycle, san.CacheClock, "deep check failed")
+}

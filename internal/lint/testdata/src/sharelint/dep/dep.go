@@ -1,0 +1,27 @@
+// Package dep is the cross-package half of the sharelint fixture: it
+// exports a mutex-bearing type whose LockFact must travel to the
+// importing fixture package through serialized facts. It is itself
+// finding-free (its import path lands in sharelint's frontend scope, so
+// it must hold up under rules 1 and 2 too).
+package dep
+
+import "sync"
+
+// Locked guards its counter with its own mutex; copying it by value
+// duplicates the lock.
+type Locked struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Inc bumps the counter under the lock.
+func (l *Locked) Inc() {
+	l.mu.Lock()
+	l.n++
+	l.mu.Unlock()
+}
+
+// Plain holds no lock; copying it is fine.
+type Plain struct {
+	N int
+}

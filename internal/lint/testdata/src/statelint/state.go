@@ -1,0 +1,52 @@
+// Package statefixture seeds checkpoint-coverage violations for the
+// statelint analyzer: one checkpointable type exercising every rule —
+// covered fields (directly and through a helper), missing fields, and
+// the //ckpt:skip annotation with and without a reason.
+package statefixture
+
+import "bingo/internal/checkpoint"
+
+// Machine is checkpointable: SaveState/LoadState match the codec
+// signatures exactly.
+type Machine struct {
+	clock   uint64
+	entries []uint64
+	scratch []uint64 // want `field scratch of checkpointable type Machine is not referenced in SaveState or LoadState`
+	derived uint64   // want `field derived of checkpointable type Machine is not referenced in SaveState`
+	//ckpt:skip rebuilt from entries on first use
+	cache map[uint64]uint64
+	//ckpt:skip
+	bare int // want `//ckpt:skip on field bare of Machine needs a reason`
+}
+
+// SaveState serialises the machine.
+func (m *Machine) SaveState(w *checkpoint.Writer) error {
+	w.U64(m.clock)
+	m.saveEntries(w)
+	return w.Err()
+}
+
+// saveEntries covers entries through the package-local call graph.
+func (m *Machine) saveEntries(w *checkpoint.Writer) {
+	w.U64s(m.entries)
+}
+
+// LoadState restores the machine.
+func (m *Machine) LoadState(r *checkpoint.Reader) error {
+	m.clock = r.U64()
+	m.entries = r.U64s()
+	m.derived = m.clock * 2
+	return r.Err()
+}
+
+// NotCheckpointable has the method names but not the codec signatures;
+// statelint must leave it alone.
+type NotCheckpointable struct {
+	hidden int
+}
+
+// SaveState does not take a codec Writer.
+func (n *NotCheckpointable) SaveState(buf []byte) error { return nil }
+
+// LoadState does not take a codec Reader.
+func (n *NotCheckpointable) LoadState(buf []byte) error { return nil }

@@ -1,0 +1,27 @@
+// Package statecleanfixture is a finding-free checkpointable type. The
+// seeded-mutation test copies this file, deletes the line saving the
+// counter field, and asserts statelint reports exactly that field — the
+// end-to-end proof that a dropped SaveState write cannot land silently.
+package statecleanfixture
+
+import "bingo/internal/checkpoint"
+
+// Counter is fully covered: every field in both methods.
+type Counter struct {
+	ticks uint64
+	total uint64
+}
+
+// SaveState serialises the counter.
+func (c *Counter) SaveState(w *checkpoint.Writer) error {
+	w.U64(c.ticks)
+	w.U64(c.total)
+	return w.Err()
+}
+
+// LoadState restores the counter.
+func (c *Counter) LoadState(r *checkpoint.Reader) error {
+	c.ticks = r.U64()
+	c.total = r.U64()
+	return r.Err()
+}

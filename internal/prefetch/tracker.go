@@ -33,9 +33,14 @@ type Trigger struct {
 // residency. Regions that never saw a second distinct block are dropped
 // without training, which keeps one-shot regions from polluting history.
 type RegionTracker struct {
-	rc         mem.RegionConfig
-	filter     *Table[ActiveRegion]
-	accum      *Table[ActiveRegion]
+	//ckpt:skip derived from the region size re-supplied at construction
+	rc mem.RegionConfig
+	//conc:core-local each core's prefetcher owns its tracker tables
+	filter *Table[ActiveRegion]
+	//conc:core-local each core's prefetcher owns its tracker tables
+	accum *Table[ActiveRegion]
+	//ckpt:skip wiring, re-registered by the owning prefetcher's constructor
+	//conc:core-local calls back into the owning prefetcher's training path
 	onComplete func(ActiveRegion)
 
 	// CompletedResidencies counts footprints handed back via OnEviction.
@@ -49,6 +54,7 @@ type RegionTracker struct {
 	// trig is the scratch result Observe returns a pointer into, so the
 	// per-access hot path stays allocation-free. It is overwritten by the
 	// next Observe call.
+	//ckpt:skip scratch result, dead between Observe calls
 	trig Trigger
 }
 

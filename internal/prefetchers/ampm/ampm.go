@@ -39,12 +39,16 @@ type zoneMap struct {
 
 // AMPM is the access-map prefetcher.
 type AMPM struct {
-	cfg   Config
-	rc    mem.RegionConfig
+	//ckpt:skip construction parameter, re-supplied by New before restore
+	cfg Config
+	//ckpt:skip derived from cfg.ZoneBytes in New
+	rc mem.RegionConfig
+	//conc:core-local each core owns its AMPM instance and its zone table
 	zones *prefetch.Table[zoneMap]
 
 	// addrBuf backs the slice OnAccess returns; reused across calls so
 	// the per-access hot path stays allocation-free.
+	//ckpt:skip scratch buffer, contents dead between calls
 	addrBuf []mem.Addr
 }
 

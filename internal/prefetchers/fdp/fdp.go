@@ -64,7 +64,9 @@ type Stats struct {
 // FDP wraps an inner prefetcher with accuracy-feedback throttling. It
 // implements both prefetch.Prefetcher and the cache outcome observer.
 type FDP struct {
-	cfg    Config
+	//ckpt:skip construction parameter, re-supplied by New; LoadState validates against it
+	cfg Config
+	//conc:core-local wraps the same core's inner prefetcher; nothing else holds it
 	inner  prefetch.Prefetcher
 	degree int
 

@@ -39,9 +39,13 @@ type patternEntry struct {
 
 // SMS is the PC+Offset-indexed spatial prefetcher.
 type SMS struct {
-	cfg     Config
-	rc      mem.RegionConfig
+	//ckpt:skip construction parameter, re-supplied by New before restore
+	cfg Config
+	//ckpt:skip derived from cfg.RegionBytes in New
+	rc mem.RegionConfig
+	//conc:core-local each core owns its SMS instance and its tables
 	tracker *prefetch.RegionTracker
+	//conc:core-local each core owns its SMS instance and its tables
 	history *prefetch.Table[patternEntry]
 
 	// Triggers and Matches expose match probability for analyses.
@@ -50,6 +54,7 @@ type SMS struct {
 
 	// addrBuf backs the slice OnAccess returns; reused across calls so the
 	// per-access hot path stays allocation-free.
+	//ckpt:skip scratch buffer, contents dead between calls
 	addrBuf []mem.Addr
 }
 

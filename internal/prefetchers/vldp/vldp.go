@@ -57,14 +57,18 @@ type dptEntry struct {
 
 // VLDP is the variable-length delta prefetcher.
 type VLDP struct {
-	cfg  Config
-	rc   mem.RegionConfig
+	//ckpt:skip construction parameter, re-supplied by New before restore
+	cfg Config
+	//ckpt:skip derived from cfg.PageBytes in New; LoadState validates against it
+	rc mem.RegionConfig
+	//conc:core-local each core owns its VLDP instance and its tables
 	dhb  *prefetch.Table[dhbEntry]
 	dpts [3]*prefetch.Table[dptEntry] // index i keyed by history length i+1
 	opt  []int                        // first-offset -> first delta (0 = unknown)
 
 	// addrBuf backs the slice OnAccess returns; reused across calls so
 	// the per-access hot path stays allocation-free.
+	//ckpt:skip scratch buffer, contents dead between calls
 	addrBuf []mem.Addr
 }
 

@@ -70,7 +70,10 @@ func (s *System) EngineStats() EngineStats { return s.engineStats }
 // pfQueueWaker exposes the per-core prefetch queues as a Waker: an
 // in-flight prefetch completing frees an issue slot, which is the only
 // time-driven transition the queues have.
-type pfQueueWaker struct{ s *System }
+type pfQueueWaker struct {
+	//conc:barrier-guarded the queue heaps are scanned only at the clock-advance barrier
+	s *System
+}
 
 // NextEventAt implements sched.Waker.
 func (p pfQueueWaker) NextEventAt(now uint64) uint64 {

@@ -27,12 +27,18 @@ import (
 // mutable state, which is what keeps `go test -race` clean over the
 // parallel harness.
 type System struct {
-	cfg   Config
-	xlat  *vm.Translator
-	dram  *dram.DRAM
-	llc   *cache.Cache
-	l1s   []*cache.Cache
+	cfg Config
+	//conc:barrier-guarded one shared page table; consulted only in the serialized dispatch phase
+	xlat *vm.Translator
+	//conc:barrier-guarded the shared backstop; reached only from the serialized memory-side phase
+	dram *dram.DRAM
+	//conc:barrier-guarded the shared LLC; reached only from the serialized memory-side phase
+	llc *cache.Cache
+	//conc:core-local slice laid out once by New; element i is core i's private L1
+	l1s []*cache.Cache
+	//conc:core-local slice laid out once by New; element i is core i's frontend
 	cores []*cpu.Core
+	//conc:core-local slice laid out once by New; element i is core i's prefetcher
 	pfs   []prefetch.Prefetcher
 	clock uint64
 
@@ -42,7 +48,9 @@ type System struct {
 	// timeliness lands in every Results. tel, when attached via
 	// EnableTelemetry, additionally samples the epoch time-series; both
 	// are pure observers and never change simulated state.
-	lc  *telemetry.Lifecycle
+	//conc:barrier-guarded lifecycle probes fire only from the serialized memory-side phase
+	lc *telemetry.Lifecycle
+	//conc:barrier-guarded epoch sampling runs only at the clock-advance barrier
 	tel *telemetry.Collector
 
 	// Per-core in-flight prefetch completion times: the prefetch queue.
@@ -66,6 +74,7 @@ type System struct {
 	// RunResumable at a checkpoint-safe boundary (no core has ticked at
 	// the new cycle yet). Under the event engine advances jump, so a
 	// hook watching for a threshold must compare with >=, not ==.
+	//conc:barrier-guarded invoked only at the clock-advance barrier, never from core frontends
 	hook func(cycle uint64) bool
 
 	// engine selects the clock-advance strategy (see engine.go); queue
@@ -75,7 +84,8 @@ type System struct {
 	// only change when that core ticks, so the loop refreshes the entry
 	// at tick time and advanceClock just takes the min — the event
 	// engine's poll-on-state-change discipline.
-	engine      Engine
+	engine Engine
+	//conc:barrier-guarded the wakeup scheduler is consulted only at the clock-advance barrier
 	queue       *sched.Queue
 	engineStats EngineStats
 	coreNext    []uint64
@@ -160,9 +170,11 @@ func New(cfg Config, sources []trace.Source, factory prefetch.Factory) (*System,
 
 // l1Port wraps a core's private L1 with its prefetcher (AttachL1 mode).
 type l1Port struct {
+	//conc:core-local a port serves exactly one core's demand stream
 	sys  *System
 	core int
-	l1   *cache.Cache
+	//conc:core-local points at the owning core's private L1
+	l1 *cache.Cache
 }
 
 // Access implements cache.Level.
@@ -205,6 +217,7 @@ func MustNew(cfg Config, sources []trace.Source, factory prefetch.Factory) *Syst
 // metadata sharing). When a factory hands the same instance to several
 // cores (the shared-metadata ablation), the instance is notified once.
 type evictionBroadcast struct {
+	//conc:barrier-guarded LLC evictions fan out only during the serialized memory-side phase
 	pfs []prefetch.Prefetcher
 }
 
@@ -228,6 +241,7 @@ func (b evictionBroadcast) OnEviction(addr mem.Addr) {
 // predictions issued back into the LLC immediately (prefetch directly
 // into the LLC, no prefetch buffer — paper §V-B).
 type llcPort struct {
+	//conc:barrier-guarded L1 misses reach the shared LLC only in the serialized memory-side phase
 	sys *System
 }
 

@@ -17,12 +17,18 @@ type Collector struct {
 
 	// Workload and Prefetcher label exported artifacts; they never
 	// influence collection.
-	Workload   string
+	//ckpt:skip export label, re-set by the harness; never influences collection
+	Workload string
+	//ckpt:skip export label, re-set by the harness; never influences collection
 	Prefetcher string
 
-	reg      *Registry
-	lc       *Lifecycle
-	margins  *Histogram
+	reg *Registry
+	//ckpt:skip wiring, re-attached by Begin before restore
+	//conc:barrier-guarded lifecycle counters are read only at epoch boundaries, between core phases
+	lc *Lifecycle
+	//ckpt:skip distribution sketch, observational only; Results never read it back
+	margins *Histogram
+	//ckpt:skip distribution sketch, observational only; Results never read it back
 	lateness *Histogram
 
 	begun      bool

@@ -22,8 +22,9 @@ import (
 // indirects through this pointer; starting a new debug server swaps the
 // target.
 var (
-	debugReg     atomic.Pointer[Registry]
-	expvarOnce   sync.Once
+	debugReg   atomic.Pointer[Registry]
+	expvarOnce sync.Once
+	//conc:immutable assigned once at package init; only ever called through expvarOnce
 	expvarInstal = func() {
 		expvar.Publish("telemetry", expvar.Func(func() any {
 			if r := debugReg.Load(); r != nil {
@@ -40,7 +41,8 @@ type DebugServer struct {
 	Addr string
 
 	srv *http.Server
-	ln  net.Listener
+	//conc:immutable set once by StartDebugServer; the listener is internally synchronized
+	ln net.Listener
 }
 
 // StartDebugServer serves /debug/pprof/*, /debug/vars (expvar, with the

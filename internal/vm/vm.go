@@ -20,13 +20,20 @@ const DefaultPageSize = 4096
 // assignment. It is not safe for concurrent use; the simulator translates
 // from the single simulation goroutine.
 type Translator struct {
+	//ckpt:skip derived from the page size re-supplied to NewTranslator
 	pageShift uint
-	pageMask  uint64
-	mapping   map[uint64]uint64 // virtual page -> physical frame
-	freeList  []uint64          // shuffled physical frame numbers
-	nextFree  int
-	rng       *rand.Rand
-	frames    uint64
+	//ckpt:skip derived from the page size re-supplied to NewTranslator
+	pageMask uint64
+	//conc:barrier-guarded one shared page table; cores translate only in the serialized dispatch phase
+	mapping map[uint64]uint64 // virtual page -> physical frame
+	//ckpt:skip rebuilt by replaying the persisted refill count against the seeded RNG
+	freeList []uint64 // shuffled physical frame numbers
+	nextFree int
+	//ckpt:skip repositioned by replaying refills from the constructor seed
+	//conc:barrier-guarded drawn from only in the serialized dispatch phase alongside mapping
+	rng *rand.Rand
+	//ckpt:skip construction parameter, re-supplied to NewTranslator
+	frames uint64
 	// refills counts refillFreeList calls. The RNG stream is deterministic
 	// from the constructor seed, so a checkpoint stores only this cursor
 	// and restore replays the refills to rebuild the identical free list
