@@ -4,7 +4,7 @@ GO ?= go
 # exceeded so future PRs notice a regression.
 LINT_BUDGET_SECONDS ?= 60
 
-.PHONY: all build test short race race-harness vet lint simlint bench bench-runner bench-checkpoint bench-telemetry bench-eventloop san-test san-suite fuzz
+.PHONY: all build test short race race-harness vet lint simlint bench bench-runner bench-checkpoint bench-telemetry bench-eventloop bench-lint san-test san-suite fuzz
 
 all: build lint test
 
@@ -32,11 +32,14 @@ vet:
 
 # simlint is the project-specific invariant suite (determinism,
 # address-unit safety, concurrency contracts, checkpoint completeness,
-# sanitizer gating, parameter hygiene); see README.md "Static analysis &
-# invariants". The flag also reports //lint: directives that no longer
-# suppress anything, so stale suppressions cannot accumulate.
+# sanitizer gating, parameter hygiene, hot-path allocation discipline,
+# telemetry purity, lock ordering); see README.md "Static analysis &
+# invariants". -unused-suppressions reports //lint: directives that no
+# longer suppress anything, so stale suppressions cannot accumulate;
+# -factcache makes repeat runs incremental (unchanged packages replay
+# from .lintcache, which is gitignored).
 simlint:
-	$(GO) run ./cmd/simlint -unused-suppressions ./...
+	$(GO) run ./cmd/simlint -unused-suppressions -factcache .lintcache ./...
 
 # lint runs every static gate: go vet, simlint, and — when installed —
 # staticcheck and govulncheck (the repo carries no dependency on either;
@@ -47,8 +50,8 @@ lint:
 	set -e; \
 	echo ">> go vet ./..."; \
 	$(GO) vet ./...; \
-	echo ">> simlint -unused-suppressions ./..."; \
-	$(GO) run ./cmd/simlint -unused-suppressions ./...; \
+	echo ">> simlint -unused-suppressions -factcache .lintcache ./..."; \
+	$(GO) run ./cmd/simlint -unused-suppressions -factcache .lintcache ./...; \
 	if command -v staticcheck >/dev/null 2>&1; then \
 		echo ">> staticcheck ./..."; staticcheck ./...; \
 	else echo ">> staticcheck not installed; skipping"; fi; \
@@ -86,6 +89,7 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzAddrHelpers -fuzztime $(FUZZ_TIME) ./internal/mem/
 	$(GO) test -run '^$$' -fuzz FuzzRegionGeometry -fuzztime $(FUZZ_TIME) ./internal/mem/
 	$(GO) test -run '^$$' -fuzz FuzzCheckpointReader -fuzztime $(FUZZ_TIME) ./internal/checkpoint/
+	$(GO) test -run '^$$' -fuzz FuzzDirectiveParser -fuzztime $(FUZZ_TIME) ./internal/lint/analysis/
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -111,3 +115,9 @@ bench-telemetry:
 # results and >=2x speedup on at least one memory-bound family.
 bench-eventloop:
 	BENCH_EVENTLOOP_JSON=$(CURDIR)/BENCH_eventloop.json $(GO) test -run TestEmitEventloopBench -v ./internal/harness/
+
+# Regenerates BENCH_lint.json: full simlint suite wall time cold vs warm
+# (fact-cache replay) plus the process's peak RSS, against the 60s CI
+# budget.
+bench-lint:
+	BENCH_LINT_JSON=$(CURDIR)/BENCH_lint.json $(GO) test -run TestEmitLintBench -v -timeout 300s ./internal/lint/

@@ -482,7 +482,7 @@ func (c *Cache) NextEventAt(now uint64) uint64 {
 
 // evPush adds an arrival cycle to the in-flight min-heap.
 func (c *Cache) evPush(at uint64) {
-	c.inflight = append(c.inflight, at)
+	c.inflight = append(c.inflight, at) //hot:alloc in-flight heap grows to steady-state capacity, then reuses
 	i := len(c.inflight) - 1
 	for i > 0 {
 		parent := (i - 1) / 2

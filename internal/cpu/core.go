@@ -246,7 +246,7 @@ func (c *Core) dispatch(now uint64) {
 		} else {
 			c.lastLoadDone = res.CompleteAt
 		}
-		c.outstanding = append(c.outstanding, res.CompleteAt)
+		c.outstanding = append(c.outstanding, res.CompleteAt) //hot:alloc outstanding grows to LSQSize, then reuses
 		c.push(robEntry{completeAt: complete, isMem: true})
 		c.curValid = false
 	}
@@ -278,7 +278,7 @@ func (c *Core) lsqReserve(now uint64) bool {
 	live := c.outstanding[:0]
 	for _, t := range c.outstanding {
 		if t > now {
-			live = append(live, t)
+			live = append(live, t) //hot:alloc append into outstanding[:0] reuses capacity, never grows
 		}
 	}
 	c.outstanding = live

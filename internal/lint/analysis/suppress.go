@@ -55,23 +55,13 @@ func collectDirectives(pkg *Package) []*Directive {
 }
 
 func parseDirective(pkg *Package, c *ast.Comment) []*Directive {
-	text, ok := strings.CutPrefix(c.Text, "//lint:")
+	names, reason, fileWide, ok := ParseSuppression(c.Text)
 	if !ok {
 		return nil
 	}
-	fields := strings.Fields(text)
-	// fields[0] is the directive, fields[1] the analyzer list; a reason
-	// (≥1 further field) is required for the directive to take effect.
-	if len(fields) < 3 {
-		return nil
-	}
-	if fields[0] != "ignore" && fields[0] != "file-ignore" {
-		return nil
-	}
 	pos := pkg.Fset.Position(c.Pos())
-	reason := strings.Join(fields[2:], " ")
 	var dirs []*Directive
-	for _, name := range strings.Split(fields[1], ",") {
+	for _, name := range names {
 		dirs = append(dirs, &Directive{
 			Pos:      c.Pos(),
 			File:     pos.Filename,
@@ -79,10 +69,33 @@ func parseDirective(pkg *Package, c *ast.Comment) []*Directive {
 			Col:      pos.Column,
 			Analyzer: name,
 			Reason:   reason,
-			FileWide: fields[0] == "file-ignore",
+			FileWide: fileWide,
 		})
 	}
 	return dirs
+}
+
+// ParseSuppression parses a //lint:ignore or //lint:file-ignore comment
+// into its analyzer names and mandatory reason. It is the position-free
+// core of directive parsing, split out so the fuzz target can drive it
+// directly; ok is false for comments that are not well-formed
+// suppressions (which the driver then silently ignores — an unknown verb
+// or missing reason never suppresses anything).
+func ParseSuppression(text string) (analyzers []string, reason string, fileWide bool, ok bool) {
+	m, ok := ParseMarker(text)
+	if !ok || m.Domain != "lint" {
+		return nil, "", false, false
+	}
+	if m.Verb != "ignore" && m.Verb != "file-ignore" {
+		return nil, "", false, false
+	}
+	// The argument is the analyzer list followed by the reason; a reason
+	// is required for the directive to take effect.
+	fields := strings.Fields(m.Arg)
+	if len(fields) < 2 {
+		return nil, "", false, false
+	}
+	return strings.Split(fields[0], ","), strings.Join(fields[1:], " "), m.Verb == "file-ignore", true
 }
 
 // markSuppressed sets the Suppressed flag on every diagnostic a directive

@@ -1,0 +1,133 @@
+package lint_test
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"bingo/internal/lint"
+	"bingo/internal/lint/analysis"
+)
+
+// lintBench is the schema of BENCH_lint.json: wall time of the full
+// suite cold (empty fact cache) and warm (every package replayed), plus
+// the process's peak resident set — the suite holds the whole module
+// type-checked in memory at once, so RSS is the number that limits
+// where it can run.
+type lintBench struct {
+	GoVersion      string  `json:"go_version"`
+	Analyzers      int     `json:"analyzers"`
+	Packages       int     `json:"packages_cached"`
+	ColdSeconds    float64 `json:"cold_seconds"`
+	WarmSeconds    float64 `json:"warm_seconds"`
+	WarmSpeedup    float64 `json:"warm_speedup"`
+	PeakRSSMBytes  float64 `json:"peak_rss_mbytes"`
+	Findings       int     `json:"findings"`
+	BudgetSeconds  float64 `json:"budget_seconds"`
+	WithinBudget   bool    `json:"within_budget"`
+	MeasuredAtNote string  `json:"note"`
+}
+
+// TestEmitLintBench times the full invariant suite over the whole module
+// — cold, then warm through the fact cache — and writes BENCH_lint.json
+// to the path in BENCH_LINT_JSON. It is a generator, not a test: without
+// the variable it skips. Run it via `make bench-lint`.
+func TestEmitLintBench(t *testing.T) {
+	path := os.Getenv("BENCH_LINT_JSON")
+	if path == "" {
+		t.Skip("set BENCH_LINT_JSON=<path> to emit the lint suite benchmark")
+	}
+	root, err := analysis.FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cacheDir := t.TempDir()
+	opts := lint.Options{
+		Tests:              true,
+		San:                true,
+		UnusedSuppressions: true,
+		FactCache:          cacheDir,
+	}
+
+	run := func() (time.Duration, int) {
+		start := time.Now()
+		n, err := lint.Check(io.Discard, root, []string{"./..."}, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return time.Since(start), n
+	}
+	coldDur, coldFindings := run()
+	warmDur, warmFindings := run()
+	if coldFindings != warmFindings {
+		t.Errorf("cold run found %d finding(s), warm run %d — the cache changed the answer", coldFindings, warmFindings)
+	}
+
+	entries, err := os.ReadDir(cacheDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached := 0
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".gob") {
+			cached++
+		}
+	}
+
+	const budget = 60.0
+	doc := lintBench{
+		GoVersion:      runtime.Version(),
+		Analyzers:      len(lint.Suite()),
+		Packages:       cached,
+		ColdSeconds:    coldDur.Seconds(),
+		WarmSeconds:    warmDur.Seconds(),
+		WarmSpeedup:    coldDur.Seconds() / warmDur.Seconds(),
+		PeakRSSMBytes:  peakRSSMBytes(t),
+		Findings:       coldFindings,
+		BudgetSeconds:  budget,
+		WithinBudget:   coldDur.Seconds() <= budget,
+		MeasuredAtNote: "cold = empty fact cache, full ./... with -tests -san -unused-suppressions; warm = same run replayed from cache; RSS = VmHWM of the test process after both runs",
+	}
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s: cold=%s warm=%s (%.0fx) rss=%.0fMB findings=%d",
+		path, coldDur, warmDur, doc.WarmSpeedup, doc.PeakRSSMBytes, coldFindings)
+}
+
+// peakRSSMBytes reads the process's high-water resident set from
+// /proc/self/status (VmHWM). On platforms without procfs it returns 0 —
+// the field is informative, not load-bearing.
+func peakRSSMBytes(t *testing.T) float64 {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join("/proc", "self", "status"))
+	if err != nil {
+		return 0
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		rest, ok := strings.CutPrefix(line, "VmHWM:")
+		if !ok {
+			continue
+		}
+		fields := strings.Fields(rest)
+		if len(fields) < 1 {
+			return 0
+		}
+		kb, err := strconv.ParseFloat(fields[0], 64)
+		if err != nil {
+			return 0
+		}
+		return kb / 1024
+	}
+	return 0
+}

@@ -1,0 +1,605 @@
+package effects
+
+import (
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"bingo/internal/lint/analysis"
+)
+
+// World assembles the effect summaries of the package under analysis and
+// its whole module-local import closure into one queryable call graph.
+// Construction is cheap relative to analysis (map merges over facts the
+// runner already decoded), so each consuming analyzer builds its own.
+type World struct {
+	pass    *analysis.Pass
+	Funcs   map[string]*FuncEffects
+	escapes map[string][]string       // canonical signature → escaping function keys
+	typePkg map[string]*types.Package // full import closure, by path
+	module  []*types.Package          // module-local closure, current package included
+
+	chaMemo  map[string][]string
+	lockMemo map[string]map[string]bool
+	lockIn   map[string]bool
+	blockIn  map[string]bool
+	blockSet map[string]string
+	netMemo  map[string]*LockNet
+	netIn    map[string]bool
+}
+
+// NewWorld gathers the PkgEffects facts visible to pass (its own live
+// fact plus every module-local dependency's serialized one) into a
+// World. The consuming analyzer must list Facts in Requires.
+func NewWorld(pass *analysis.Pass) *World {
+	w := &World{
+		pass:     pass,
+		Funcs:    map[string]*FuncEffects{},
+		escapes:  map[string][]string{},
+		typePkg:  map[string]*types.Package{},
+		chaMemo:  map[string][]string{},
+		lockMemo: map[string]map[string]bool{},
+		lockIn:   map[string]bool{},
+		blockIn:  map[string]bool{},
+		blockSet: map[string]string{},
+		netMemo:  map[string]*LockNet{},
+		netIn:    map[string]bool{},
+	}
+	seen := map[*types.Package]bool{}
+	var visit func(p *types.Package)
+	visit = func(p *types.Package) {
+		if seen[p] {
+			return
+		}
+		seen[p] = true
+		w.typePkg[p.Path()] = p
+		if moduleLocal(p.Path()) {
+			w.module = append(w.module, p)
+			var pe PkgEffects
+			if pass.ImportPackageFact(p, &pe) {
+				for key, fe := range pe.Funcs {
+					w.Funcs[key] = fe
+				}
+				for _, ref := range pe.Escapes {
+					w.escapes[ref.Sig] = append(w.escapes[ref.Sig], ref.Key)
+				}
+			}
+		}
+		for _, imp := range p.Imports() {
+			visit(imp)
+		}
+	}
+	visit(pass.Pkg)
+	sort.Slice(w.module, func(i, j int) bool { return w.module[i].Path() < w.module[j].Path() })
+	for sig := range w.escapes {
+		keys := w.escapes[sig]
+		sort.Strings(keys)
+		w.escapes[sig] = dedupeSorted(keys)
+	}
+	return w
+}
+
+func dedupeSorted(keys []string) []string {
+	out := keys[:0]
+	for i, k := range keys {
+		if i == 0 || keys[i-1] != k {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// SortedKeys returns the keys of every summary in the world, sorted, for
+// deterministic iteration.
+func (w *World) SortedKeys() []string {
+	keys := make([]string, 0, len(w.Funcs))
+	for k := range w.Funcs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// DynTargets resolves a dynamic event to the summary keys it may invoke.
+// Interface calls resolve by class-hierarchy analysis: every
+// package-scope named type in the module-local closure that implements
+// the interface contributes its method. Function-value calls resolve
+// flow-insensitively against the escaping references of matching
+// canonical signature.
+func (w *World) DynTargets(ev *Event) []string {
+	switch ev.Kind {
+	case EvDynFunc:
+		return w.escapes[ev.Sig]
+	case EvSpawn:
+		if ev.Key == "" && ev.Sig != "" {
+			return w.escapes[ev.Sig]
+		}
+		return nil
+	case EvDynCall:
+		memo := ev.Key + "#" + ev.Method
+		if t, ok := w.chaMemo[memo]; ok {
+			return t
+		}
+		var targets []string
+		dot := strings.LastIndexByte(ev.Key, '.')
+		if dot > 0 {
+			if p := w.typePkg[ev.Key[:dot]]; p != nil {
+				if tn, ok := p.Scope().Lookup(ev.Key[dot+1:]).(*types.TypeName); ok {
+					if iface, ok := tn.Type().Underlying().(*types.Interface); ok {
+						targets = w.implementors(iface, ev.Method)
+					}
+				}
+			}
+		}
+		w.chaMemo[memo] = targets
+		return targets
+	}
+	return nil
+}
+
+func (w *World) implementors(iface *types.Interface, method string) []string {
+	var out []string
+	for _, p := range w.module {
+		scope := p.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			named, ok := tn.Type().(*types.Named)
+			if !ok {
+				continue
+			}
+			if _, isIface := named.Underlying().(*types.Interface); isIface {
+				continue
+			}
+			if !types.Implements(types.NewPointer(named), iface) {
+				continue
+			}
+			key := p.Path() + "." + name + "." + method
+			if w.Funcs[key] != nil {
+				out = append(out, key)
+			}
+		}
+	}
+	return out
+}
+
+// Edges invokes fn for every outgoing call edge of fe — static calls,
+// spawns, and every resolved dynamic target — across the trace, its
+// branch alternatives, and the deferred events.
+func (w *World) Edges(fe *FuncEffects, fn func(ev *Event, target string)) {
+	var walk func(evs []Event)
+	walk = func(evs []Event) {
+		for i := range evs {
+			ev := &evs[i]
+			switch ev.Kind {
+			case EvCall:
+				fn(ev, ev.Key)
+			case EvSpawn:
+				if ev.Key != "" {
+					fn(ev, ev.Key)
+				} else {
+					for _, t := range w.DynTargets(ev) {
+						fn(ev, t)
+					}
+				}
+			case EvDynCall, EvDynFunc:
+				for _, t := range w.DynTargets(ev) {
+					fn(ev, t)
+				}
+			case EvBranch:
+				for _, alt := range ev.Alts {
+					walk(alt)
+				}
+			}
+		}
+	}
+	walk(fe.Trace)
+	walk(fe.Deferred)
+}
+
+// Walk traverses the call graph from root. descend sees every reachable
+// summary (root first) and returns whether to follow its edges.
+func (w *World) Walk(root string, descend func(fe *FuncEffects) bool) {
+	seen := map[string]bool{}
+	var visit func(key string)
+	visit = func(key string) {
+		if seen[key] {
+			return
+		}
+		seen[key] = true
+		fe := w.Funcs[key]
+		if fe == nil || !descend(fe) {
+			return
+		}
+		w.Edges(fe, func(_ *Event, target string) { visit(target) })
+	}
+	visit(root)
+}
+
+// Lockset returns every lock key acquired anywhere in key's transitive
+// call graph (spawned goroutines excluded: their acquisitions happen on
+// another stack).
+func (w *World) Lockset(key string) map[string]bool {
+	if ls, ok := w.lockMemo[key]; ok {
+		return ls
+	}
+	if w.lockIn[key] {
+		return nil // recursion: the outer frame owns the answer
+	}
+	w.lockIn[key] = true
+	defer delete(w.lockIn, key)
+	ls := map[string]bool{}
+	fe := w.Funcs[key]
+	if fe == nil {
+		w.lockMemo[key] = ls
+		return ls
+	}
+	var walk func(evs []Event)
+	walk = func(evs []Event) {
+		for i := range evs {
+			ev := &evs[i]
+			switch ev.Kind {
+			case EvLock:
+				ls[ev.Key] = true
+			case EvCall:
+				for l := range w.Lockset(ev.Key) {
+					ls[l] = true
+				}
+			case EvDynCall, EvDynFunc:
+				for _, t := range w.DynTargets(ev) {
+					for l := range w.Lockset(t) {
+						ls[l] = true
+					}
+				}
+			case EvBranch:
+				for _, alt := range ev.Alts {
+					walk(alt)
+				}
+			}
+		}
+	}
+	walk(fe.Trace)
+	walk(fe.Deferred)
+	w.lockMemo[key] = ls
+	return ls
+}
+
+// Blocks returns a description of a channel or blocking operation inside
+// key's transitive call graph, or "". Path-insensitive across call
+// boundaries: a callee that releases the caller's lock before blocking
+// still reads as blocking (a documented over-approximation; suppress
+// with //lint:ignore locklint and a reason when the release is real).
+func (w *World) Blocks(key string) string {
+	if d, ok := w.blockSet[key]; ok {
+		return d
+	}
+	if w.blockIn[key] {
+		return ""
+	}
+	w.blockIn[key] = true
+	defer delete(w.blockIn, key)
+	d := ""
+	fe := w.Funcs[key]
+	if fe != nil {
+		var walk func(evs []Event)
+		walk = func(evs []Event) {
+			for i := range evs {
+				if d != "" {
+					return
+				}
+				ev := &evs[i]
+				switch ev.Kind {
+				case EvChan:
+					d = "channel " + ev.Key
+				case EvBlock:
+					d = ev.Key
+				case EvCall:
+					if inner := w.Blocks(ev.Key); inner != "" {
+						d = inner
+					}
+				case EvDynCall, EvDynFunc:
+					for _, t := range w.DynTargets(ev) {
+						if inner := w.Blocks(t); inner != "" {
+							d = inner
+							break
+						}
+					}
+				case EvBranch:
+					for _, alt := range ev.Alts {
+						walk(alt)
+					}
+				}
+			}
+		}
+		walk(fe.Trace)
+		walk(fe.Deferred)
+	}
+	w.blockSet[key] = d
+	return d
+}
+
+// LockEdge is one observed acquisition ordering: To was acquired while
+// From was held, at Pos (in the function of package Pkg whose
+// interpretation produced it).
+type LockEdge struct {
+	From, To string
+	Pkg      string
+	Pos      string
+	localPos token.Pos
+}
+
+// LocalPos returns the edge's live position when its owning function was
+// summarized in the current package, else token.NoPos.
+func (e *LockEdge) LocalPos() token.Pos { return e.localPos }
+
+// LockWarn is one channel or blocking operation performed while at
+// least one lock was held.
+type LockWarn struct {
+	Held     []string
+	What     string
+	Pkg      string
+	Pos      string
+	localPos token.Pos
+}
+
+// LocalPos returns the warning's live position, or token.NoPos.
+func (e *LockWarn) LocalPos() token.Pos { return e.localPos }
+
+// LockNet is the lock-relevant abstract of one function: the order edges
+// and held-while-blocking warnings its body produces from an empty held
+// set, and its net effect on a caller's held set (for lock/unlock
+// helper methods).
+type LockNet struct {
+	Edges    []LockEdge
+	Warns    []LockWarn
+	Acquired []string // held at exit on at least one path
+	Released []string // released without having been acquired here
+}
+
+// maxHeldStates bounds the branch-sensitive state exploration per
+// function; beyond it, alternatives collapse into one unioned held set.
+const maxHeldStates = 12
+
+// Interpret runs the lock interpreter over key's summary: branch
+// alternatives are explored separately, a path that returns applies the
+// deferred events and stops, and calls contribute their callee's
+// transitive lockset (as order edges), blocking behavior (as warnings),
+// and net held-set effect. Results are memoized per World.
+func (w *World) Interpret(key string) *LockNet {
+	if n, ok := w.netMemo[key]; ok {
+		return n
+	}
+	if w.netIn[key] {
+		return &LockNet{} // recursive cycle: fixed point of the empty net
+	}
+	w.netIn[key] = true
+	defer delete(w.netIn, key)
+
+	net := &LockNet{}
+	fe := w.Funcs[key]
+	if fe == nil {
+		w.netMemo[key] = net
+		return net
+	}
+	it := &lockInterp{w: w, fe: fe, net: net}
+	states := it.seq(fe.Trace, [][]string{{}})
+	for _, st := range states {
+		it.exit(st)
+	}
+	sort.Strings(net.Acquired)
+	net.Acquired = dedupeSorted(net.Acquired)
+	sort.Strings(net.Released)
+	net.Released = dedupeSorted(net.Released)
+	w.netMemo[key] = net
+	return net
+}
+
+type lockInterp struct {
+	w   *World
+	fe  *FuncEffects
+	net *LockNet
+}
+
+func (it *lockInterp) edge(from, to string, ev *Event) {
+	it.net.Edges = append(it.net.Edges, LockEdge{
+		From: from, To: to, Pkg: it.fe.Pkg, Pos: ev.Pos, localPos: ev.localPos,
+	})
+}
+
+func (it *lockInterp) warn(held []string, what string, ev *Event) {
+	it.net.Warns = append(it.net.Warns, LockWarn{
+		Held: append([]string(nil), held...), What: what,
+		Pkg: it.fe.Pkg, Pos: ev.Pos, localPos: ev.localPos,
+	})
+}
+
+// exit records one path's held set at function exit, after its deferred
+// events ran.
+func (it *lockInterp) exit(held []string) {
+	for _, st := range it.seq(it.fe.Deferred, [][]string{held}) {
+		it.net.Acquired = append(it.net.Acquired, st...)
+	}
+}
+
+func (it *lockInterp) seq(evs []Event, states [][]string) [][]string {
+	for i := range evs {
+		states = it.step(&evs[i], states)
+		if len(states) == 0 {
+			return nil // every path returned
+		}
+	}
+	return states
+}
+
+func (it *lockInterp) step(ev *Event, states [][]string) [][]string {
+	switch ev.Kind {
+	case EvLock:
+		for i, held := range states {
+			for _, h := range held {
+				it.edge(h, ev.Key, ev)
+			}
+			if !contains(held, ev.Key) {
+				states[i] = append(held, ev.Key)
+			}
+		}
+	case EvUnlock:
+		for i, held := range states {
+			if contains(held, ev.Key) {
+				states[i] = remove(held, ev.Key)
+			} else {
+				it.net.Released = append(it.net.Released, ev.Key)
+			}
+		}
+	case EvChan, EvBlock:
+		what := ev.Key
+		if ev.Kind == EvChan {
+			what = "channel " + ev.Key
+		}
+		for _, held := range states {
+			if len(held) > 0 {
+				it.warn(held, what, ev)
+				break // one warning per site, not per explored path
+			}
+		}
+	case EvCall:
+		states = it.call(ev, ev.Key, states, true)
+	case EvDynCall, EvDynFunc:
+		for _, t := range it.w.DynTargets(ev) {
+			// Dynamic targets contribute edges and warnings but not net
+			// held-set effects: the targets need not agree on one.
+			states = it.call(ev, t, states, false)
+		}
+	case EvSpawn:
+		// A fresh goroutine starts with an empty held set; its own
+		// interpretation covers its body.
+	case EvReturn:
+		for _, held := range states {
+			it.exit(held)
+		}
+		return nil
+	case EvBranch:
+		var next [][]string
+		for _, alt := range ev.Alts {
+			branch := make([][]string, len(states))
+			for i, held := range states {
+				branch[i] = append([]string(nil), held...)
+			}
+			next = append(next, it.seq(alt, branch)...)
+		}
+		return mergeStates(next)
+	}
+	return states
+}
+
+// call applies one resolved call edge to the held states: order edges to
+// everything the callee's graph acquires, a warning if it can block, and
+// (for static calls) the callee's net lock effect.
+func (it *lockInterp) call(ev *Event, target string, states [][]string, net bool) [][]string {
+	anyHeld := false
+	for _, held := range states {
+		if len(held) > 0 {
+			anyHeld = true
+			break
+		}
+	}
+	if anyHeld {
+		ls := it.w.Lockset(target)
+		if len(ls) > 0 {
+			acq := make([]string, 0, len(ls))
+			for l := range ls {
+				acq = append(acq, l)
+			}
+			sort.Strings(acq)
+			seenPairs := map[string]bool{}
+			for _, held := range states {
+				for _, h := range held {
+					for _, l := range acq {
+						if !seenPairs[h+"\x00"+l] {
+							seenPairs[h+"\x00"+l] = true
+							it.edge(h, l, ev)
+						}
+					}
+				}
+			}
+		}
+		if d := it.w.Blocks(target); d != "" {
+			for _, held := range states {
+				if len(held) > 0 {
+					it.warn(held, d+" inside "+target, ev)
+					break
+				}
+			}
+		}
+	}
+	if !net {
+		return states
+	}
+	n := it.w.Interpret(target)
+	if len(n.Acquired) == 0 && len(n.Released) == 0 {
+		return states
+	}
+	for i, held := range states {
+		for _, r := range n.Released {
+			if contains(held, r) {
+				held = remove(held, r)
+			}
+		}
+		for _, a := range n.Acquired {
+			if !contains(held, a) {
+				held = append(held, a)
+			}
+		}
+		states[i] = held
+	}
+	return states
+}
+
+func contains(held []string, k string) bool {
+	for _, h := range held {
+		if h == k {
+			return true
+		}
+	}
+	return false
+}
+
+func remove(held []string, k string) []string {
+	out := make([]string, 0, len(held))
+	for _, h := range held {
+		if h != k {
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
+// mergeStates dedupes identical held sets and, past maxHeldStates,
+// collapses everything into one union set to bound the exploration.
+func mergeStates(states [][]string) [][]string {
+	seen := map[string]bool{}
+	out := states[:0]
+	for _, held := range states {
+		k := strings.Join(held, "\x00")
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, held)
+		}
+	}
+	if len(out) <= maxHeldStates {
+		return out
+	}
+	union := map[string]bool{}
+	var merged []string
+	for _, held := range out {
+		for _, h := range held {
+			if !union[h] {
+				union[h] = true
+				merged = append(merged, h)
+			}
+		}
+	}
+	return [][]string{merged}
+}

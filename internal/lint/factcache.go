@@ -1,0 +1,372 @@
+package lint
+
+import (
+	"crypto/sha256"
+	"encoding/gob"
+	"encoding/hex"
+	"fmt"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+
+	"bingo/internal/lint/analysis"
+)
+
+// The fact cache makes repeated simlint runs incremental: each package's
+// analysis output — resolved findings, suppression directives, and the
+// gob-encoded facts its analyzers exported — is persisted keyed by a
+// content hash of everything that could change that output. On a later
+// run, a package whose key is unchanged is not re-analyzed: its facts
+// are seeded into the runner (so dependents still see them) and its
+// findings replayed verbatim.
+//
+// The key covers, transitively: the package's own source (test files
+// included, since test units are analyzed too), the source of every
+// module-local package reachable through its imports (cross-package
+// analyzers like hotlint and locklint read the whole closure's facts),
+// the build tags and tests flag of the run, the analyzer roster, the
+// running Go version, and a hash of the lint suite's own source tree —
+// editing an analyzer invalidates everything it ever produced. What the
+// key does NOT cover is packages reachable only as *importers* of this
+// one; no analyzer's findings for a package depend on its dependents,
+// so those edges are deliberately left out of the hash.
+//
+// Entries are one file per (package, tag set), self-replacing: a stale
+// entry is overwritten by the fresh result, so the cache directory never
+// grows beyond one entry per package per configuration.
+
+// cacheEntry is the persisted analysis output of one package unit set
+// (the package plus, when enabled, its test units).
+type cacheEntry struct {
+	// Key is the content key the entry was stored under; a lookup whose
+	// recomputed key differs treats the entry as a miss.
+	Key string
+	// Findings are the package's resolved findings, module-relative.
+	Findings []Finding
+	// Directives are the suppression directives seen in the package's
+	// units, with usage marks, module-relative.
+	Directives []cachedDirective
+	// Facts maps analyzer name to the encoded fact blob the analyzer
+	// exported for this package.
+	Facts map[string][]byte
+}
+
+// cachedDirective is analysis.Directive flattened for storage: no
+// token.Pos (meaningless across runs), file path module-relative.
+type cachedDirective struct {
+	File     string
+	Line     int
+	Col      int
+	Analyzer string
+	Reason   string
+	FileWide bool
+	Used     bool
+}
+
+func toCachedDirectives(moduleRoot string, dirs []*analysis.Directive) []cachedDirective {
+	out := make([]cachedDirective, 0, len(dirs))
+	for _, d := range dirs {
+		out = append(out, cachedDirective{
+			File:     relPath(moduleRoot, d.File),
+			Line:     d.Line,
+			Col:      d.Col,
+			Analyzer: d.Analyzer,
+			Reason:   d.Reason,
+			FileWide: d.FileWide,
+			Used:     d.Used,
+		})
+	}
+	return out
+}
+
+func fromCachedDirectives(moduleRoot string, dirs []cachedDirective) []*analysis.Directive {
+	out := make([]*analysis.Directive, 0, len(dirs))
+	for _, d := range dirs {
+		out = append(out, &analysis.Directive{
+			File:     filepath.Join(moduleRoot, filepath.FromSlash(d.File)),
+			Line:     d.Line,
+			Col:      d.Col,
+			Analyzer: d.Analyzer,
+			Reason:   d.Reason,
+			FileWide: d.FileWide,
+			Used:     d.Used,
+		})
+	}
+	return out
+}
+
+// factCache computes content keys and loads/stores entries for one run
+// configuration (module, tag set, tests flag, analyzer roster).
+type factCache struct {
+	dir        string
+	moduleRoot string
+	modulePath string
+	suffix     string // per-configuration entry-file suffix (tag set)
+
+	salt    []byte            // configuration hash mixed into every key
+	own     map[string][]byte // import path → own-source hash
+	imports map[string][]string
+	keys    map[string]string
+}
+
+// newFactCache opens (creating if needed) the cache directory and
+// precomputes the configuration salt.
+func newFactCache(dir, moduleRoot, modulePath string, tags []string, tests bool, analyzers []*analysis.Analyzer) (*factCache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("factcache: %w", err)
+	}
+	h := sha256.New()
+	fmt.Fprintf(h, "go=%s\ntags=%s\ntests=%v\n", runtime.Version(), strings.Join(tags, ","), tests)
+	for _, a := range analyzers {
+		fmt.Fprintf(h, "analyzer=%s\n", a.Name)
+	}
+	if err := hashTree(h, filepath.Join(moduleRoot, "internal/lint")); err != nil {
+		return nil, fmt.Errorf("factcache: hashing lint suite: %w", err)
+	}
+	suffix := ""
+	if len(tags) > 0 {
+		suffix = "-" + strings.Join(tags, "-")
+	}
+	return &factCache{
+		dir:        dir,
+		moduleRoot: moduleRoot,
+		modulePath: modulePath,
+		suffix:     suffix,
+		salt:       h.Sum(nil),
+		own:        map[string][]byte{},
+		imports:    map[string][]string{},
+		keys:       map[string]string{},
+	}, nil
+}
+
+// hashTree mixes every .go file under root (recursively, skipping dot
+// and underscore entries) into h. A missing root contributes nothing:
+// the suite may be analyzed from a checkout without its own source (the
+// Go version and analyzer roster still salt the key).
+func hashTree(h interface{ Write([]byte) (int, error) }, root string) error {
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		name := d.Name()
+		if d.IsDir() {
+			if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(name, ".go") {
+			return nil
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(h, "file=%s len=%d\n", path, len(data))
+		_, _ = h.Write(data) // hash.Hash.Write never returns an error
+		return nil
+	})
+	if os.IsNotExist(err) {
+		return nil
+	}
+	return err
+}
+
+func (c *factCache) pkgDir(importPath string) (string, bool) {
+	if importPath == c.modulePath {
+		return c.moduleRoot, true
+	}
+	rest, ok := strings.CutPrefix(importPath, c.modulePath+"/")
+	if !ok {
+		return "", false
+	}
+	return filepath.Join(c.moduleRoot, filepath.FromSlash(rest)), true
+}
+
+// ownHash hashes a package's own .go source — test files included,
+// because test units are part of the cached output — plus the file
+// names, so renames invalidate.
+func (c *factCache) ownHash(importPath string) ([]byte, error) {
+	if sum, ok := c.own[importPath]; ok {
+		return sum, nil
+	}
+	dir, ok := c.pkgDir(importPath)
+	if !ok {
+		return nil, fmt.Errorf("factcache: %s is outside module %s", importPath, c.modulePath)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	h := sha256.New()
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(h, "file=%s len=%d\n", name, len(data))
+		_, _ = h.Write(data) // hash.Hash.Write never returns an error
+	}
+	sum := h.Sum(nil)
+	c.own[importPath] = sum
+	return sum, nil
+}
+
+// moduleImports lists importPath's module-local imports, across every
+// .go file in the directory (test files too: the external test unit's
+// imports feed analyzed units and so belong in the key). Parsed with
+// ImportsOnly against a throwaway FileSet — this never type-checks.
+func (c *factCache) moduleImports(importPath string) ([]string, error) {
+	if imps, ok := c.imports[importPath]; ok {
+		return imps, nil
+	}
+	dir, ok := c.pkgDir(importPath)
+	if !ok {
+		return nil, fmt.Errorf("factcache: %s is outside module %s", importPath, c.modulePath)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	seen := map[string]bool{}
+	var imps []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ImportsOnly)
+		if err != nil {
+			// Unparseable files fail analysis anyway; for keying purposes
+			// their content hash (ownHash) is what matters.
+			continue
+		}
+		for _, spec := range f.Imports {
+			p := strings.Trim(spec.Path.Value, `"`)
+			if p != c.modulePath && !strings.HasPrefix(p, c.modulePath+"/") {
+				continue
+			}
+			if p == importPath || seen[p] {
+				continue
+			}
+			seen[p] = true
+			imps = append(imps, p)
+		}
+	}
+	sort.Strings(imps)
+	c.imports[importPath] = imps
+	return imps, nil
+}
+
+// key computes importPath's content key: the configuration salt plus the
+// own-source hash of every package in its import closure (self
+// included). The closure walk tolerates cycles (external test units can
+// create them) by collecting a reachable set rather than recursing on
+// key values.
+func (c *factCache) key(importPath string) (string, error) {
+	if k, ok := c.keys[importPath]; ok {
+		return k, nil
+	}
+	reach := map[string]bool{}
+	var visit func(p string) error
+	visit = func(p string) error {
+		if reach[p] {
+			return nil
+		}
+		reach[p] = true
+		imps, err := c.moduleImports(p)
+		if err != nil {
+			return err
+		}
+		for _, imp := range imps {
+			if err := visit(imp); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := visit(importPath); err != nil {
+		return "", err
+	}
+	paths := make([]string, 0, len(reach))
+	for p := range reach {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	h := sha256.New()
+	_, _ = h.Write(c.salt) // hash.Hash.Write never returns an error
+	for _, p := range paths {
+		sum, err := c.ownHash(p)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(h, "pkg=%s\n", p)
+		_, _ = h.Write(sum) // hash.Hash.Write never returns an error
+	}
+	k := hex.EncodeToString(h.Sum(nil))
+	c.keys[importPath] = k
+	return k, nil
+}
+
+// entryPath maps an import path to its entry file: one file per package
+// per tag set, so fresh results replace stale ones in place.
+func (c *factCache) entryPath(importPath string) string {
+	return filepath.Join(c.dir, strings.ReplaceAll(importPath, "/", "_")+c.suffix+".gob")
+}
+
+// load returns the cached entry for importPath if one exists and its key
+// matches the package's current content key. Unreadable or undecodable
+// entries are silently misses — the store below replaces them.
+func (c *factCache) load(importPath string) (*cacheEntry, bool) {
+	k, err := c.key(importPath)
+	if err != nil {
+		return nil, false
+	}
+	f, err := os.Open(c.entryPath(importPath))
+	if err != nil {
+		return nil, false
+	}
+	defer func() { _ = f.Close() }() // read-only; a close error loses no data
+	var e cacheEntry
+	if err := gob.NewDecoder(f).Decode(&e); err != nil {
+		return nil, false
+	}
+	if e.Key != k {
+		return nil, false
+	}
+	return &e, true
+}
+
+// store persists entry under importPath's current content key, via a
+// temp file + rename so a crashed run never leaves a torn entry.
+func (c *factCache) store(importPath string, e *cacheEntry) error {
+	k, err := c.key(importPath)
+	if err != nil {
+		return err
+	}
+	e.Key = k
+	tmp, err := os.CreateTemp(c.dir, ".entry-*")
+	if err != nil {
+		return err
+	}
+	if err := gob.NewEncoder(tmp).Encode(e); err != nil {
+		_ = tmp.Close()           // already failing: the encode error wins
+		_ = os.Remove(tmp.Name()) // best-effort cleanup
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		_ = os.Remove(tmp.Name()) // best-effort cleanup
+		return err
+	}
+	return os.Rename(tmp.Name(), c.entryPath(importPath))
+}

@@ -1,0 +1,177 @@
+package lint
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"bingo/internal/lint/analysis"
+	"bingo/internal/lint/hotlint"
+)
+
+// writeTinyModule lays out a two-package module (a imports b) where
+// package a carries a malformed //hot: marker — a deterministic hotlint
+// finding that needs no annotation sweep to stay stable.
+func writeTinyModule(t *testing.T) string {
+	t.Helper()
+	root := t.TempDir()
+	files := map[string]string{
+		"go.mod": "module bingo\n\ngo 1.24\n",
+		"a/a.go": `package a
+
+import "bingo/b"
+
+//hot:bogus not a real verb
+func Use() int { return b.Answer() }
+`,
+		"b/b.go": `package b
+
+func Answer() int { return 42 }
+`,
+	}
+	for name, src := range files {
+		path := filepath.Join(root, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+func checkTiny(t *testing.T, root, cacheDir string) (string, int) {
+	t.Helper()
+	var buf bytes.Buffer
+	n, err := Check(&buf, root, []string{"./..."}, Options{
+		Analyzers: []*analysis.Analyzer{hotlint.Analyzer},
+		Tests:     true,
+		JSON:      true,
+		FactCache: cacheDir,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buf.String(), n
+}
+
+// TestFactCacheRoundTrip proves the three properties that make the cache
+// trustworthy: a warm run reproduces the cold run byte-for-byte, a hit
+// really is replayed from disk (a tampered entry surfaces in the
+// output), and editing a dependency invalidates its dependents.
+func TestFactCacheRoundTrip(t *testing.T) {
+	root := writeTinyModule(t)
+	cacheDir := filepath.Join(root, ".lintcache")
+
+	cold, n := checkTiny(t, root, cacheDir)
+	if n != 1 || !strings.Contains(cold, `unknown //hot: verb \"bogus\"`) {
+		t.Fatalf("cold run: %d finding(s), output:\n%s", n, cold)
+	}
+	warm, n2 := checkTiny(t, root, cacheDir)
+	if warm != cold || n2 != n {
+		t.Errorf("warm run diverged from cold run:\ncold: %s\nwarm: %s", cold, warm)
+	}
+
+	// Tamper with a's cached entry. If the warm run actually replays from
+	// disk, the planted finding shows up verbatim.
+	cache, err := newFactCache(cacheDir, root, "bingo", nil, true, []*analysis.Analyzer{hotlint.Analyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	entry, ok := cache.load("bingo/a")
+	if !ok {
+		t.Fatal("no cached entry for bingo/a after a cold run")
+	}
+	entry.Findings = append(entry.Findings, Finding{
+		File: "a/a.go", Line: 1, Col: 1, Analyzer: "hotlint", Message: "PLANTED",
+	})
+	if err := cache.store("bingo/a", entry); err != nil {
+		t.Fatal(err)
+	}
+	tampered, _ := checkTiny(t, root, cacheDir)
+	if !strings.Contains(tampered, "PLANTED") {
+		t.Errorf("tampered entry not replayed — the run did not hit the cache:\n%s", tampered)
+	}
+
+	// Editing b must invalidate both b and its dependent a: the planted
+	// finding disappears, b's new marker error appears.
+	bPath := filepath.Join(root, "b/b.go")
+	src, err := os.ReadFile(bPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edited := strings.Replace(string(src), "package b\n",
+		"package b\n\n//hot:nonsense edited dep\nvar _ = 0\n", 1)
+	if edited == string(src) {
+		t.Fatal("dependency edit did not apply")
+	}
+	if err := os.WriteFile(bPath, []byte(edited), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	after, n3 := checkTiny(t, root, cacheDir)
+	if strings.Contains(after, "PLANTED") {
+		t.Errorf("stale entry for bingo/a survived a dependency edit:\n%s", after)
+	}
+	if n3 != 2 || !strings.Contains(after, `unknown //hot: verb \"nonsense\"`) {
+		t.Errorf("edited dependency's finding missing (%d finding(s)):\n%s", n3, after)
+	}
+}
+
+// TestFactCacheSeedsFacts pins the cross-package half of the contract: a
+// dependent analyzed fresh must see the facts of a dependency replayed
+// from cache. The dependency's exported effects summaries are what let
+// hotlint trace a root in a into an allocation in b — if seeding broke,
+// the remote finding would silently vanish (fail-open), which is exactly
+// the regression this guards against.
+func TestFactCacheSeedsFacts(t *testing.T) {
+	root := t.TempDir()
+	files := map[string]string{
+		"go.mod": "module bingo\n\ngo 1.24\n",
+		"a/a.go": `package a
+
+import "bingo/b"
+
+type P struct{ xs []int }
+
+func (p *P) OnEviction(addr uint64) { p.xs = b.Grow(p.xs) }
+`,
+		"b/b.go": `package b
+
+func Grow(xs []int) []int { return append(xs, 1) }
+`,
+	}
+	for name, src := range files {
+		path := filepath.Join(root, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cacheDir := filepath.Join(root, ".lintcache")
+
+	cold, n := checkTiny(t, root, cacheDir)
+	if n != 1 || !strings.Contains(cold, "reaches append growth") {
+		t.Fatalf("cold run must trace a's hot root into b's append (%d finding(s)):\n%s", n, cold)
+	}
+
+	// Invalidate a only (b's entry stays warm), then re-run: a re-analyzes
+	// and must import b's summaries from the seeded cache entry.
+	aPath := filepath.Join(root, "a/a.go")
+	src, err := os.ReadFile(aPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edited := string(src) + "\nvar _ = 0 // touch a without changing b\n"
+	if err := os.WriteFile(aPath, []byte(edited), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	after, n2 := checkTiny(t, root, cacheDir)
+	if n2 != 1 || !strings.Contains(after, "reaches append growth") {
+		t.Errorf("remote finding lost after dependent-only edit — cached facts not seeded (%d finding(s)):\n%s", n2, after)
+	}
+}

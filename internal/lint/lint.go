@@ -11,13 +11,17 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"path/filepath"
 	"sort"
 
 	"bingo/internal/lint/analysis"
 	"bingo/internal/lint/contractlint"
 	"bingo/internal/lint/detlint"
 	"bingo/internal/lint/errlint"
+	"bingo/internal/lint/hotlint"
+	"bingo/internal/lint/locklint"
 	"bingo/internal/lint/paramlint"
+	"bingo/internal/lint/purelint"
 	"bingo/internal/lint/sanlint"
 	"bingo/internal/lint/sharelint"
 	"bingo/internal/lint/statelint"
@@ -25,14 +29,18 @@ import (
 )
 
 // Suite returns the full analyzer suite in stable (alphabetical) order.
-// Fact-producing prerequisites (sharelint's lock facts) are not listed —
-// the scheduler pulls them in through Requires.
+// Fact-producing prerequisites (sharelint's lock facts, the effects
+// summaries) are not listed — the scheduler pulls them in through
+// Requires.
 func Suite() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		contractlint.Analyzer,
 		detlint.Analyzer,
 		errlint.Analyzer,
+		hotlint.Analyzer,
+		locklint.Analyzer,
 		paramlint.Analyzer,
+		purelint.Analyzer,
 		sanlint.Analyzer,
 		sharelint.Analyzer,
 		statelint.Analyzer,
@@ -60,6 +68,17 @@ type Options struct {
 	// directives (for analyzers in this run) that no longer suppress any
 	// finding; they count as findings.
 	UnusedSuppressions bool
+	// SARIF switches the output to a SARIF 2.1.0 log for code-scanning
+	// upload. Like JSON, it includes suppressed findings (carried as
+	// inSource suppressions). Takes precedence over JSON.
+	SARIF bool
+	// FactCache names a directory for persisting per-package analysis
+	// results (findings, directives, exported facts) keyed by a content
+	// hash of the package's import closure and the run configuration.
+	// Packages whose key is unchanged are replayed, not re-analyzed.
+	// Empty disables caching. Designed for whole-module runs: packages
+	// analyzed only as dependencies of a narrow pattern are not cached.
+	FactCache string
 }
 
 // Finding is one diagnostic with its position resolved, as emitted in
@@ -84,12 +103,12 @@ func Check(w io.Writer, moduleRoot string, patterns []string, opts Options) (int
 	if analyzers == nil {
 		analyzers = Suite()
 	}
-	findings, dirs, err := runConfig(moduleRoot, nil, patterns, analyzers, opts.Tests)
+	findings, dirs, err := runConfig(moduleRoot, nil, patterns, analyzers, opts.Tests, opts.FactCache)
 	if err != nil {
 		return 0, err
 	}
 	if opts.San {
-		sanFindings, sanDirs, err := runConfig(moduleRoot, []string{"san"}, patterns, analyzers, opts.Tests)
+		sanFindings, sanDirs, err := runConfig(moduleRoot, []string{"san"}, patterns, analyzers, opts.Tests, opts.FactCache)
 		if err != nil {
 			return 0, err
 		}
@@ -107,6 +126,18 @@ func Check(w io.Writer, moduleRoot string, patterns []string, opts Options) (int
 		if !f.Suppressed {
 			count++
 		}
+	}
+	if opts.SARIF {
+		docs := map[string]string{
+			"unused-suppression": "a //lint:ignore or //lint:file-ignore directive that no longer suppresses any finding",
+		}
+		for _, a := range analyzers {
+			docs[a.Name] = firstLine(a.Doc)
+		}
+		if err := writeSARIF(w, findings, docs); err != nil {
+			return count, err
+		}
+		return count, nil
 	}
 	if opts.JSON {
 		enc := json.NewEncoder(w)
@@ -128,8 +159,11 @@ func Check(w io.Writer, moduleRoot string, patterns []string, opts Options) (int
 }
 
 // runConfig analyzes patterns under one build configuration (tag set) and
-// returns resolved findings plus the suppression directives seen.
-func runConfig(moduleRoot string, tags, patterns []string, analyzers []*analysis.Analyzer, tests bool) ([]Finding, []*analysis.Directive, error) {
+// returns resolved findings plus the suppression directives seen. With a
+// cache directory, packages whose content key is unchanged are replayed
+// from their cached entry (their facts seeded for dependents) instead of
+// re-analyzed, and fresh results are stored back.
+func runConfig(moduleRoot string, tags, patterns []string, analyzers []*analysis.Analyzer, tests bool, cacheDir string) ([]Finding, []*analysis.Directive, error) {
 	loader, err := analysis.NewLoader(moduleRoot)
 	if err != nil {
 		return nil, nil, err
@@ -143,8 +177,33 @@ func runConfig(moduleRoot string, tags, patterns []string, analyzers []*analysis
 	if err != nil {
 		return nil, nil, err
 	}
+	var cache *factCache
+	if cacheDir != "" {
+		cache, err = newFactCache(cacheDir, moduleRoot, loader.ModulePath, tags, tests, analyzers)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	// Seed every hit before running any miss: a miss may import a hit
+	// package and must find its facts already in the store.
+	hits := map[string]*cacheEntry{}
+	if cache != nil {
+		for _, path := range paths {
+			if e, ok := cache.load(path); ok {
+				hits[path] = e
+				runner.Seed(path, e.Facts)
+			}
+		}
+	}
 	var findings []Finding
+	var dirs []*analysis.Directive
+	missFindings := map[string][]Finding{}
 	for _, path := range paths {
+		if e := hits[path]; e != nil {
+			findings = append(findings, e.Findings...)
+			dirs = append(dirs, fromCachedDirectives(moduleRoot, e.Directives)...)
+			continue
+		}
 		diags, err := runner.Package(path)
 		if err != nil {
 			return nil, nil, err
@@ -156,9 +215,10 @@ func runConfig(moduleRoot string, tags, patterns []string, analyzers []*analysis
 			}
 			diags = append(diags, testDiags...)
 		}
+		var pkgFindings []Finding
 		for _, d := range diags {
 			pos := loader.Fset.Position(d.Pos)
-			findings = append(findings, Finding{
+			pkgFindings = append(pkgFindings, Finding{
 				File:         relPath(moduleRoot, pos.Filename),
 				Line:         pos.Line,
 				Col:          pos.Column,
@@ -168,8 +228,36 @@ func runConfig(moduleRoot string, tags, patterns []string, analyzers []*analysis
 				SuppressedBy: d.SuppressedBy,
 			})
 		}
+		findings = append(findings, pkgFindings...)
+		if cache != nil {
+			missFindings[path] = pkgFindings
+		}
 	}
-	return findings, runner.Directives(), nil
+	liveDirs := runner.Directives()
+	dirs = append(dirs, liveDirs...)
+	if cache != nil {
+		// Directives carry no package attribution; group the live ones by
+		// directory (a package's units all live in its directory).
+		byDir := map[string][]*analysis.Directive{}
+		for _, d := range liveDirs {
+			byDir[filepath.Dir(d.File)] = append(byDir[filepath.Dir(d.File)], d)
+		}
+		for path, pkgFindings := range missFindings {
+			dir, ok := cache.pkgDir(path)
+			if !ok {
+				continue
+			}
+			e := &cacheEntry{
+				Findings:   pkgFindings,
+				Directives: toCachedDirectives(moduleRoot, byDir[dir]),
+				Facts:      runner.ExportedFacts(path),
+			}
+			if err := cache.store(path, e); err != nil {
+				return nil, nil, fmt.Errorf("factcache: storing %s: %w", path, err)
+			}
+		}
+	}
+	return findings, dirs, nil
 }
 
 // dedupeFindings collapses findings reported identically by more than one

@@ -1,0 +1,197 @@
+// Package locklint proves the module free of lock-order deadlocks it
+// can name: the effects summaries record every mutex acquisition and
+// release in program order (branch alternatives and defers modeled —
+// see the lock interpreter in internal/lint/effects/world.go), and the
+// analyzer folds every function's interpretation into one module-wide
+// lock-order graph. An edge A→B means some call chain acquires B while
+// holding A; a cycle in that graph is a potential deadlock the moment
+// two goroutines interleave the chains, and a self-edge is a guaranteed
+// one (Go mutexes are not reentrant). Separately, holding any lock
+// across a channel operation or a known blocking call (time.Sleep,
+// WaitGroup.Wait, Cond.Wait) is flagged: the lock's critical section
+// then extends across an unbounded wait, which stalls the simulator's
+// worker pool even when no cycle exists.
+//
+// Lock identity is type-based ("pkg.Type.mu" for struct-held mutexes,
+// "pkg.var" for package-level ones), so two instances of the same type
+// share a node — conservative for deadlock detection (the classic
+// ordered-pair pattern over instances of one type will flag; suppress
+// with //lint:ignore locklint and the ordering argument). Mutexes the
+// analysis cannot name (locals, parameters) drop out of the graph
+// entirely; see the soundness caveats in internal/lint/effects.
+//
+// Each package's run reports only the edges and warnings produced by
+// its own functions, at their live positions; a cycle spanning several
+// packages surfaces once per participating package, each pointing at
+// the acquisition it owns.
+package locklint
+
+import (
+	"sort"
+	"strings"
+
+	"bingo/internal/lint/analysis"
+	"bingo/internal/lint/effects"
+)
+
+// Analyzer reports lock-order cycles and locks held across blocking
+// operations.
+var Analyzer = &analysis.Analyzer{
+	Name: "locklint",
+	Doc: "build the module-wide lock-order graph from effect summaries; report ordering cycles " +
+		"(potential deadlocks) and locks held across channel or blocking operations",
+	Requires: []*analysis.Analyzer{effects.Facts},
+	Run:      run,
+}
+
+func run(pass *analysis.Pass) error {
+	w := effects.NewWorld(pass)
+	here := pass.Pkg.Path()
+
+	var edges []effects.LockEdge
+	var warns []effects.LockWarn
+	for _, key := range w.SortedKeys() {
+		fe := w.Funcs[key]
+		if fe.Test {
+			continue
+		}
+		// Closures are interpreted inline where their parent's trace calls
+		// them and standalone here; the duplicate edges merge in the graph.
+		net := w.Interpret(key)
+		edges = append(edges, net.Edges...)
+		warns = append(warns, net.Warns...)
+	}
+
+	comp, cyclic := sccs(edges)
+
+	seenEdge := map[string]bool{}
+	for i := range edges {
+		e := &edges[i]
+		if e.Pkg != here || !e.LocalPos().IsValid() {
+			continue
+		}
+		selfEdge := e.From == e.To
+		// A non-self edge lies on a cycle exactly when both endpoints sit
+		// in the same (cyclic) strongly connected component.
+		if !selfEdge && !(comp[e.From] == comp[e.To] && cyclic[e.From]) {
+			continue
+		}
+		k := e.From + "\x00" + e.To + "\x00" + e.Pos
+		if seenEdge[k] {
+			continue
+		}
+		seenEdge[k] = true
+		if selfEdge {
+			pass.Reportf(e.LocalPos(),
+				"lock %s acquired while already held — Go mutexes are not reentrant, this deadlocks", e.To)
+			continue
+		}
+		pass.Reportf(e.LocalPos(),
+			"lock %s acquired while holding %s, but another call chain orders them the other way — potential deadlock",
+			e.To, e.From)
+	}
+
+	seenWarn := map[string]bool{}
+	for i := range warns {
+		wn := &warns[i]
+		if wn.Pkg != here || !wn.LocalPos().IsValid() {
+			continue
+		}
+		held := append([]string(nil), wn.Held...)
+		sort.Strings(held)
+		k := strings.Join(held, ",") + "\x00" + wn.What + "\x00" + wn.Pos
+		if seenWarn[k] {
+			continue
+		}
+		seenWarn[k] = true
+		pass.Reportf(wn.LocalPos(),
+			"%s while holding %s — the critical section extends across an unbounded wait",
+			wn.What, strings.Join(held, ", "))
+	}
+	return nil
+}
+
+// sccs condenses the lock-order graph into strongly connected
+// components and returns each node's component id plus the set of nodes
+// on some ordering cycle (component of size > 1, or a self-edge).
+func sccs(edges []effects.LockEdge) (map[string]int, map[string]bool) {
+	succ := map[string]map[string]bool{}
+	for i := range edges {
+		e := &edges[i]
+		if succ[e.From] == nil {
+			succ[e.From] = map[string]bool{}
+		}
+		succ[e.From][e.To] = true
+		if succ[e.To] == nil {
+			succ[e.To] = map[string]bool{}
+		}
+	}
+	nodes := make([]string, 0, len(succ))
+	for n := range succ {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+
+	// Tarjan's algorithm, iterative state kept in maps (the graph is a
+	// handful of mutex types, clarity over constant factors).
+	index := map[string]int{}
+	low := map[string]int{}
+	onStack := map[string]bool{}
+	var stack []string
+	next := 0
+	comp := map[string]int{} // node → component id
+	nComp := 0
+
+	var strongconnect func(v string)
+	strongconnect = func(v string) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		targets := make([]string, 0, len(succ[v]))
+		for t := range succ[v] {
+			targets = append(targets, t)
+		}
+		sort.Strings(targets)
+		for _, t := range targets {
+			if _, seen := index[t]; !seen {
+				strongconnect(t)
+				if low[t] < low[v] {
+					low[v] = low[t]
+				}
+			} else if onStack[t] && index[t] < low[v] {
+				low[v] = index[t]
+			}
+		}
+		if low[v] == index[v] {
+			for {
+				top := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[top] = false
+				comp[top] = nComp
+				if top == v {
+					break
+				}
+			}
+			nComp++
+		}
+	}
+	for _, n := range nodes {
+		if _, seen := index[n]; !seen {
+			strongconnect(n)
+		}
+	}
+
+	size := map[int]int{}
+	for _, c := range comp {
+		size[c]++
+	}
+	cyclic := map[string]bool{}
+	for n, c := range comp {
+		if size[c] > 1 || succ[n][n] {
+			cyclic[n] = true
+		}
+	}
+	return comp, cyclic
+}

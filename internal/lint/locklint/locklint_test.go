@@ -1,0 +1,76 @@
+package locklint_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"bingo/internal/lint/analysis"
+	"bingo/internal/lint/analysistest"
+	"bingo/internal/lint/locklint"
+)
+
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	root, err := analysis.FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return root
+}
+
+func TestLocklintFixture(t *testing.T) {
+	root := moduleRoot(t)
+	dir := filepath.Join(root, "internal/lint/testdata/src/locklint")
+	analysistest.Run(t, root, dir, "bingo/internal/lockfix", locklint.Analyzer)
+}
+
+// TestLocklintCatchesDroppedRelease deletes the early release on
+// D.Wait's fast path: the receive then happens under the lock and the
+// branch-sensitive interpreter must flag it. If this fails, the
+// interpreter is not actually tracking releases per path.
+func TestLocklintCatchesDroppedRelease(t *testing.T) {
+	root := moduleRoot(t)
+	dir := filepath.Join(root, "internal/lint/testdata/src/locklint")
+	src, err := os.ReadFile(filepath.Join(dir, "lockfix.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kept []string
+	dropped := 0
+	for _, line := range strings.Split(string(src), "\n") {
+		if strings.Contains(line, "// early release") {
+			dropped++
+			continue
+		}
+		kept = append(kept, line)
+	}
+	if dropped != 1 {
+		t.Fatalf("mutation dropped %d lines, want exactly 1", dropped)
+	}
+	tmp := t.TempDir()
+	if err := os.WriteFile(filepath.Join(tmp, "lockfix.go"), []byte(strings.Join(kept, "\n")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	loader, err := analysis.NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader.Override("bingo/internal/lockfix", tmp)
+	runner, err := analysis.NewRunner(loader, []*analysis.Analyzer{locklint.Analyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := runner.Package("bingo/internal/lockfix")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		if strings.Contains(d.Message, "channel receive while holding bingo/internal/lockfix.D.mu") {
+			return
+		}
+	}
+	t.Errorf("dropping the early release did not surface the receive-under-lock; got %d diagnostic(s)", len(diags))
+}

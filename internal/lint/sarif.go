@@ -1,0 +1,153 @@
+package lint
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"strings"
+)
+
+// firstLine truncates an analyzer's Doc to its opening sentence line —
+// SARIF shortDescription wants a one-liner, not the whole essay.
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		s = s[:i]
+	}
+	return strings.TrimSpace(s)
+}
+
+// SARIF 2.1.0 document model — the minimal subset GitHub code scanning
+// ingests: one run, one driver, a rule per analyzer, a result per
+// finding. Suppressed findings are carried with an inline suppression
+// record (their reason preserved) so the dashboard shows them as
+// reviewed rather than open.
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID       string             `json:"ruleId"`
+	RuleIndex    int                `json:"ruleIndex"`
+	Level        string             `json:"level"`
+	Message      sarifMessage       `json:"message"`
+	Locations    []sarifLocation    `json:"locations"`
+	Suppressions []sarifSuppression `json:"suppressions,omitempty"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+}
+
+type sarifPhysicalLocation struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Region           sarifRegion           `json:"region"`
+}
+
+type sarifArtifactLocation struct {
+	URI       string `json:"uri"`
+	URIBaseID string `json:"uriBaseId,omitempty"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+type sarifSuppression struct {
+	Kind          string `json:"kind"`
+	Justification string `json:"justification,omitempty"`
+}
+
+// writeSARIF renders findings as a SARIF 2.1.0 log. Rules cover every
+// analyzer of the run (plus the synthetic unused-suppression rule when
+// it fired), findings reference them by index, and file paths stay
+// module-relative under %SRCROOT% — the base GitHub resolves against
+// the checkout.
+func writeSARIF(w io.Writer, findings []Finding, ruleDocs map[string]string) error {
+	ruleIndex := map[string]int{}
+	var rules []sarifRule
+	rule := func(name string) int {
+		if i, ok := ruleIndex[name]; ok {
+			return i
+		}
+		doc := ruleDocs[name]
+		if doc == "" {
+			doc = name
+		}
+		ruleIndex[name] = len(rules)
+		rules = append(rules, sarifRule{ID: name, ShortDescription: sarifMessage{Text: doc}})
+		return ruleIndex[name]
+	}
+	// Register the run's analyzers up front, alphabetically, so rule
+	// indices are stable whether or not each analyzer fired.
+	names := make([]string, 0, len(ruleDocs))
+	for name := range ruleDocs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		rule(name)
+	}
+
+	results := make([]sarifResult, 0, len(findings))
+	for _, f := range findings {
+		res := sarifResult{
+			RuleID:    f.Analyzer,
+			RuleIndex: rule(f.Analyzer),
+			Level:     "warning",
+			Message:   sarifMessage{Text: f.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysicalLocation{
+					ArtifactLocation: sarifArtifactLocation{URI: f.File, URIBaseID: "%SRCROOT%"},
+					Region:           sarifRegion{StartLine: f.Line, StartColumn: f.Col},
+				},
+			}},
+		}
+		if f.Suppressed {
+			res.Suppressions = []sarifSuppression{{
+				Kind:          "inSource",
+				Justification: f.SuppressedBy,
+			}}
+		}
+		results = append(results, res)
+	}
+
+	log := sarifLog{
+		Schema:  "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "simlint", Rules: rules}},
+			Results: results,
+		}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
+}

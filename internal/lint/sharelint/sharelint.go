@@ -254,17 +254,16 @@ func checkConcAnnotation(pass *analysis.Pass, pos token.Pos, label string, group
 			continue
 		}
 		for _, c := range cg.List {
-			rest, ok := strings.CutPrefix(c.Text, "//conc:")
-			if !ok {
+			m, ok := analysis.ParseMarker(c.Text)
+			if !ok || m.Domain != "conc" {
 				continue
 			}
-			contract, reason, _ := strings.Cut(rest, " ")
-			if !concContracts[contract] {
-				pass.Reportf(pos, "unknown //conc: contract %q on %s (want immutable, core-local, or barrier-guarded)", contract, label)
+			if !concContracts[m.Verb] {
+				pass.Reportf(pos, "unknown //conc: contract %q on %s (want immutable, core-local, or barrier-guarded)", m.Verb, label)
 				return true
 			}
-			if strings.TrimSpace(reason) == "" {
-				pass.Reportf(pos, "//conc:%s on %s needs a reason", contract, label)
+			if m.Arg == "" {
+				pass.Reportf(pos, "//conc:%s on %s needs a reason", m.Verb, label)
 			}
 			return true
 		}

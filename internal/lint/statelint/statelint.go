@@ -28,7 +28,6 @@ package statelint
 import (
 	"go/ast"
 	"go/types"
-	"strings"
 
 	"bingo/internal/lint/analysis"
 )
@@ -196,11 +195,11 @@ func skipAnnotated(decl *ast.Field) (skip, hasReason bool) {
 			continue
 		}
 		for _, c := range cg.List {
-			rest, ok := strings.CutPrefix(c.Text, "//ckpt:skip")
-			if !ok {
+			m, ok := analysis.ParseMarker(c.Text)
+			if !ok || m.Domain != "ckpt" || m.Verb != "skip" {
 				continue
 			}
-			return true, strings.TrimSpace(rest) != ""
+			return true, m.Arg != ""
 		}
 	}
 	return false, false

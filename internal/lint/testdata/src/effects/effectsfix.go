@@ -1,0 +1,50 @@
+// Package effectsfix exercises the effects summarizer: canonical keys,
+// the allocation taxonomy, type-based write classification, lock event
+// ordering, escaping function references, and hot-root shape matching.
+package effectsfix
+
+import "sync"
+
+// Global is package-level state; stores to it are writes.
+var Global int
+
+// T carries a lock, a counter, and a growable buffer.
+type T struct {
+	mu sync.Mutex
+	n  int
+	xs []int
+}
+
+// OnAccess matches the hot-root shape (one parameter, one result).
+func (t *T) OnAccess(ev int) int {
+	t.n++
+	return t.n
+}
+
+// Fill acquires, grows, releases — in that order.
+func (t *T) Fill() {
+	t.mu.Lock()
+	t.xs = append(t.xs, 1)
+	t.mu.Unlock()
+}
+
+// SetGlobal writes package state; the struct-local store below it must
+// not count (a value chain rooted at a local cannot outlive the call).
+func SetGlobal(v int) {
+	Global = v
+	local := struct{ a int }{}
+	local.a = v
+	_ = local
+}
+
+// Passer lets helperRef escape as a value.
+func Passer() func() {
+	return helperRef
+}
+
+func helperRef() {}
+
+// Caller contributes a static call edge.
+func Caller() {
+	SetGlobal(1)
+}

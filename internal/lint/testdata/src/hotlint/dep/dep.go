@@ -1,0 +1,9 @@
+// Package dep is a dependency fixture for hotlint: its summaries cross
+// the package boundary as serialized facts, so allocations here must be
+// reported remotely, at the calling root's declaration.
+package dep
+
+// Grow allocates when dst is full.
+func Grow(dst []int) []int {
+	return append(dst, 1)
+}

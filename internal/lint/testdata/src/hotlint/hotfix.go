@@ -1,0 +1,87 @@
+// Package hotfix exercises hotlint: shape-matched hot roots, local and
+// remote allocation sites, CHA-resolved interface dispatch, //hot:path
+// extra roots, and site- and function-level //hot:alloc waivers.
+package hotfix
+
+import "bingo/internal/hotfix/dep"
+
+// Ev stands in for an access event.
+type Ev struct{ Addr uint64 }
+
+// P is a prefetcher-shaped type: OnAccess and OnEviction match the hot
+// root shapes.
+type P struct {
+	buf []uint64
+	n   int
+}
+
+func (p *P) OnAccess(ev Ev) []uint64 {
+	p.buf = append(p.buf, ev.Addr) // want `append growth on the hot path from bingo/internal/hotfix\.P\.OnAccess`
+	return p.buf
+}
+
+func (p *P) OnEviction(ev Ev) {
+	p.n++
+	waived()
+	helper()
+}
+
+// waived's body-level annotation covers every site it contains.
+//
+//hot:alloc scratch buffer, proven steady-state by the alloc benchmark
+func waived() {
+	_ = make([]byte, 8)
+}
+
+func helper() {
+	_ = new(int) // want `new on the hot path from bingo/internal/hotfix\.P\.OnEviction`
+}
+
+// sink's implementations are resolved by class-hierarchy analysis: a
+// call through the interface reaches every module-local implementor.
+type sink interface{ Add(uint64) }
+
+type impl struct{ vals []uint64 }
+
+func (i *impl) Add(v uint64) {
+	i.vals = append(i.vals, v) // want `append growth on the hot path from bingo/internal/hotfix\.Q\.Tick`
+}
+
+// Q ticks through the interface; the allocation sits two hops away.
+type Q struct{ s sink }
+
+func (q *Q) Tick() {
+	q.s.Add(1)
+}
+
+// R reaches an allocation in the dep package: the summary crossed the
+// package boundary, so the finding lands on the root's declaration and
+// names the remote site.
+type R struct{ xs []int }
+
+func (r *R) Tick() { // want `hot path from bingo/internal/hotfix\.R\.Tick reaches append growth in bingo/internal/hotfix/dep\.Grow`
+	r.xs = dep.Grow(r.xs)
+}
+
+// Issue is not shape-matched but declared hot explicitly.
+//
+//hot:path issue path runs once per prefetch decision
+func Issue() {
+	_ = make([]int, 4) // want `make on the hot path from bingo/internal/hotfix\.Issue`
+}
+
+// siteWaived shows the line-level waiver: the directive covers the site
+// on the line above it or on its own line.
+type S struct{ out []uint64 }
+
+func (s *S) OnAccess(ev Ev) []uint64 {
+	//hot:alloc warm-up growth only; capacity is reused afterwards
+	s.out = append(s.out, ev.Addr)
+	return s.out
+}
+
+// cold is unreachable from any root: its allocations are nobody's
+// problem.
+func cold() []int {
+	return make([]int, 64)
+}

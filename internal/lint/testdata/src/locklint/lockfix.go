@@ -1,0 +1,87 @@
+// Package lockfix exercises locklint: an ordering inversion between two
+// mutex types, a recursive acquisition through a helper, a channel
+// operation under a held lock, and the branch-sensitive release pattern
+// that must interpret cleanly.
+package lockfix
+
+import "sync"
+
+// A and B are two lockable components; the inverted pair below closes
+// an ordering cycle between their type-based lock keys.
+type A struct {
+	mu sync.Mutex
+	n  int
+}
+
+type B struct {
+	mu sync.Mutex
+	n  int
+}
+
+var (
+	theA A
+	theB B
+	ch   = make(chan int, 1)
+)
+
+func LockAB() {
+	theA.mu.Lock()
+	theB.mu.Lock() // want `lock bingo/internal/lockfix\.B\.mu acquired while holding bingo/internal/lockfix\.A\.mu`
+	theB.n++
+	theB.mu.Unlock()
+	theA.mu.Unlock()
+}
+
+func LockBA() {
+	theB.mu.Lock()
+	theA.mu.Lock() // want `lock bingo/internal/lockfix\.A\.mu acquired while holding bingo/internal/lockfix\.B\.mu`
+	theA.n++
+	theA.mu.Unlock()
+	theB.mu.Unlock()
+}
+
+// C holds its lock across a channel send: the critical section extends
+// across an unbounded wait.
+type C struct{ mu sync.Mutex }
+
+func (c *C) Put(v int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ch <- v // want `channel send while holding bingo/internal/lockfix\.C\.mu`
+}
+
+// D releases before blocking on the fast path — the branch-sensitive
+// interpreter must not flag the receive.
+type D struct {
+	mu    sync.Mutex
+	ready bool
+}
+
+func (d *D) Wait() {
+	d.mu.Lock()
+	if d.ready {
+		d.mu.Unlock() // early release
+		<-ch
+		return
+	}
+	d.mu.Unlock()
+}
+
+// E re-acquires its own lock through a helper: a guaranteed deadlock,
+// Go mutexes are not reentrant.
+type E struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (e *E) Total() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.count() // want `lock bingo/internal/lockfix\.E\.mu acquired while already held`
+}
+
+func (e *E) count() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.n
+}

@@ -1,0 +1,19 @@
+// Package simfix is a dependency fixture for purelint: simulator-owned
+// state whose writes telemetry code must not reach.
+package simfix
+
+// Sim holds per-component counters the simulator owns.
+type Sim struct{ Hits int }
+
+// Count is package-level simulator state.
+var Count int
+
+// Bump mutates simulator state; telemetry reaching it is a finding.
+func Bump(s *Sim) {
+	s.Hits++
+}
+
+// Peek only reads; telemetry may call it freely.
+func Peek(s *Sim) int {
+	return s.Hits
+}

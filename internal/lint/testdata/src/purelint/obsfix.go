@@ -1,0 +1,42 @@
+// Package obsfix exercises purelint under a telemetry import path:
+// direct writes to simulator state, writes reached through dependency
+// summaries, reads that stay legal, and site- and function-level
+// //obs:write waivers.
+package obsfix
+
+import "bingo/internal/simfix"
+
+// Probe models a telemetry probe with its own counters.
+type Probe struct {
+	total   int
+	samples []int
+}
+
+// Sample may maintain the probe's own state but not the simulator's.
+func (p *Probe) Sample(s *simfix.Sim) {
+	p.total++
+	p.samples = append(p.samples, simfix.Peek(s))
+	s.Hits = 0       // want `telemetry code writes simulator state bingo/internal/simfix\.Sim\.Hits`
+	simfix.Count = 1 // want `telemetry code writes simulator state bingo/internal/simfix\.Count`
+}
+
+// Reset's write is deliberate and waived at the site.
+func (p *Probe) Reset(s *simfix.Sim) {
+	s.Hits = 0 //obs:write sampling epoch reset is part of the probe contract
+}
+
+// Relay reaches the mutation through the dependency's summary: the
+// finding lands on this declaration and names the remote site.
+func Relay(s *simfix.Sim) { // want `telemetry root bingo/internal/telemetryfix\.Relay reaches a write to simulator state bingo/internal/simfix\.Sim\.Hits`
+	simfix.Bump(s)
+}
+
+// Restore's body-level waiver covers the closures it builds.
+//
+//obs:write checkpoint restore rebuilds the snapshot it hands back
+func Restore(s *simfix.Sim, vals []int) {
+	set := func(v int) { s.Hits = v }
+	for _, v := range vals {
+		set(v)
+	}
+}

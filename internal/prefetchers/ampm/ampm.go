@@ -124,7 +124,7 @@ func (a *AMPM) tryStride(zm *zoneMap, base mem.Addr, idx, k, blocks int, out []m
 		return out
 	}
 	zm.prefetched = zm.prefetched.With(t)
-	return append(out, a.rc.BlockAddr(base, t))
+	return append(out, a.rc.BlockAddr(base, t)) //hot:alloc reused buffer grows to steady-state capacity
 }
 
 // OnEviction implements prefetch.Prefetcher; AMPM keeps no residency

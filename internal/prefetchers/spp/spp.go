@@ -156,7 +156,7 @@ func (s *SPP) train(sig uint16, delta int) {
 		}
 	}
 	if len(e.deltas) < s.cfg.DeltasPerEntry {
-		e.deltas = append(e.deltas, deltaSlot{delta: delta, count: 1})
+		e.deltas = append(e.deltas, deltaSlot{delta: delta, count: 1}) //hot:alloc reused buffer grows to steady-state capacity
 		return
 	}
 	// Replace the weakest candidate.
@@ -232,7 +232,7 @@ func (s *SPP) OnAccess(ev prefetch.AccessEvent) []mem.Addr {
 		}
 		addr := s.rc.BlockAddr(base, off)
 		if !s.filtered(addr.BlockNumber()) {
-			out = append(out, addr)
+			out = append(out, addr) //hot:alloc reused buffer grows to steady-state capacity
 		}
 		sig = updateSig(sig, d)
 	}

@@ -147,7 +147,7 @@ func (v *VLDP) OnAccess(ev prefetch.AccessEvent) []mem.Addr {
 		// First access to the page: consult the OPT for a first-delta guess.
 		if d := v.opt[offset%len(v.opt)]; d != 0 {
 			if t := offset + d; t >= 0 && t < v.rc.Blocks() {
-				v.addrBuf = append(v.addrBuf[:0], v.rc.BlockAddr(base, t))
+				v.addrBuf = append(v.addrBuf[:0], v.rc.BlockAddr(base, t)) //hot:alloc reused buffer grows to steady-state capacity
 				return v.addrBuf
 			}
 		}
@@ -189,7 +189,7 @@ func (v *VLDP) OnAccess(ev prefetch.AccessEvent) []mem.Addr {
 		if off < 0 || off >= v.rc.Blocks() {
 			break
 		}
-		out = append(out, v.rc.BlockAddr(base, off))
+		out = append(out, v.rc.BlockAddr(base, off)) //hot:alloc reused buffer grows to steady-state capacity
 		h[2], h[1], h[0] = h[1], h[0], d
 		if n < 3 {
 			n++

@@ -180,6 +180,8 @@ func saveTotalsRows(w *checkpoint.Writer, rows []Totals, cores int) {
 }
 
 // loadTotalsRows reads n rows written by saveTotalsRows.
+//
+//obs:write checkpoint restore rebuilds the snapshot rows it returns; Totals embeds the core stats types, so the type-based owner looks like simulator state
 func loadTotalsRows(r *checkpoint.Reader, n, cores int) ([]Totals, error) {
 	rows := make([]Totals, n)
 	for i := range rows {
@@ -352,13 +354,16 @@ func (r *Registry) copyInto(dst *Registry) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	for name, c := range r.counters {
+		//lint:ignore locklint dst is a distinct registry and copyInto runs one direction only (epoch swap); same-type lock keys alias
 		dst.Counter(name).Store(c.Value())
 	}
 	for name, g := range r.gauges {
+		//lint:ignore locklint dst is a distinct registry and copyInto runs one direction only (epoch swap); same-type lock keys alias
 		dst.Gauge(name).Set(g.Value())
 	}
 	for _, name := range sortedKeys(r.hists) {
 		h := r.hists[name]
+		//lint:ignore locklint dst is a distinct registry and copyInto runs one direction only (epoch swap); same-type lock keys alias
 		dst.Histogram(name).restore(h.Buckets(), h.Sum(), h.Count())
 	}
 }

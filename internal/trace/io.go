@@ -133,6 +133,7 @@ func (r *Reader) Next() (Record, bool) {
 	}
 	var buf [recordWireSize]byte
 	if _, err := io.ReadFull(r.r, buf[:]); err != nil {
+		//hot:alloc error path: a truncated stream terminates the source
 		r.err = fmt.Errorf("trace: truncated stream: %w", err)
 		r.remaining = 0
 		return Record{}, false

@@ -84,7 +84,7 @@ func (t *Translator) Translate(va mem.Addr) mem.Addr {
 	frame, ok := t.mapping[vpn]
 	if !ok {
 		frame = t.allocFrame()
-		t.mapping[vpn] = frame
+		t.mapping[vpn] = frame //hot:alloc first-touch page mapping; the table grows once per page
 	}
 	return mem.Addr(frame<<t.pageShift | uint64(va)&t.pageMask)
 }
@@ -103,6 +103,7 @@ func (t *Translator) allocFrame() uint64 {
 
 const freeListChunk = 1 << 16
 
+//hot:alloc lazy free-list refill, amortized over 64Ki translations
 func (t *Translator) refillFreeList() {
 	t.refills++
 	base := uint64(len(t.freeList))
