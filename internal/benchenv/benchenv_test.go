@@ -1,0 +1,42 @@
+package benchenv
+
+import (
+	"encoding/json"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// TestCaptureFields pins the captured values to the runtime package so
+// a refactor cannot silently start recording the wrong machine.
+func TestCaptureFields(t *testing.T) {
+	env := Capture()
+	if env.GoVersion != runtime.Version() || env.GOOS != runtime.GOOS ||
+		env.GOARCH != runtime.GOARCH || env.NumCPU != runtime.NumCPU() ||
+		env.GOMAXPROCS != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Capture() = %+v disagrees with runtime", env)
+	}
+	if env.NumCPU < 1 || env.GOMAXPROCS < 1 || env.GoVersion == "" {
+		t.Fatalf("Capture() = %+v has implausible values", env)
+	}
+}
+
+// TestEnvJSONFieldOrder pins the field order every BENCH_*.json document
+// leads with; emitters embed Env first, so this order is the artefacts'
+// on-disk prefix.
+func TestEnvJSONFieldOrder(t *testing.T) {
+	data, err := json.Marshal(Capture())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := string(data)
+	want := []string{`"go_version"`, `"goos"`, `"goarch"`, `"num_cpu"`, `"gomaxprocs"`}
+	pos := -1
+	for _, key := range want {
+		i := strings.Index(got, key)
+		if i < 0 || i < pos {
+			t.Fatalf("field order: want %v in order, got %s", want, got)
+		}
+		pos = i
+	}
+}

@@ -4,8 +4,6 @@ import (
 	"fmt"
 	"math"
 
-	"bingo/internal/core"
-	"bingo/internal/prefetch"
 	"bingo/internal/system"
 	"bingo/internal/workloads"
 )
@@ -204,20 +202,13 @@ func AblateTags(m *Matrix) (Table, error) {
 		Title:   "Ablation: History Tag Width (Bingo)",
 		Headers: []string{"Tags", "GMean Speedup", "Coverage", "Overprediction"},
 	}
-	full, err := ablationRow(m, "full-width", "", nil)
+	full, err := ablationRow(m, "full-width", "")
 	if err != nil {
 		return Table{}, err
 	}
 	t.Rows = append(t.Rows, full)
 	for _, bits := range tagWidths {
-		bits := bits
-		row, err := ablationRow(m, fmt.Sprintf("%d-bit", bits), tagCellLabel(bits),
-			func() (prefetch.Factory, error) {
-				cfg := core.DefaultConfig()
-				cfg.TruncateTags = true
-				cfg.LongTagBits = bits
-				return core.Factory(cfg), nil
-			})
+		row, err := ablationRow(m, fmt.Sprintf("%d-bit", bits), tagCellLabel(bits))
 		if err != nil {
 			return Table{}, err
 		}

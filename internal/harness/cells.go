@@ -171,6 +171,35 @@ func (m *Matrix) RunCell(key CellKey, opts RunOptions, build func() (prefetch.Fa
 	})
 }
 
+// Inject memoises externally computed results for key — a sweep
+// worker's, delivered over the wire — so renderers see a cache hit
+// instead of re-simulating. The injected cell is indistinguishable from
+// a locally run one: simulations are a pure function of (key, options),
+// so a worker's results are byte-for-byte what a local run would have
+// produced. Returns false (and leaves the matrix unchanged) when the
+// cell already exists; the first result wins, mirroring the
+// singleflight rule for local runs. dur is the worker-reported
+// simulation time, recorded in the run report's per-cell stats.
+func (m *Matrix) Inject(key CellKey, res system.Results, aux any, dur time.Duration) bool {
+	cs := &cellState{done: make(chan struct{}), res: res, aux: aux}
+	close(cs.done)
+	m.mu.Lock()
+	if _, ok := m.cells[key]; ok {
+		m.mu.Unlock()
+		return false
+	}
+	m.cells[key] = cs
+	m.stats = append(m.stats, CellStat{
+		Key:          key,
+		Duration:     dur,
+		Instructions: res.WindowInstructions,
+		AllocBytes:   -1,
+	})
+	m.mu.Unlock()
+	m.recordCellOutcome(res, nil)
+	return true
+}
+
 // SetWarmStore routes every subsequent cell run through ws: warm-up
 // phases are restored from (or saved to) the store's artifact directory
 // instead of re-simulating. Results are unchanged — artifacts are keyed

@@ -1,0 +1,219 @@
+package harness
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"bingo/internal/core"
+	"bingo/internal/prefetch"
+	"bingo/internal/system"
+)
+
+// Job-granular cell execution: a CellKey plus a RunOptions value fully
+// determines one simulation. CellRunner reconstructs the prefetcher
+// factory (and any instrumentation probe) from the key's label alone, so
+// the identical cell can be executed by a local renderer, a parallel
+// warm worker, or a sweep worker in another process — and the
+// singleflight matrix, the warm-artifact store, and the distributed
+// sweep service all agree on what a cell *is*. Every experiment accessor
+// routes through ExecuteCell, which keeps the label grammar below the
+// single source of truth for custom-config variants: a label that parses
+// differently from what a renderer intended would change rendered tables
+// and be caught by the suite determinism oracles.
+
+// EventCounters is the instrumented payload of a single-event history
+// cell (Figure 2): predictions offered vs table lookups performed.
+type EventCounters struct {
+	Predicted uint64 `json:"predicted"`
+	Lookups   uint64 `json:"lookups"`
+}
+
+// RedundancyCounters is the instrumented payload of the dual-table
+// redundancy probe (Figure 4).
+type RedundancyCounters struct {
+	BothHit   uint64 `json:"both_hit"`
+	Identical uint64 `json:"identical"`
+}
+
+// CellAux is the serializable union of instrumented cell payloads — the
+// wire form of the `aux` value a probe extracts from a finished system.
+// At most one field is set; the zero value means "no payload".
+type CellAux struct {
+	Events     *EventCounters      `json:"events,omitempty"`
+	Redundancy *RedundancyCounters `json:"redundancy,omitempty"`
+}
+
+// EncodeAux converts a probe payload into its wire form. A nil payload
+// encodes as the zero CellAux.
+func EncodeAux(aux any) (CellAux, error) {
+	switch v := aux.(type) {
+	case nil:
+		return CellAux{}, nil
+	case EventCounters:
+		return CellAux{Events: &v}, nil
+	case RedundancyCounters:
+		return CellAux{Redundancy: &v}, nil
+	default:
+		return CellAux{}, fmt.Errorf("harness: unencodable cell aux payload %T", aux)
+	}
+}
+
+// Decode converts the wire form back into the payload value ExecuteCell
+// would have produced locally (nil when no payload is set).
+func (a CellAux) Decode() any {
+	switch {
+	case a.Events != nil:
+		return *a.Events
+	case a.Redundancy != nil:
+		return *a.Redundancy
+	default:
+		return nil
+	}
+}
+
+// CellRunner resolves a cell key's prefetcher label into the factory
+// builder (and optional instrumentation probe) that executes it. Plain
+// registry names resolve through FactoryByName; bracketed labels encode
+// custom configurations:
+//
+//	multievent1[event=PC+Offset]   single-event history table (Figure 2)
+//	multievent2[probe]             dual-table redundancy probe (Figure 4)
+//	bingo[hist=16384]              resized history table (Figure 6)
+//	bingo[vote=0.20]               vote-threshold ablation
+//	bingo[recent]                  most-recent-footprint heuristic
+//	bingo[region=2048]             region-size ablation
+//	bingo[tags=16]                 truncated partial tags
+//
+// The returned build constructs a fresh factory per call (concurrent
+// cells must never share mutable prefetcher state).
+func CellRunner(key CellKey) (build func() (prefetch.Factory, error), probe func(*system.System) any, err error) {
+	name := key.Prefetcher
+	open := strings.IndexByte(name, '[')
+	if open < 0 {
+		if _, err := FactoryByName(name); err != nil {
+			return nil, nil, err
+		}
+		return func() (prefetch.Factory, error) { return FactoryByName(name) }, nil, nil
+	}
+	if !strings.HasSuffix(name, "]") {
+		return nil, nil, fmt.Errorf("harness: malformed cell label %q", name)
+	}
+	base, arg := name[:open], name[open+1:len(name)-1]
+	switch base {
+	case "multievent1":
+		kindName, ok := strings.CutPrefix(arg, "event=")
+		if !ok {
+			return nil, nil, fmt.Errorf("harness: malformed multievent1 label %q", name)
+		}
+		kind, err := parseEventKind(kindName)
+		if err != nil {
+			return nil, nil, err
+		}
+		build = func() (prefetch.Factory, error) {
+			cfg := core.DefaultMultiEventConfig(1)
+			cfg.Events = []prefetch.EventKind{kind}
+			return core.MultiEventFactory(cfg), nil
+		}
+		probe = func(sys *system.System) any {
+			p, l := multiEventLookups(sys)
+			return EventCounters{Predicted: p, Lookups: l}
+		}
+		return build, probe, nil
+	case "multievent2":
+		if arg != "probe" {
+			return nil, nil, fmt.Errorf("harness: malformed multievent2 label %q", name)
+		}
+		build = func() (prefetch.Factory, error) {
+			cfg := core.DefaultMultiEventConfig(2)
+			cfg.ProbeRedundant = true
+			return core.MultiEventFactory(cfg), nil
+		}
+		probe = func(sys *system.System) any {
+			var c RedundancyCounters
+			for _, p := range sys.Prefetchers() {
+				if me, ok := p.(*core.MultiEvent); ok {
+					c.BothHit += me.BothHit
+					c.Identical += me.Identical
+				}
+			}
+			return c
+		}
+		return build, probe, nil
+	case "bingo":
+		cfg, err := bingoVariantConfig(name, arg)
+		if err != nil {
+			return nil, nil, err
+		}
+		return func() (prefetch.Factory, error) { return core.Factory(cfg), nil }, nil, nil
+	default:
+		return nil, nil, fmt.Errorf("harness: unknown cell label family %q", name)
+	}
+}
+
+// bingoVariantConfig parses one bracketed Bingo variant argument into a
+// configuration derived from the defaults.
+func bingoVariantConfig(label, arg string) (core.Config, error) {
+	cfg := core.DefaultConfig()
+	if arg == "recent" {
+		cfg.MostRecent = true
+		return cfg, nil
+	}
+	k, v, ok := strings.Cut(arg, "=")
+	if !ok {
+		return core.Config{}, fmt.Errorf("harness: malformed bingo label %q", label)
+	}
+	switch k {
+	case "hist":
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			return core.Config{}, fmt.Errorf("harness: bad history size in label %q", label)
+		}
+		cfg.HistoryEntries = n
+	case "vote":
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil || f <= 0 {
+			return core.Config{}, fmt.Errorf("harness: bad vote threshold in label %q", label)
+		}
+		cfg.VoteThreshold = f
+	case "region":
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil || n == 0 {
+			return core.Config{}, fmt.Errorf("harness: bad region size in label %q", label)
+		}
+		cfg.RegionBytes = n
+	case "tags":
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			return core.Config{}, fmt.Errorf("harness: bad tag width in label %q", label)
+		}
+		cfg.TruncateTags = true
+		cfg.LongTagBits = n
+	default:
+		return core.Config{}, fmt.Errorf("harness: unknown bingo variant %q in label %q", k, label)
+	}
+	return cfg, nil
+}
+
+// parseEventKind maps an event kind's String form back to the kind.
+func parseEventKind(s string) (prefetch.EventKind, error) {
+	for _, k := range prefetch.AllEvents() {
+		if k.String() == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("harness: unknown event kind %q", s)
+}
+
+// ExecuteCell runs (or recalls) the cell identified by key under opts,
+// resolving the cell's configuration from the key itself. This is the
+// execution path shared by local renderers, the parallel warm engine,
+// and remote sweep workers: whoever holds (key, opts) can perform — and
+// memoise — the identical simulation.
+func (m *Matrix) ExecuteCell(key CellKey, opts RunOptions) (system.Results, any, error) {
+	build, probe, err := CellRunner(key)
+	if err != nil {
+		return system.Results{}, nil, err
+	}
+	return m.RunCell(key, opts, build, probe)
+}

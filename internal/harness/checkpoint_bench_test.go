@@ -10,6 +10,8 @@ import (
 	"os"
 	"testing"
 	"time"
+
+	"bingo/internal/benchenv"
 )
 
 // checkpointBenchRun renders the determinism experiment subset on a
@@ -52,6 +54,7 @@ func checkpointBenchRun(t *testing.T, warmDir string) (time.Duration, []byte, Wa
 }
 
 type checkpointBench struct {
+	benchenv.Env
 	Experiments         string  `json:"experiments"`
 	Cells               int     `json:"cells"`
 	ColdSeconds         float64 `json:"cold_seconds"`
@@ -97,6 +100,7 @@ func TestEmitCheckpointBench(t *testing.T) {
 	}
 
 	doc := checkpointBench{
+		Env:                 benchenv.Capture(),
 		Experiments:         fmt.Sprintf("%v", determinismExperiments),
 		Cells:               int(warmStats.Hits + warmStats.Misses),
 		ColdSeconds:         coldDur.Seconds(),

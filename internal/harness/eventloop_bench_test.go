@@ -4,10 +4,10 @@ import (
 	"encoding/json"
 	"os"
 	"reflect"
-	"runtime"
 	"testing"
 	"time"
 
+	"bingo/internal/benchenv"
 	"bingo/internal/system"
 	"bingo/internal/workloads"
 )
@@ -28,10 +28,8 @@ type eventloopCell struct {
 
 // eventloopBench is the BENCH_eventloop.json document.
 type eventloopBench struct {
-	GoVersion  string          `json:"go_version"`
-	GOMAXPROCS int             `json:"gomaxprocs"`
-	NumCPU     int             `json:"num_cpu"`
-	Cells      []eventloopCell `json:"cells"`
+	benchenv.Env
+	Cells []eventloopCell `json:"cells"`
 }
 
 // timeEngine runs one (workload, prefetcher) cell under the given engine
@@ -80,11 +78,7 @@ func TestEmitEventloopBench(t *testing.T) {
 		{"SATSolver", "none", false},
 		{"Mix1", "bingo", false},
 	}
-	doc := eventloopBench{
-		GoVersion:  runtime.Version(),
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		NumCPU:     runtime.NumCPU(),
-	}
+	doc := eventloopBench{Env: benchenv.Capture()}
 	bestMemBound := 0.0
 	for _, c := range cells {
 		w, ok := workloads.ByName(c.workload)

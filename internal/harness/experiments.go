@@ -53,9 +53,7 @@ func (m *Matrix) Options() RunOptions { return m.opts }
 // the baseline).
 func (m *Matrix) Get(w workloads.Spec, prefetcher string) (system.Results, error) {
 	key := CellKey{Workload: w.Name, Prefetcher: prefetcher}
-	res, _, err := m.RunCell(key, m.opts, func() (prefetch.Factory, error) {
-		return FactoryByName(prefetcher)
-	}, nil)
+	res, _, err := m.ExecuteCell(key, m.opts)
 	return res, err
 }
 
@@ -65,9 +63,7 @@ func (m *Matrix) Get(w workloads.Spec, prefetcher string) (system.Results, error
 // base-options run.
 func (m *Matrix) GetOpts(w workloads.Spec, prefetcher, variant string, opts RunOptions) (system.Results, error) {
 	key := CellKey{Workload: w.Name, Prefetcher: prefetcher, Variant: variant}
-	res, _, err := m.RunCell(key, opts, func() (prefetch.Factory, error) {
-		return FactoryByName(prefetcher)
-	}, nil)
+	res, _, err := m.ExecuteCell(key, opts)
 	return res, err
 }
 
@@ -118,24 +114,14 @@ func Table2(m *Matrix) (Table, error) {
 // ---------------------------------------------------------------------------
 // Figure 2 — accuracy and match probability of single-event heuristics.
 
-// fig2Counters is the instrumented payload of one Figure 2 cell.
-type fig2Counters struct{ predicted, lookups uint64 }
-
 // fig2Cell runs (or recalls) the single-event prefetcher for kind on w.
-func (m *Matrix) fig2Cell(kind prefetch.EventKind, w workloads.Spec) (system.Results, fig2Counters, error) {
+func (m *Matrix) fig2Cell(kind prefetch.EventKind, w workloads.Spec) (system.Results, EventCounters, error) {
 	key := CellKey{Workload: w.Name, Prefetcher: fmt.Sprintf("multievent1[event=%s]", kind)}
-	res, aux, err := m.RunCell(key, m.opts, func() (prefetch.Factory, error) {
-		cfg := core.DefaultMultiEventConfig(1)
-		cfg.Events = []prefetch.EventKind{kind}
-		return core.MultiEventFactory(cfg), nil
-	}, func(sys *system.System) any {
-		p, l := multiEventLookups(sys)
-		return fig2Counters{predicted: p, lookups: l}
-	})
+	res, aux, err := m.ExecuteCell(key, m.opts)
 	if err != nil {
-		return system.Results{}, fig2Counters{}, err
+		return system.Results{}, EventCounters{}, err
 	}
-	return res, aux.(fig2Counters), nil
+	return res, aux.(EventCounters), nil
 }
 
 // Fig2 runs one single-event spatial prefetcher per event kind over every
@@ -157,8 +143,8 @@ func Fig2(m *Matrix) (Table, error) {
 			}
 			useful += res.LLC.UsefulPrefetch
 			fills += res.LLC.PrefetchFills
-			predicted += c.predicted
-			lookups += c.lookups
+			predicted += c.Predicted
+			lookups += c.Lookups
 		}
 		t.AddRow(kind.String(), pct(ratio(useful, fills)), pct(ratio(predicted, lookups)))
 	}
@@ -223,31 +209,15 @@ func Fig3(m *Matrix) (Table, error) {
 // ---------------------------------------------------------------------------
 // Figure 4 — redundancy in cascaded TAGE-like history tables.
 
-// fig4Counters is the instrumented payload of one Figure 4 cell.
-type fig4Counters struct{ both, identical uint64 }
-
 // fig4Cell runs (or recalls) the redundancy-probing dual-event prefetcher
 // on w.
-func (m *Matrix) fig4Cell(w workloads.Spec) (fig4Counters, error) {
+func (m *Matrix) fig4Cell(w workloads.Spec) (RedundancyCounters, error) {
 	key := CellKey{Workload: w.Name, Prefetcher: "multievent2[probe]"}
-	_, aux, err := m.RunCell(key, m.opts, func() (prefetch.Factory, error) {
-		cfg := core.DefaultMultiEventConfig(2)
-		cfg.ProbeRedundant = true
-		return core.MultiEventFactory(cfg), nil
-	}, func(sys *system.System) any {
-		var c fig4Counters
-		for _, p := range sys.Prefetchers() {
-			if me, ok := p.(*core.MultiEvent); ok {
-				c.both += me.BothHit
-				c.identical += me.Identical
-			}
-		}
-		return c
-	})
+	_, aux, err := m.ExecuteCell(key, m.opts)
 	if err != nil {
-		return fig4Counters{}, err
+		return RedundancyCounters{}, err
 	}
-	return aux.(fig4Counters), nil
+	return aux.(RedundancyCounters), nil
 }
 
 // Fig4 runs the dual-table probe and reports, per workload, the fraction
@@ -264,8 +234,8 @@ func Fig4(m *Matrix) (Table, error) {
 			return Table{}, err
 		}
 		red := 0.0
-		if c.both > 0 {
-			red = float64(c.identical) / float64(c.both)
+		if c.BothHit > 0 {
+			red = float64(c.Identical) / float64(c.BothHit)
 		}
 		sum += red
 		t.AddRow(w.Name, pct(red))
@@ -286,11 +256,7 @@ var Fig6Sizes = []int{1024, 2048, 4096, 8192, 16384, 32768, 65536}
 // fig6Cell runs (or recalls) Bingo with a resized history table on w.
 func (m *Matrix) fig6Cell(w workloads.Spec, size int) (system.Results, error) {
 	key := CellKey{Workload: w.Name, Prefetcher: fmt.Sprintf("bingo[hist=%d]", size)}
-	res, _, err := m.RunCell(key, m.opts, func() (prefetch.Factory, error) {
-		cfg := core.DefaultConfig()
-		cfg.HistoryEntries = size
-		return core.Factory(cfg), nil
-	}, nil)
+	res, _, err := m.ExecuteCell(key, m.opts)
 	return res, err
 }
 
@@ -475,25 +441,14 @@ func AblateVote(m *Matrix) (Table, error) {
 		Headers: []string{"Threshold", "GMean Speedup", "Coverage", "Overprediction"},
 	}
 	for _, th := range voteThresholds {
-		th := th
-		row, err := ablationRow(m, fmt.Sprintf("%.0f%%", th*100), voteCellLabel(th),
-			func() (prefetch.Factory, error) {
-				cfg := core.DefaultConfig()
-				cfg.VoteThreshold = th
-				return core.Factory(cfg), nil
-			})
+		row, err := ablationRow(m, fmt.Sprintf("%.0f%%", th*100), voteCellLabel(th))
 		if err != nil {
 			return Table{}, err
 		}
 		t.Rows = append(t.Rows, row)
 	}
 	// The rejected most-recent heuristic for reference.
-	row, err := ablationRow(m, "most-recent", "bingo[recent]",
-		func() (prefetch.Factory, error) {
-			cfg := core.DefaultConfig()
-			cfg.MostRecent = true
-			return core.Factory(cfg), nil
-		})
+	row, err := ablationRow(m, "most-recent", "bingo[recent]")
 	if err != nil {
 		return Table{}, err
 	}
@@ -513,13 +468,7 @@ func AblateRegion(m *Matrix) (Table, error) {
 		Headers: []string{"Region", "GMean Speedup", "Coverage", "Overprediction"},
 	}
 	for _, size := range regionSizes {
-		size := size
-		row, err := ablationRow(m, fmt.Sprintf("%d KB", size/1024), regionCellLabel(size),
-			func() (prefetch.Factory, error) {
-				cfg := core.DefaultConfig()
-				cfg.RegionBytes = size
-				return core.Factory(cfg), nil
-			})
+		row, err := ablationRow(m, fmt.Sprintf("%d KB", size/1024), regionCellLabel(size))
 		if err != nil {
 			return Table{}, err
 		}
@@ -534,17 +483,19 @@ var regionSizes = []uint64{1024, 2048, 4096}
 func regionCellLabel(size uint64) string { return fmt.Sprintf("bingo[region=%d]", size) }
 
 // variantCell runs (or recalls) a custom-config prefetcher labelled pf on
-// w under the matrix's base options. build must construct a fresh factory
-// per call so concurrent cells never share mutable prefetcher state.
-func (m *Matrix) variantCell(w workloads.Spec, pf string, build func() (prefetch.Factory, error)) (system.Results, error) {
-	res, _, err := m.RunCell(CellKey{Workload: w.Name, Prefetcher: pf}, m.opts, build, nil)
+// w under the matrix's base options. The label itself encodes the
+// configuration (see CellRunner), so the identical cell is reproducible
+// from the key alone — locally or on a sweep worker.
+func (m *Matrix) variantCell(w workloads.Spec, pf string) (system.Results, error) {
+	res, _, err := m.ExecuteCell(CellKey{Workload: w.Name, Prefetcher: pf}, m.opts)
 	return res, err
 }
 
 // ablationRow runs a Bingo variant over all workloads and summarises it.
-// A nil build means the registry's default Bingo; otherwise the variant
-// is memoised in m under the cellLabel prefetcher name.
-func ablationRow(m *Matrix, label, cellLabel string, build func() (prefetch.Factory, error)) ([]string, error) {
+// An empty cellLabel means the registry's default Bingo; otherwise the
+// variant is memoised in m under the cellLabel prefetcher name, whose
+// bracketed argument encodes the configuration.
+func ablationRow(m *Matrix, label, cellLabel string) ([]string, error) {
 	var logsum, covSum, overSum float64
 	for _, w := range workloads.All() {
 		base, err := m.Baseline(w)
@@ -552,10 +503,10 @@ func ablationRow(m *Matrix, label, cellLabel string, build func() (prefetch.Fact
 			return nil, err
 		}
 		var res system.Results
-		if build == nil {
+		if cellLabel == "" {
 			res, err = m.Get(w, "bingo")
 		} else {
-			res, err = m.variantCell(w, cellLabel, build)
+			res, err = m.variantCell(w, cellLabel)
 		}
 		if err != nil {
 			return nil, err

@@ -10,6 +10,7 @@ import (
 	"testing"
 	"time"
 
+	"bingo/internal/benchenv"
 	"bingo/internal/workloads"
 )
 
@@ -241,11 +242,7 @@ func BenchmarkMatrixParallel(b *testing.B) {
 // records the machine the numbers were taken on: the parallel speedup is
 // meaningless without knowing how many CPUs the worker pool had.
 type runnerBench struct {
-	GoVersion   string  `json:"go_version"`
-	GOOS        string  `json:"goos"`
-	GOARCH      string  `json:"goarch"`
-	NumCPU      int     `json:"num_cpu"`
-	GOMAXPROCS  int     `json:"gomaxprocs"`
+	benchenv.Env
 	Note        string  `json:"note,omitempty"`
 	Cells       int     `json:"cells"`
 	Experiments string  `json:"experiments"`
@@ -269,17 +266,14 @@ func TestEmitRunnerBench(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	jobs := runtime.GOMAXPROCS(0)
+	env := benchenv.Capture()
+	jobs := env.GOMAXPROCS
 	par, _, err := warmPlan(opts, jobs)
 	if err != nil {
 		t.Fatal(err)
 	}
 	doc := runnerBench{
-		GoVersion:   runtime.Version(),
-		GOOS:        runtime.GOOS,
-		GOARCH:      runtime.GOARCH,
-		NumCPU:      runtime.NumCPU(),
-		GOMAXPROCS:  jobs,
+		Env:         env,
 		Cells:       cells,
 		Experiments: fmt.Sprintf("%v", determinismExperiments),
 		SeqSeconds:  seq.Seconds(),

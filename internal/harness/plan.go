@@ -3,7 +3,6 @@ package harness
 import (
 	"fmt"
 
-	"bingo/internal/core"
 	"bingo/internal/prefetch"
 	"bingo/internal/workloads"
 )
@@ -14,22 +13,27 @@ import (
 // calls, so the enumeration can never produce a *different* simulation —
 // at worst an out-of-date enumerator warms too few cells (they then run
 // lazily, sequentially, at render time) or too many (wasted work), never
-// wrong output.
+// wrong output. Because every cell executes through ExecuteCell, a
+// planned cell is fully described by (Key, Opts) — the serializable unit
+// the sweep coordinator hands to remote workers.
+
+// planned builds the schedulable unit for one (key, options) cell.
+func (m *Matrix) planned(key CellKey, opts RunOptions) PlannedCell {
+	return PlannedCell{
+		Key:  key,
+		Opts: opts,
+		run:  func() error { _, _, err := m.ExecuteCell(key, opts); return err },
+	}
+}
 
 // getCell plans a registry (workload × prefetcher) run.
 func getCell(m *Matrix, w workloads.Spec, pf string) PlannedCell {
-	return PlannedCell{
-		Key: CellKey{Workload: w.Name, Prefetcher: pf},
-		run: func() error { _, err := m.Get(w, pf); return err },
-	}
+	return m.planned(CellKey{Workload: w.Name, Prefetcher: pf}, m.opts)
 }
 
 // optsCell plans a run under modified options.
 func optsCell(m *Matrix, w workloads.Spec, pf, variant string, o RunOptions) PlannedCell {
-	return PlannedCell{
-		Key: CellKey{Workload: w.Name, Prefetcher: pf, Variant: variant},
-		run: func() error { _, err := m.GetOpts(w, pf, variant, o); return err },
-	}
+	return m.planned(CellKey{Workload: w.Name, Prefetcher: pf, Variant: variant}, o)
 }
 
 // baselineCells plans the no-prefetcher run of every workload.
@@ -63,13 +67,9 @@ func experimentCells(name string, m *Matrix) []PlannedCell {
 		out = baselineCells(m)
 	case "fig2":
 		for _, kind := range prefetch.AllEvents() {
-			kind := kind
 			for _, w := range workloads.All() {
-				w := w
-				out = append(out, PlannedCell{
-					Key: CellKey{Workload: w.Name, Prefetcher: fmt.Sprintf("multievent1[event=%s]", kind)},
-					run: func() error { _, _, err := m.fig2Cell(kind, w); return err },
-				})
+				label := fmt.Sprintf("multievent1[event=%s]", kind)
+				out = append(out, m.planned(CellKey{Workload: w.Name, Prefetcher: label}, m.opts))
 			}
 		}
 	case "fig3":
@@ -80,22 +80,14 @@ func experimentCells(name string, m *Matrix) []PlannedCell {
 		out = matrixCells(m, pfs)
 	case "fig4":
 		for _, w := range workloads.All() {
-			w := w
-			out = append(out, PlannedCell{
-				Key: CellKey{Workload: w.Name, Prefetcher: "multievent2[probe]"},
-				run: func() error { _, err := m.fig4Cell(w); return err },
-			})
+			out = append(out, m.planned(CellKey{Workload: w.Name, Prefetcher: "multievent2[probe]"}, m.opts))
 		}
 	case "fig6":
 		out = baselineCells(m)
 		for _, w := range workloads.All() {
-			w := w
 			for _, size := range Fig6Sizes {
-				size := size
-				out = append(out, PlannedCell{
-					Key: CellKey{Workload: w.Name, Prefetcher: fmt.Sprintf("bingo[hist=%d]", size)},
-					run: func() error { _, err := m.fig6Cell(w, size); return err },
-				})
+				label := fmt.Sprintf("bingo[hist=%d]", size)
+				out = append(out, m.planned(CellKey{Workload: w.Name, Prefetcher: label}, m.opts))
 			}
 		}
 	case "fig7", "fig8", "fig9", "timeliness":
@@ -107,27 +99,13 @@ func experimentCells(name string, m *Matrix) []PlannedCell {
 	case "ablate-vote":
 		out = baselineCells(m)
 		for _, th := range voteThresholds {
-			th := th
-			out = append(out, variantCells(m, voteCellLabel(th), func() (prefetch.Factory, error) {
-				cfg := core.DefaultConfig()
-				cfg.VoteThreshold = th
-				return core.Factory(cfg), nil
-			})...)
+			out = append(out, variantCells(m, voteCellLabel(th))...)
 		}
-		out = append(out, variantCells(m, "bingo[recent]", func() (prefetch.Factory, error) {
-			cfg := core.DefaultConfig()
-			cfg.MostRecent = true
-			return core.Factory(cfg), nil
-		})...)
+		out = append(out, variantCells(m, "bingo[recent]")...)
 	case "ablate-region":
 		out = baselineCells(m)
 		for _, size := range regionSizes {
-			size := size
-			out = append(out, variantCells(m, regionCellLabel(size), func() (prefetch.Factory, error) {
-				cfg := core.DefaultConfig()
-				cfg.RegionBytes = size
-				return core.Factory(cfg), nil
-			})...)
+			out = append(out, variantCells(m, regionCellLabel(size))...)
 		}
 	case "ablate-sharing":
 		out = matrixCells(m, []string{"bingo", "bingo-shared"})
@@ -160,13 +138,7 @@ func experimentCells(name string, m *Matrix) []PlannedCell {
 	case "ablate-tags":
 		out = matrixCells(m, []string{"bingo"})
 		for _, bits := range tagWidths {
-			bits := bits
-			out = append(out, variantCells(m, tagCellLabel(bits), func() (prefetch.Factory, error) {
-				cfg := core.DefaultConfig()
-				cfg.TruncateTags = true
-				cfg.LongTagBits = bits
-				return core.Factory(cfg), nil
-			})...)
+			out = append(out, variantCells(m, tagCellLabel(bits))...)
 		}
 	case "extras":
 		out = matrixCells(m, extrasPrefetchers)
@@ -182,15 +154,12 @@ func experimentCells(name string, m *Matrix) []PlannedCell {
 	return out
 }
 
-// variantCells plans a custom-factory variant on every workload.
-func variantCells(m *Matrix, label string, build func() (prefetch.Factory, error)) []PlannedCell {
+// variantCells plans a labelled custom-config variant on every workload;
+// the label itself encodes the configuration (see CellRunner).
+func variantCells(m *Matrix, label string) []PlannedCell {
 	var out []PlannedCell
 	for _, w := range workloads.All() {
-		w := w
-		out = append(out, PlannedCell{
-			Key: CellKey{Workload: w.Name, Prefetcher: label},
-			run: func() error { _, err := m.variantCell(w, label, build); return err },
-		})
+		out = append(out, m.planned(CellKey{Workload: w.Name, Prefetcher: label}, m.opts))
 	}
 	return out
 }

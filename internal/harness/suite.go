@@ -138,9 +138,9 @@ func (c SuiteConfig) jobs() int {
 	return runtime.GOMAXPROCS(0)
 }
 
-// selected resolves the requested experiment names (canonical order),
+// Selected resolves the requested experiment names (canonical order),
 // erroring on unknown names.
-func (c SuiteConfig) selected() ([]string, error) {
+func (c SuiteConfig) Selected() ([]string, error) {
 	want := make(map[string]bool)
 	all := len(c.Experiments) == 0
 	for _, e := range c.Experiments {
@@ -182,29 +182,14 @@ func (c SuiteConfig) selected() ([]string, error) {
 // repeated runs at the same value. Jobs == 1 skips the warm phase
 // entirely, recovering the historical lazy sequential path.
 func RunSuite(out io.Writer, cfg SuiteConfig) error {
-	names, err := cfg.selected()
+	names, err := cfg.Selected()
 	if err != nil {
 		return err
 	}
 	jobs := cfg.jobs()
-	m := NewMatrix(cfg.Opts)
-	// Per-cell allocation accounting is only attributable when cells run
-	// one at a time.
-	m.SetAllocTracking(jobs == 1)
-	if cfg.TelemetryDir != "" {
-		if err := m.SetTelemetry(cfg.TelemetryDir, cfg.TelemetryEpoch); err != nil {
-			return err
-		}
-	}
-	m.SetDebugRegistry(cfg.Debug)
-	var warm *WarmStore
-	if cfg.WarmDir != "" {
-		ws, err := NewWarmStore(cfg.WarmDir)
-		if err != nil {
-			return err
-		}
-		m.SetWarmStore(ws)
-		warm = ws
+	m, warm, err := NewSuiteMatrix(cfg)
+	if err != nil {
+		return err
 	}
 
 	wallStart := time.Now()
@@ -218,6 +203,51 @@ func RunSuite(out io.Writer, cfg SuiteConfig) error {
 		warmWall = time.Since(wallStart)
 	}
 
+	if err := RenderTables(out, cfg, m, names); err != nil {
+		return err
+	}
+
+	WriteRunReport(cfg.Report, m, jobs, warmWall, time.Since(wallStart))
+	if cfg.TelemetryDir != "" {
+		reportf(cfg.Report, "telemetry: per-cell epoch series exported to %s\n", cfg.TelemetryDir)
+	}
+	ReportWarmStats(cfg.Report, warm)
+	return nil
+}
+
+// NewSuiteMatrix builds the run matrix a suite configuration describes:
+// base options, telemetry export, debug registry, warm-start store, and
+// allocation tracking (only attributable at Jobs == 1). The returned
+// WarmStore is nil unless cfg.WarmDir is set.
+func NewSuiteMatrix(cfg SuiteConfig) (*Matrix, *WarmStore, error) {
+	m := NewMatrix(cfg.Opts)
+	// Per-cell allocation accounting is only attributable when cells run
+	// one at a time.
+	m.SetAllocTracking(cfg.jobs() == 1)
+	if cfg.TelemetryDir != "" {
+		if err := m.SetTelemetry(cfg.TelemetryDir, cfg.TelemetryEpoch); err != nil {
+			return nil, nil, err
+		}
+	}
+	m.SetDebugRegistry(cfg.Debug)
+	var warm *WarmStore
+	if cfg.WarmDir != "" {
+		ws, err := NewWarmStore(cfg.WarmDir)
+		if err != nil {
+			return nil, nil, err
+		}
+		m.SetWarmStore(ws)
+		warm = ws
+	}
+	return m, warm, nil
+}
+
+// RenderTables builds and renders the named experiments' tables to out,
+// strictly in the given order, in the configured format. Renderers pull
+// cells from the memoised matrix — any cell not already present (warmed
+// locally or injected from a sweep worker) is simulated lazily here, so
+// the output never depends on how the matrix was populated.
+func RenderTables(out io.Writer, cfg SuiteConfig, m *Matrix, names []string) error {
 	for _, name := range names {
 		t0 := time.Now()
 		table, err := BuildExperiment(name, m)
@@ -237,17 +267,23 @@ func RunSuite(out io.Writer, cfg SuiteConfig) error {
 		}
 		reportf(cfg.Report, "%s: rendered in %s\n", name, time.Since(t0).Round(time.Millisecond))
 	}
-
-	writeRunReport(cfg.Report, m, jobs, warmWall, time.Since(wallStart))
-	if cfg.TelemetryDir != "" {
-		reportf(cfg.Report, "telemetry: per-cell epoch series exported to %s\n", cfg.TelemetryDir)
-	}
-	if warm != nil {
-		s := warm.Stats()
-		reportf(cfg.Report, "warm-start store: %d hits (%d warm-up cycles skipped), %d misses (%d warm-up cycles run)\n",
-			s.Hits, s.CyclesSkipped, s.Misses, s.CyclesRun)
-	}
 	return nil
+}
+
+// ReportWarmStats writes the warm-start store's hit/miss line (plus the
+// remote-cache line when a distributed artifact cache was attached) to
+// the report sink. nil store or sink writes nothing.
+func ReportWarmStats(w io.Writer, warm *WarmStore) {
+	if warm == nil {
+		return
+	}
+	s := warm.Stats()
+	reportf(w, "warm-start store: %d hits (%d warm-up cycles skipped), %d misses (%d warm-up cycles run)\n",
+		s.Hits, s.CyclesSkipped, s.Misses, s.CyclesRun)
+	if s.RemoteHits > 0 || s.RemotePuts > 0 || s.RemotePutErrors > 0 {
+		reportf(w, "remote artifact cache: %d fetched, %d pushed, %d push errors\n",
+			s.RemoteHits, s.RemotePuts, s.RemotePutErrors)
+	}
 }
 
 // reportf writes a progress line to the report sink, if any.
@@ -257,10 +293,10 @@ func reportf(w io.Writer, format string, args ...any) {
 	}
 }
 
-// writeRunReport renders the per-cell statistics: totals, effective
+// WriteRunReport renders the per-cell statistics: totals, effective
 // parallelism, and the slowest cells with their timing (and allocation
 // volume when it was attributable, i.e. jobs == 1).
-func writeRunReport(w io.Writer, m *Matrix, jobs int, warmWall, totalWall time.Duration) {
+func WriteRunReport(w io.Writer, m *Matrix, jobs int, warmWall, totalWall time.Duration) {
 	if w == nil {
 		return
 	}

@@ -11,6 +11,7 @@ import (
 	"testing"
 	"time"
 
+	"bingo/internal/benchenv"
 	"bingo/internal/system"
 	"bingo/internal/workloads"
 )
@@ -46,6 +47,7 @@ func telemetryBenchRun(t *testing.T, telDir string) (time.Duration, map[string]s
 }
 
 type telemetryBench struct {
+	benchenv.Env
 	Workloads        int     `json:"workloads"`
 	MeasureInstr     uint64  `json:"measure_instructions_per_cell"`
 	BaselineSeconds  float64 `json:"baseline_seconds"`
@@ -81,6 +83,7 @@ func TestEmitTelemetryBench(t *testing.T) {
 	overhead := (onDur.Seconds() - offDur.Seconds()) / offDur.Seconds() * 100
 
 	doc := telemetryBench{
+		Env:              benchenv.Capture(),
 		Workloads:        len(workloads.All()),
 		MeasureInstr:     200_000,
 		BaselineSeconds:  offDur.Seconds(),

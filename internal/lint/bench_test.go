@@ -5,12 +5,12 @@ import (
 	"io"
 	"os"
 	"path/filepath"
-	"runtime"
 	"strconv"
 	"strings"
 	"testing"
 	"time"
 
+	"bingo/internal/benchenv"
 	"bingo/internal/lint"
 	"bingo/internal/lint/analysis"
 )
@@ -21,7 +21,7 @@ import (
 // type-checked in memory at once, so RSS is the number that limits
 // where it can run.
 type lintBench struct {
-	GoVersion      string  `json:"go_version"`
+	benchenv.Env
 	Analyzers      int     `json:"analyzers"`
 	Packages       int     `json:"packages_cached"`
 	ColdSeconds    float64 `json:"cold_seconds"`
@@ -82,7 +82,7 @@ func TestEmitLintBench(t *testing.T) {
 
 	const budget = 60.0
 	doc := lintBench{
-		GoVersion:      runtime.Version(),
+		Env:            benchenv.Capture(),
 		Analyzers:      len(lint.Suite()),
 		Packages:       cached,
 		ColdSeconds:    coldDur.Seconds(),

@@ -1,0 +1,132 @@
+// Wall-clock reads in this file time local vs distributed sweeps for
+// the BENCH_sweep.json artefact; simulated results never depend on them
+// (and detlint exempts _test.go files for exactly this reason).
+package sweep
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"bingo/internal/benchenv"
+	"bingo/internal/harness"
+)
+
+// sweepPoint is one worker-count measurement in BENCH_sweep.json.
+type sweepPoint struct {
+	Workers     int     `json:"workers"`
+	Seconds     float64 `json:"seconds"`
+	CellsPerSec float64 `json:"cells_per_sec"`
+}
+
+// sweepBench is the BENCH_sweep.json document: local throughput vs
+// coordinator+N-workers over loopback HTTP, plus the remote warm-cache
+// hit rate a fresh worker sees on a populated coordinator cache. On a
+// single-CPU host the distributed points measure pure protocol overhead
+// (lease/heartbeat/complete round trips); the speedup story needs a
+// multi-core machine or real fleet.
+type sweepBench struct {
+	benchenv.Env
+	Experiments      string       `json:"experiments"`
+	Cells            int          `json:"cells"`
+	LocalSeconds     float64      `json:"local_seconds"`
+	LocalCellsPerSec float64      `json:"local_cells_per_sec"`
+	Sweeps           []sweepPoint `json:"sweeps"`
+	WarmPopulateSecs float64      `json:"warm_populate_seconds"`
+	WarmReuseSecs    float64      `json:"warm_reuse_seconds"`
+	WarmHitRate      float64      `json:"warm_cache_hit_rate"`
+	OutputsIdentical bool         `json:"outputs_identical"`
+}
+
+// TestEmitSweepBench measures the benchmark experiment subset locally
+// and distributed (coordinator + N loopback workers for N in 1, 2, 4,
+// then a warm-cache populate/reuse pair), verifies every rendering is
+// byte-identical, and writes BENCH_sweep.json to the path in the
+// BENCH_SWEEP_JSON environment variable. It is a generator, not a test:
+// without the variable it skips. Run it via `make bench-sweep`.
+func TestEmitSweepBench(t *testing.T) {
+	path := os.Getenv("BENCH_SWEEP_JSON")
+	if path == "" {
+		t.Skip("set BENCH_SWEEP_JSON=<path> to emit the distributed sweep benchmark")
+	}
+
+	// Fresh local run (not the memoized oracle): the wall time must
+	// cover real simulation work even when other tests ran first.
+	var localBuf bytes.Buffer
+	localStart := time.Now()
+	if err := harness.RunSuite(&localBuf, oracleConfig()); err != nil {
+		t.Fatal(err)
+	}
+	localDur := time.Since(localStart)
+	want := localBuf.Bytes()
+
+	identical := true
+	cells := 0
+	var points []sweepPoint
+	for _, n := range []int{1, 2, 4} {
+		workers := make([]*Worker, n)
+		for i := range workers {
+			workers[i] = &Worker{Jobs: 1, PollInterval: 20 * time.Millisecond}
+		}
+		start := time.Now()
+		out, coord := runSweep(t, oracleConfig(), Options{}, workers)
+		dur := time.Since(start)
+		identical = identical && bytes.Equal(out, want)
+		cells = coord.Progress().Total
+		points = append(points, sweepPoint{
+			Workers:     n,
+			Seconds:     dur.Seconds(),
+			CellsPerSec: float64(cells) / dur.Seconds(),
+		})
+		t.Logf("workers=%d: %s (%.1f cells/sec)", n, dur, float64(cells)/dur.Seconds())
+	}
+
+	// Warm-cache pair: sweep 1 populates the coordinator's artifact
+	// cache, sweep 2's fresh worker fetches every warm-up remotely.
+	warmCfg := oracleConfig()
+	warmCfg.WarmDir = t.TempDir()
+	popStart := time.Now()
+	popOut, _ := runSweep(t, warmCfg, Options{}, []*Worker{{Jobs: 1, PollInterval: 20 * time.Millisecond}})
+	popDur := time.Since(popStart)
+	w2 := &Worker{Jobs: 1, PollInterval: 20 * time.Millisecond}
+	reuseStart := time.Now()
+	reuseOut, _ := runSweep(t, warmCfg, Options{}, []*Worker{w2})
+	reuseDur := time.Since(reuseStart)
+	identical = identical && bytes.Equal(popOut, want) && bytes.Equal(reuseOut, want)
+	if !identical {
+		t.Error("distributed outputs diverge from the local run")
+	}
+	ws := w2.WarmStats()
+	hits := ws.Hits + ws.RemoteHits
+	hitRate := 0.0
+	if hits+ws.Misses > 0 {
+		hitRate = float64(hits) / float64(hits+ws.Misses)
+	}
+	if hitRate == 0 {
+		t.Error("reuse sweep saw no warm-cache hits")
+	}
+
+	doc := sweepBench{
+		Env:              benchenv.Capture(),
+		Experiments:      fmt.Sprintf("%v", oracleConfig().Experiments),
+		Cells:            cells,
+		LocalSeconds:     localDur.Seconds(),
+		LocalCellsPerSec: float64(cells) / localDur.Seconds(),
+		Sweeps:           points,
+		WarmPopulateSecs: popDur.Seconds(),
+		WarmReuseSecs:    reuseDur.Seconds(),
+		WarmHitRate:      hitRate,
+		OutputsIdentical: identical,
+	}
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s: local=%s, warm reuse=%s (hit rate %.0f%%)", path, localDur, reuseDur, 100*hitRate)
+}

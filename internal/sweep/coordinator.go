@@ -1,0 +1,296 @@
+// All wall-clock reads in this file time the sweep for the run report;
+// simulated results never depend on them.
+//
+//lint:file-ignore detlint wall clock used for run-report timing only, never in simulated paths
+package sweep
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"bingo/internal/checkpoint"
+	"bingo/internal/harness"
+)
+
+// Options tunes the coordinator's lease protocol.
+type Options struct {
+	// LeaseTTL is the heartbeat deadline for one lease (default 1m).
+	LeaseTTL time.Duration
+	// MaxAttempts bounds leases per job before it falls back to local
+	// simulation at render time (default 3).
+	MaxAttempts int
+}
+
+// Coordinator owns one distributed suite run: it plans the job queue,
+// serves the lease/complete protocol plus the artifact cache and
+// progress endpoints, injects worker results into its run matrix, and —
+// once the queue drains — renders the experiment tables exactly as a
+// local run would. Determinism does all the heavy lifting: the matrix
+// cannot tell an injected result from a simulated one, and renderers
+// walk the matrix in canonical order either way.
+type Coordinator struct {
+	cfg   harness.SuiteConfig
+	names []string
+	m     *harness.Matrix
+	warm  *harness.WarmStore
+	queue *Queue
+	mux   *http.ServeMux
+
+	artMu     sync.Mutex
+	artServes uint64
+	artStores uint64
+}
+
+// NewCoordinator plans the suite run cfg describes and prepares the
+// service around it. Nothing simulates until workers connect (or
+// rendering falls back locally for failed jobs).
+func NewCoordinator(cfg harness.SuiteConfig, o Options) (*Coordinator, error) {
+	names, err := cfg.Selected()
+	if err != nil {
+		return nil, err
+	}
+	m, warm, err := harness.NewSuiteMatrix(cfg)
+	if err != nil {
+		return nil, err
+	}
+	c := &Coordinator{cfg: cfg, names: names, m: m, warm: warm}
+	cells := harness.PlanExperiments(names, m)
+	c.queue = NewQueue(cells, o.LeaseTTL, o.MaxAttempts, c.accept)
+	c.mux = http.NewServeMux()
+	c.mux.HandleFunc("POST /v1/lease", c.handleLease)
+	c.mux.HandleFunc("POST /v1/heartbeat", c.handleHeartbeat)
+	c.mux.HandleFunc("POST /v1/complete", c.handleComplete)
+	c.mux.HandleFunc("GET /v1/config", c.handleConfig)
+	c.mux.HandleFunc("GET /v1/progress", c.handleProgress)
+	c.mux.HandleFunc("GET /v1/artifact/{hash}", c.handleArtifactGet)
+	c.mux.HandleFunc("PUT /v1/artifact/{hash}", c.handleArtifactPut)
+	return c, nil
+}
+
+// Handler returns the coordinator's HTTP handler.
+func (c *Coordinator) Handler() http.Handler { return c.mux }
+
+// Progress snapshots the sweep's queue state.
+func (c *Coordinator) Progress() Progress { return c.queue.Progress() }
+
+// accept is the queue's on-complete hook: it runs exactly once per job,
+// for the accepted success, and makes the worker's result
+// indistinguishable from a local simulation of the same cell.
+func (c *Coordinator) accept(cell harness.PlannedCell, res Result) {
+	c.m.Inject(cell.Key, res.Results, res.Aux.Decode(), time.Duration(res.DurationNS))
+	if c.cfg.TelemetryDir == "" {
+		return
+	}
+	base := filepath.Join(c.cfg.TelemetryDir, harness.TelemetryFileBase(cell.Key))
+	for _, f := range res.Telemetry {
+		// Suffixes were validated at decode time; the stem is derived
+		// from the cell key here, so workers never influence file names.
+		if err := os.WriteFile(base+f.Suffix, f.Data, 0o644); err != nil {
+			reportfLocked(c.cfg.Report, "sweep: telemetry write %s: %v\n", cell.Key, err)
+		}
+	}
+}
+
+// Run serves no sockets itself — the caller pairs Handler with a
+// listener — but drives the run to completion: it waits until every job
+// is terminal (or ctx is cancelled), renders the tables to out, and
+// writes the run report. Jobs that exhausted their retry budget are
+// simulated locally by the renderers, lazily, exactly as a cold cell
+// would be.
+func (c *Coordinator) Run(ctx context.Context, out io.Writer) error {
+	start := time.Now()
+	select {
+	case <-c.queue.Drained():
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	p := c.queue.Progress()
+	reportfLocked(c.cfg.Report, "sweep: %d jobs done by workers, %d failed (local fallback), %d re-leases\n",
+		p.Done, p.Failed, p.Retries)
+	if err := harness.RenderTables(out, c.cfg, c.m, c.names); err != nil {
+		return err
+	}
+	harness.WriteRunReport(c.cfg.Report, c.m, c.cfg.Jobs, 0, time.Since(start))
+	harness.ReportWarmStats(c.cfg.Report, c.warm)
+	c.artMu.Lock()
+	serves, stores := c.artServes, c.artStores
+	c.artMu.Unlock()
+	if serves > 0 || stores > 0 {
+		reportfLocked(c.cfg.Report, "artifact cache: %d served to workers, %d stored by workers\n", serves, stores)
+	}
+	return nil
+}
+
+// reportfLocked writes a progress line to the report sink, if any.
+func reportfLocked(w io.Writer, format string, args ...any) {
+	if w != nil {
+		fmt.Fprintf(w, format, args...)
+	}
+}
+
+func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
+	job, outcome := c.queue.Lease()
+	switch outcome {
+	case LeaseDrained:
+		w.WriteHeader(http.StatusGone)
+	case LeaseRetry:
+		w.WriteHeader(http.StatusNoContent)
+	default:
+		writeJSON(w, job)
+	}
+}
+
+func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	ctl, err := DecodeControl(r.Body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if !c.queue.Heartbeat(ctl.JobID, ctl.LeaseID) {
+		http.Error(w, "lease not current", http.StatusConflict)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
+	res, err := DecodeResult(r.Body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	accepted := c.queue.Complete(res)
+	writeJSON(w, map[string]bool{"accepted": accepted})
+}
+
+func (c *Coordinator) handleConfig(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, Config{
+		Version:        ProtocolVersion,
+		Telemetry:      c.cfg.TelemetryDir != "",
+		TelemetryEpoch: c.cfg.TelemetryEpoch,
+		Warm:           c.warm != nil,
+	})
+}
+
+func (c *Coordinator) handleProgress(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, c.queue.Progress())
+}
+
+// validArtifactHash accepts exactly a lowercase hex sha256 — anything
+// else (path separators, dots) is rejected before touching the
+// filesystem.
+func validArtifactHash(h string) bool {
+	if len(h) != 64 {
+		return false
+	}
+	for i := 0; i < len(h); i++ {
+		c := h[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// artifactFile maps a validated hash to the coordinator's warm-store
+// file, or "" when the artifact cache is disabled or the hash malformed.
+func (c *Coordinator) artifactFile(hash string) string {
+	if c.warm == nil || !validArtifactHash(hash) {
+		return ""
+	}
+	return filepath.Join(c.warm.Dir(), hash+".ckpt")
+}
+
+func (c *Coordinator) handleArtifactGet(w http.ResponseWriter, r *http.Request) {
+	path := c.artifactFile(r.PathValue("hash"))
+	if path == "" {
+		http.Error(w, "artifact cache disabled or bad hash", http.StatusNotFound)
+		return
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		http.Error(w, "no such artifact", http.StatusNotFound)
+		return
+	}
+	defer func() {
+		_ = f.Close() // best-effort: read-only descriptor, response already streamed
+	}()
+	w.Header().Set("Content-Type", "application/octet-stream")
+	if _, err := io.Copy(w, f); err != nil {
+		return // client went away mid-stream; nothing to clean up
+	}
+	c.artMu.Lock()
+	c.artServes++
+	c.artMu.Unlock()
+}
+
+func (c *Coordinator) handleArtifactPut(w http.ResponseWriter, r *http.Request) {
+	path := c.artifactFile(r.PathValue("hash"))
+	if path == "" {
+		http.Error(w, "artifact cache disabled or bad hash", http.StatusNotFound)
+		return
+	}
+	if _, err := os.Stat(path); err == nil {
+		// Already cached: idempotent no-op (concurrent workers may race
+		// to push the same artifact; first write wins).
+		w.WriteHeader(http.StatusOK)
+		return
+	}
+	data, err := io.ReadAll(io.LimitReader(r.Body, MaxArtifactBytes+1))
+	if err != nil {
+		http.Error(w, "reading artifact", http.StatusBadRequest)
+		return
+	}
+	if len(data) > MaxArtifactBytes {
+		http.Error(w, "artifact exceeds size cap", http.StatusRequestEntityTooLarge)
+		return
+	}
+	// Validate the full container — magic, format version, per-section
+	// CRCs — before committing. A corrupt upload is rejected here, and a
+	// corrupt file that somehow lands on disk is still caught by the
+	// warm store's validate-on-load path.
+	if _, err := checkpoint.NewFileReader(bytes.NewReader(data)); err != nil {
+		http.Error(w, "artifact failed checkpoint validation", http.StatusUnprocessableEntity)
+		return
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
+	if err != nil {
+		http.Error(w, "storing artifact", http.StatusInternalServerError)
+		return
+	}
+	_, writeErr := tmp.Write(data)
+	closeErr := tmp.Close()
+	if writeErr == nil {
+		writeErr = closeErr
+	}
+	if writeErr == nil {
+		writeErr = os.Rename(tmp.Name(), path)
+	}
+	if writeErr != nil {
+		_ = os.Remove(tmp.Name()) // best-effort temp cleanup: the store error wins
+		http.Error(w, "storing artifact", http.StatusInternalServerError)
+		return
+	}
+	c.artMu.Lock()
+	c.artStores++
+	c.artMu.Unlock()
+	w.WriteHeader(http.StatusCreated)
+}
+
+// writeJSON writes v as a JSON response.
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	data, err := encodeJSON(v)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	_, _ = w.Write(data) // best-effort: a failed response write is the client's loss
+}

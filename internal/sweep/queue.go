@@ -1,0 +1,257 @@
+// All wall-clock reads in this file drive lease bookkeeping — an
+// operational concern of the job service. Simulated results never depend
+// on them: a cell's outcome is a pure function of (key, options), and
+// expiry only decides *who* runs a cell, never *what* it computes.
+package sweep
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"bingo/internal/harness"
+)
+
+// jobStatus is a queue entry's lifecycle state.
+type jobStatus int
+
+const (
+	jobPending jobStatus = iota
+	jobLeased
+	jobDone
+	jobFailed
+)
+
+// queueJob is one queue entry.
+type queueJob struct {
+	cell     harness.PlannedCell
+	status   jobStatus
+	attempts int
+	leaseID  string
+	deadline time.Time
+	result   *Result
+}
+
+// LeaseOutcome classifies a lease request's answer.
+type LeaseOutcome int
+
+const (
+	// LeaseGranted: the returned Job is the caller's to run.
+	LeaseGranted LeaseOutcome = iota
+	// LeaseRetry: nothing leasable right now (all remaining jobs are
+	// held by live leases) — poll again.
+	LeaseRetry
+	// LeaseDrained: every job is terminal; the worker may exit.
+	LeaseDrained
+)
+
+// Queue is the coordinator's lease-based job queue. Jobs are handed out
+// in plan order; a lease that misses its heartbeat deadline is reclaimed
+// and the job re-leased (up to maxAttempts), and completion is
+// idempotent with first-success-wins — safe because results are
+// deterministic, so any two successful completions of a job carry
+// identical payloads.
+//
+// Queue is safe for concurrent use. The onComplete hook runs outside the
+// queue lock, once per job, for the single accepted success.
+type Queue struct {
+	leaseTTL    time.Duration
+	maxAttempts int
+	onComplete  func(cell harness.PlannedCell, res Result)
+
+	mu          sync.Mutex
+	now         func() time.Time // injectable for lease-expiry tests
+	jobs        []*queueJob
+	byID        map[string]*queueJob
+	leaseSeq    uint64
+	retries     int
+	outstanding int
+	drained     chan struct{}
+}
+
+// NewQueue builds a queue over the planned cells. leaseTTL is the
+// heartbeat deadline for one lease; maxAttempts bounds how many times a
+// job may be leased before it is marked failed (the coordinator then
+// falls back to simulating it locally at render time). onComplete, if
+// non-nil, observes the single accepted success of each job.
+func NewQueue(cells []harness.PlannedCell, leaseTTL time.Duration, maxAttempts int, onComplete func(harness.PlannedCell, Result)) *Queue {
+	if leaseTTL <= 0 {
+		leaseTTL = time.Minute
+	}
+	if maxAttempts <= 0 {
+		maxAttempts = 3
+	}
+	q := &Queue{
+		leaseTTL:    leaseTTL,
+		maxAttempts: maxAttempts,
+		onComplete:  onComplete,
+		now:         time.Now,
+		byID:        make(map[string]*queueJob, len(cells)),
+		outstanding: len(cells),
+		drained:     make(chan struct{}),
+	}
+	for _, c := range cells {
+		j := &queueJob{cell: c}
+		q.jobs = append(q.jobs, j)
+		q.byID[c.Key.String()] = j
+	}
+	if q.outstanding == 0 {
+		close(q.drained)
+	}
+	return q
+}
+
+// Lease hands out the next runnable job. Expired leases are reclaimed
+// first, so a crashed worker's job becomes leasable again one TTL after
+// its last heartbeat.
+func (q *Queue) Lease() (Job, LeaseOutcome) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	now := q.now()
+	q.reclaimExpiredLocked(now)
+	if q.outstanding == 0 {
+		return Job{}, LeaseDrained
+	}
+	for _, j := range q.jobs {
+		if j.status != jobPending {
+			continue
+		}
+		q.leaseSeq++
+		j.status = jobLeased
+		j.attempts++
+		if j.attempts > 1 {
+			q.retries++
+		}
+		j.leaseID = fmt.Sprintf("lease-%d", q.leaseSeq)
+		j.deadline = now.Add(q.leaseTTL)
+		return Job{
+			Version:        ProtocolVersion,
+			ID:             j.cell.Key.String(),
+			LeaseID:        j.leaseID,
+			Attempt:        j.attempts,
+			LeaseTTLMillis: q.leaseTTL.Milliseconds(),
+			Key:            j.cell.Key,
+			Opts:           j.cell.Opts,
+		}, LeaseGranted
+	}
+	return Job{}, LeaseRetry
+}
+
+// reclaimExpiredLocked returns expired leases to the pending pool, or
+// marks their jobs failed once the attempt budget is spent.
+func (q *Queue) reclaimExpiredLocked(now time.Time) {
+	for _, j := range q.jobs {
+		if j.status != jobLeased || now.Before(j.deadline) {
+			continue
+		}
+		j.leaseID = ""
+		if j.attempts >= q.maxAttempts {
+			j.status = jobFailed
+			q.finishLocked()
+		} else {
+			j.status = jobPending
+		}
+	}
+}
+
+// finishLocked accounts one job reaching a terminal state.
+func (q *Queue) finishLocked() {
+	q.outstanding--
+	if q.outstanding == 0 {
+		close(q.drained)
+	}
+}
+
+// Heartbeat extends the named lease. False means the lease is no longer
+// current (expired and re-leased, or the job finished) — the worker
+// should abandon the job.
+func (q *Queue) Heartbeat(jobID, leaseID string) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	j, ok := q.byID[jobID]
+	if !ok || j.status != jobLeased || j.leaseID != leaseID {
+		return false
+	}
+	now := q.now()
+	if !now.Before(j.deadline) {
+		// Already expired; reclamation will handle it.
+		return false
+	}
+	j.deadline = now.Add(q.leaseTTL)
+	return true
+}
+
+// Complete records a worker's result. A success is accepted
+// first-wins regardless of which lease produced it — even a straggler
+// whose lease expired, or a job already marked failed, since a
+// deterministic result is correct no matter who computed it. Duplicate
+// successes and unknown jobs are ignored. A failure report only counts
+// against the attempt budget when it quotes the current lease; stale
+// failures (the job was re-leased) are ignored.
+//
+// The returned bool reports whether this call's success was the one
+// accepted.
+func (q *Queue) Complete(res Result) bool {
+	q.mu.Lock()
+	j, ok := q.byID[res.JobID]
+	if !ok {
+		q.mu.Unlock()
+		return false
+	}
+	if res.Error == "" {
+		if j.status == jobDone {
+			q.mu.Unlock()
+			return false
+		}
+		wasTerminal := j.status == jobFailed
+		j.status = jobDone
+		j.leaseID = ""
+		j.result = &res
+		if !wasTerminal {
+			q.finishLocked()
+		}
+		hook := q.onComplete
+		cell := j.cell
+		q.mu.Unlock()
+		if hook != nil {
+			hook(cell, res)
+		}
+		return true
+	}
+	// Failure report: only the current lease may spend an attempt.
+	if j.status == jobLeased && j.leaseID == res.LeaseID {
+		j.leaseID = ""
+		if j.attempts >= q.maxAttempts {
+			j.status = jobFailed
+			q.finishLocked()
+		} else {
+			j.status = jobPending
+		}
+	}
+	q.mu.Unlock()
+	return false
+}
+
+// Drained is closed once every job is terminal (done or failed).
+func (q *Queue) Drained() <-chan struct{} { return q.drained }
+
+// Progress snapshots the queue's state.
+func (q *Queue) Progress() Progress {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.reclaimExpiredLocked(q.now())
+	p := Progress{Version: ProtocolVersion, Total: len(q.jobs), Retries: q.retries}
+	for _, j := range q.jobs {
+		switch j.status {
+		case jobPending:
+			p.Pending++
+		case jobLeased:
+			p.Leased++
+		case jobDone:
+			p.Done++
+		case jobFailed:
+			p.Failed++
+		}
+	}
+	return p
+}

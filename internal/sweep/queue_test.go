@@ -1,0 +1,245 @@
+package sweep
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"bingo/internal/harness"
+	"bingo/internal/system"
+)
+
+// testCells builds n distinct planned cells (run thunks unused: the
+// queue never executes jobs itself).
+func testCells(n int) []harness.PlannedCell {
+	out := make([]harness.PlannedCell, n)
+	for i := range out {
+		out[i] = harness.PlannedCell{
+			Key:  harness.CellKey{Workload: fmt.Sprintf("w%d", i), Prefetcher: "bingo"},
+			Opts: harness.RunOptions{Seed: int64(i)},
+		}
+	}
+	return out
+}
+
+// testClock installs a controllable clock and returns the advance func.
+func testClock(q *Queue) func(d time.Duration) {
+	now := time.Unix(1_000_000, 0)
+	q.mu.Lock()
+	q.now = func() time.Time { return now }
+	q.mu.Unlock()
+	return func(d time.Duration) { now = now.Add(d) }
+}
+
+// okResult builds a successful completion for a leased job.
+func okResult(j Job) Result {
+	return Result{
+		Version: ProtocolVersion,
+		JobID:   j.ID,
+		LeaseID: j.LeaseID,
+		Results: system.Results{TotalCycles: 42},
+	}
+}
+
+func TestQueueLeaseExpiryRelease(t *testing.T) {
+	q := NewQueue(testCells(1), time.Minute, 3, nil)
+	advance := testClock(q)
+
+	j1, outcome := q.Lease()
+	if outcome != LeaseGranted || j1.Attempt != 1 {
+		t.Fatalf("first lease: outcome=%v attempt=%d", outcome, j1.Attempt)
+	}
+	// Job is held: nothing else leasable.
+	if _, outcome := q.Lease(); outcome != LeaseRetry {
+		t.Fatalf("second lease while held: outcome=%v, want retry", outcome)
+	}
+	// Heartbeats keep the lease alive across the nominal TTL.
+	advance(45 * time.Second)
+	if !q.Heartbeat(j1.ID, j1.LeaseID) {
+		t.Fatal("heartbeat within TTL rejected")
+	}
+	advance(45 * time.Second)
+	if _, outcome := q.Lease(); outcome != LeaseRetry {
+		t.Fatalf("lease after heartbeat extension: outcome=%v, want retry", outcome)
+	}
+	// Silence past the deadline: the job is re-leased with a fresh lease.
+	advance(2 * time.Minute)
+	j2, outcome := q.Lease()
+	if outcome != LeaseGranted {
+		t.Fatalf("re-lease after expiry: outcome=%v", outcome)
+	}
+	if j2.ID != j1.ID || j2.Attempt != 2 || j2.LeaseID == j1.LeaseID {
+		t.Fatalf("re-lease: id=%q attempt=%d lease=%q (prev %q)", j2.ID, j2.Attempt, j2.LeaseID, j1.LeaseID)
+	}
+	// The stale lease is dead: heartbeats and failure reports using it
+	// are rejected/ignored.
+	if q.Heartbeat(j1.ID, j1.LeaseID) {
+		t.Fatal("heartbeat with expired lease accepted")
+	}
+	if p := q.Progress(); p.Retries != 1 || p.Leased != 1 {
+		t.Fatalf("progress after re-lease: %+v", p)
+	}
+}
+
+func TestQueueDuplicateCompletionIdempotent(t *testing.T) {
+	var hookCalls int
+	q := NewQueue(testCells(1), time.Minute, 3, func(harness.PlannedCell, Result) { hookCalls++ })
+	testClock(q)
+
+	j, _ := q.Lease()
+	if !q.Complete(okResult(j)) {
+		t.Fatal("first completion not accepted")
+	}
+	if q.Complete(okResult(j)) {
+		t.Fatal("duplicate completion accepted")
+	}
+	select {
+	case <-q.Drained():
+	default:
+		t.Fatal("queue not drained after sole job completed")
+	}
+	if _, outcome := q.Lease(); outcome != LeaseDrained {
+		t.Fatalf("lease after drain: outcome=%v", outcome)
+	}
+	if hookCalls != 1 {
+		t.Fatalf("onComplete ran %d times, want 1", hookCalls)
+	}
+	if p := q.Progress(); p.Done != 1 || p.Failed != 0 {
+		t.Fatalf("progress: %+v", p)
+	}
+}
+
+func TestQueueStaleSuccessStillAccepted(t *testing.T) {
+	// A worker whose lease expired (and whose job was re-leased) may
+	// still deliver a success first; deterministic results make it as
+	// good as anyone's.
+	q := NewQueue(testCells(1), time.Minute, 3, nil)
+	advance := testClock(q)
+
+	j1, _ := q.Lease()
+	advance(2 * time.Minute)
+	j2, outcome := q.Lease()
+	if outcome != LeaseGranted || j2.Attempt != 2 {
+		t.Fatalf("re-lease: outcome=%v attempt=%d", outcome, j2.Attempt)
+	}
+	if !q.Complete(okResult(j1)) {
+		t.Fatal("stale-lease success rejected")
+	}
+	// The newer lease's duplicate is then ignored.
+	if q.Complete(okResult(j2)) {
+		t.Fatal("second success accepted after first")
+	}
+	if p := q.Progress(); p.Done != 1 {
+		t.Fatalf("progress: %+v", p)
+	}
+}
+
+func TestQueueStaleFailureIgnored(t *testing.T) {
+	q := NewQueue(testCells(1), time.Minute, 3, nil)
+	advance := testClock(q)
+
+	j1, _ := q.Lease()
+	advance(2 * time.Minute)
+	j2, _ := q.Lease() // re-lease: j1's lease is stale
+
+	fail := Result{Version: ProtocolVersion, JobID: j1.ID, LeaseID: j1.LeaseID, Error: "boom"}
+	q.Complete(fail)
+	// The stale failure must not have knocked the current lease back to
+	// pending: nothing is leasable and the job is still held by j2.
+	if _, outcome := q.Lease(); outcome != LeaseRetry {
+		t.Fatalf("after stale failure: outcome=%v, want retry", outcome)
+	}
+	if !q.Heartbeat(j2.ID, j2.LeaseID) {
+		t.Fatal("current lease no longer heartbeatable after stale failure")
+	}
+}
+
+func TestQueueMaxAttemptsExhaustion(t *testing.T) {
+	q := NewQueue(testCells(1), time.Minute, 2, nil)
+	advance := testClock(q)
+
+	j1, _ := q.Lease()
+	advance(2 * time.Minute) // attempt 1 expires
+	j2, outcome := q.Lease()
+	if outcome != LeaseGranted || j2.Attempt != 2 {
+		t.Fatalf("attempt 2: outcome=%v attempt=%d", outcome, j2.Attempt)
+	}
+	advance(2 * time.Minute) // attempt 2 expires: budget spent
+	if _, outcome := q.Lease(); outcome != LeaseDrained {
+		t.Fatalf("after exhaustion: outcome=%v, want drained", outcome)
+	}
+	p := q.Progress()
+	if p.Failed != 1 || p.Done != 0 {
+		t.Fatalf("progress: %+v", p)
+	}
+	select {
+	case <-q.Drained():
+	default:
+		t.Fatal("queue not drained after job failed terminally")
+	}
+	// Even a failed job accepts a straggler success — the render-time
+	// fallback simply finds the cell already present.
+	if !q.Complete(okResult(j1)) {
+		t.Fatal("straggler success after terminal failure rejected")
+	}
+	if p := q.Progress(); p.Done != 1 || p.Failed != 0 {
+		t.Fatalf("progress after straggler: %+v", p)
+	}
+}
+
+func TestQueueReportedFailureSpendsAttempt(t *testing.T) {
+	q := NewQueue(testCells(1), time.Minute, 2, nil)
+	testClock(q)
+
+	j1, _ := q.Lease()
+	q.Complete(Result{Version: ProtocolVersion, JobID: j1.ID, LeaseID: j1.LeaseID, Error: "boom"})
+	j2, outcome := q.Lease()
+	if outcome != LeaseGranted || j2.Attempt != 2 {
+		t.Fatalf("after reported failure: outcome=%v attempt=%d", outcome, j2.Attempt)
+	}
+	q.Complete(Result{Version: ProtocolVersion, JobID: j2.ID, LeaseID: j2.LeaseID, Error: "boom again"})
+	if _, outcome := q.Lease(); outcome != LeaseDrained {
+		t.Fatalf("after second failure: outcome=%v, want drained", outcome)
+	}
+	if p := q.Progress(); p.Failed != 1 {
+		t.Fatalf("progress: %+v", p)
+	}
+}
+
+func TestQueueUnknownJobIgnored(t *testing.T) {
+	q := NewQueue(testCells(1), time.Minute, 3, nil)
+	testClock(q)
+	if q.Complete(Result{Version: ProtocolVersion, JobID: "nope/nope", LeaseID: "lease-1"}) {
+		t.Fatal("completion for unknown job accepted")
+	}
+	if q.Heartbeat("nope/nope", "lease-1") {
+		t.Fatal("heartbeat for unknown job accepted")
+	}
+}
+
+func TestQueueLeasesInPlanOrder(t *testing.T) {
+	cells := testCells(3)
+	q := NewQueue(cells, time.Minute, 3, nil)
+	testClock(q)
+	for i := range cells {
+		j, outcome := q.Lease()
+		if outcome != LeaseGranted || j.Key != cells[i].Key {
+			t.Fatalf("lease %d: outcome=%v key=%v, want %v", i, outcome, j.Key, cells[i].Key)
+		}
+		if j.Opts.Seed != cells[i].Opts.Seed {
+			t.Fatalf("lease %d: opts not carried (seed=%d)", i, j.Opts.Seed)
+		}
+	}
+}
+
+func TestQueueEmptyDrainsImmediately(t *testing.T) {
+	q := NewQueue(nil, time.Minute, 3, nil)
+	select {
+	case <-q.Drained():
+	default:
+		t.Fatal("empty queue not drained")
+	}
+	if _, outcome := q.Lease(); outcome != LeaseDrained {
+		t.Fatalf("lease on empty queue: outcome=%v", outcome)
+	}
+}

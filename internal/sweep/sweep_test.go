@@ -1,0 +1,263 @@
+package sweep
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"bingo/internal/harness"
+)
+
+// microOptions mirrors the harness determinism tests' budgets: whole
+// suites run several times here, so cells must stay in the low
+// milliseconds. Determinism does not depend on reaching steady state.
+func microOptions() harness.RunOptions {
+	opts := harness.DefaultRunOptions()
+	opts.System.LLC.SizeBytes = 512 * 1024
+	opts.System.WarmupInstr = 5_000
+	opts.System.MeasureInstr = 10_000
+	return opts
+}
+
+// oracleConfig is the differential oracle's suite: the same
+// 3-experiment overlapping subset the harness determinism tests use.
+func oracleConfig() harness.SuiteConfig {
+	return harness.SuiteConfig{
+		Experiments: []string{"table2", "fig4", "ablate-sharing"},
+		Opts:        microOptions(),
+		BudgetLabel: "micro",
+	}
+}
+
+// localOracle renders the oracle suite in-process, once, and caches the
+// bytes every distributed run must reproduce.
+var localOracle struct {
+	once sync.Once
+	out  []byte
+	err  error
+}
+
+func localOracleBytes(t *testing.T) []byte {
+	t.Helper()
+	localOracle.once.Do(func() {
+		var buf bytes.Buffer
+		localOracle.err = harness.RunSuite(&buf, oracleConfig())
+		localOracle.out = buf.Bytes()
+	})
+	if localOracle.err != nil {
+		t.Fatalf("local reference run: %v", localOracle.err)
+	}
+	return localOracle.out
+}
+
+// runSweep drives one distributed run: a coordinator behind an
+// httptest server, the given workers against it, tables rendered once
+// the queue drains. Worker errors other than ErrCrashed fail the test.
+func runSweep(t *testing.T, cfg harness.SuiteConfig, o Options, workers []*Worker) ([]byte, *Coordinator) {
+	t.Helper()
+	coord, err := NewCoordinator(cfg, o)
+	if err != nil {
+		t.Fatalf("NewCoordinator: %v", err)
+	}
+	srv := httptest.NewServer(coord.Handler())
+	defer srv.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+
+	var wg sync.WaitGroup
+	errs := make([]error, len(workers))
+	for i, w := range workers {
+		w.BaseURL = srv.URL
+		wg.Add(1)
+		go func(slot int, w *Worker) {
+			defer wg.Done()
+			errs[slot] = w.Run(ctx)
+		}(i, w)
+	}
+
+	var out bytes.Buffer
+	if err := coord.Run(ctx, &out); err != nil {
+		t.Fatalf("coordinator run: %v", err)
+	}
+	cancel() // release any worker still polling
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil && !errors.Is(err, ErrCrashed) && !errors.Is(err, context.Canceled) {
+			t.Fatalf("worker %d: %v", i, err)
+		}
+	}
+	return out.Bytes(), coord
+}
+
+// TestSweepDifferentialOracle is the subsystem's core guarantee: for any
+// worker count, a distributed run's rendered tables are byte-identical
+// to the single-process run.
+func TestSweepDifferentialOracle(t *testing.T) {
+	want := localOracleBytes(t)
+	for _, n := range []int{1, 2, 4} {
+		workers := make([]*Worker, n)
+		for i := range workers {
+			workers[i] = &Worker{Jobs: 1, PollInterval: 20 * time.Millisecond}
+		}
+		got, coord := runSweep(t, oracleConfig(), Options{}, workers)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("workers=%d: distributed output differs from local run\nlocal %d bytes, distributed %d bytes", n, len(want), len(got))
+		}
+		p := coord.Progress()
+		if p.Done != p.Total || p.Failed != 0 {
+			t.Fatalf("workers=%d: progress %+v, want all %d done", n, p, p.Total)
+		}
+	}
+}
+
+// TestSweepCrashRetryOracle kills a worker mid-sweep (it leases a job
+// and abandons it without completing or heartbeating), lets the lease
+// expire, and checks that a healthy worker re-leases the job and the
+// final tables are still byte-identical to the local run.
+func TestSweepCrashRetryOracle(t *testing.T) {
+	want := localOracleBytes(t)
+	workers := []*Worker{
+		{Jobs: 1, PollInterval: 20 * time.Millisecond, CrashAfterLeases: 1},
+		{Jobs: 1, PollInterval: 20 * time.Millisecond},
+	}
+	got, coord := runSweep(t, oracleConfig(), Options{LeaseTTL: 300 * time.Millisecond, MaxAttempts: 5}, workers)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("crash/retry: distributed output differs from local run\nlocal %d bytes, distributed %d bytes", len(want), len(got))
+	}
+	p := coord.Progress()
+	if p.Done != p.Total || p.Failed != 0 {
+		t.Fatalf("crash/retry: progress %+v, want all %d done", p, p.Total)
+	}
+	if p.Retries == 0 {
+		t.Fatal("crash/retry: no re-lease recorded; the crash hook did not exercise lease expiry")
+	}
+}
+
+// TestSweepTelemetryStreaming checks that telemetry documents collected
+// on workers land in the coordinator's telemetry directory byte-
+// identical to a local run's exports.
+func TestSweepTelemetryStreaming(t *testing.T) {
+	cfg := harness.SuiteConfig{
+		Experiments: []string{"fig4"},
+		Opts:        microOptions(),
+		BudgetLabel: "micro",
+	}
+	localCfg := cfg
+	localCfg.TelemetryDir = t.TempDir()
+	var localOut bytes.Buffer
+	if err := harness.RunSuite(&localOut, localCfg); err != nil {
+		t.Fatalf("local telemetry run: %v", err)
+	}
+
+	sweepCfg := cfg
+	sweepCfg.TelemetryDir = t.TempDir()
+	got, _ := runSweep(t, sweepCfg, Options{}, []*Worker{{Jobs: 2, PollInterval: 20 * time.Millisecond}})
+	if !bytes.Equal(got, localOut.Bytes()) {
+		t.Fatal("telemetry sweep: tables differ from local run")
+	}
+
+	localFiles, err := filepath.Glob(filepath.Join(localCfg.TelemetryDir, "*"))
+	if err != nil || len(localFiles) == 0 {
+		t.Fatalf("local telemetry export empty (err=%v)", err)
+	}
+	for _, lf := range localFiles {
+		name := filepath.Base(lf)
+		want, err := os.ReadFile(lf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotDoc, err := os.ReadFile(filepath.Join(sweepCfg.TelemetryDir, name))
+		if err != nil {
+			t.Fatalf("streamed telemetry missing %s: %v", name, err)
+		}
+		if !bytes.Equal(gotDoc, want) {
+			t.Fatalf("streamed telemetry %s differs from local export", name)
+		}
+	}
+}
+
+// TestSweepRemoteWarmCache runs the same sweep twice against a
+// coordinator artifact cache: the first sweep's workers populate and
+// push warm-start artifacts; a fresh worker in the second sweep fetches
+// them remotely instead of re-simulating warm-up.
+func TestSweepRemoteWarmCache(t *testing.T) {
+	want := localOracleBytes(t)
+	coordWarm := t.TempDir()
+
+	cfg := oracleConfig()
+	cfg.WarmDir = coordWarm
+
+	// Sweep 1: cold. Workers simulate warm-ups and push artifacts.
+	w1 := &Worker{Jobs: 2, PollInterval: 20 * time.Millisecond}
+	out1, _ := runSweep(t, cfg, Options{}, []*Worker{w1})
+	if !bytes.Equal(out1, want) {
+		t.Fatal("warm sweep 1: tables differ from local run")
+	}
+	s1 := w1.WarmStats()
+	if s1.RemotePuts == 0 {
+		t.Fatalf("warm sweep 1: no artifacts pushed (stats %+v)", s1)
+	}
+	if s1.RemoteHits != 0 {
+		t.Fatalf("warm sweep 1: unexpected remote hits on a cold cache (stats %+v)", s1)
+	}
+
+	// Sweep 2: a fresh worker (empty local warm dir) fetches every
+	// artifact from the coordinator.
+	var report bytes.Buffer
+	w2 := &Worker{Jobs: 2, PollInterval: 20 * time.Millisecond, Report: &report}
+	out2, _ := runSweep(t, cfg, Options{}, []*Worker{w2})
+	if !bytes.Equal(out2, want) {
+		t.Fatal("warm sweep 2: tables differ from local run")
+	}
+	s2 := w2.WarmStats()
+	if s2.RemoteHits == 0 {
+		t.Fatalf("warm sweep 2: no remote warm-cache hits (stats %+v)", s2)
+	}
+	if s2.Misses != 0 {
+		t.Fatalf("warm sweep 2: %d local warm-up re-simulations despite remote cache (stats %+v)", s2.Misses, s2)
+	}
+	if !strings.Contains(report.String(), "remote artifact cache:") {
+		t.Fatalf("worker run report missing remote-cache line:\n%s", report.String())
+	}
+}
+
+// TestSweepArtifactEndpointHardening exercises the artifact cache's
+// rejection paths directly: bad hashes, oversized and corrupt uploads.
+func TestSweepArtifactEndpointHardening(t *testing.T) {
+	cfg := oracleConfig()
+	cfg.WarmDir = t.TempDir()
+	coord, err := NewCoordinator(cfg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(coord.Handler())
+	defer srv.Close()
+
+	w := &Worker{BaseURL: srv.URL}
+	remote := &remoteArtifacts{worker: w}
+	hash := strings.Repeat("ab", 32)
+
+	// Missing artifact: clean miss, not an error.
+	if data, err := remote.FetchArtifact(hash); err != nil || data != nil {
+		t.Fatalf("missing artifact: data=%v err=%v, want nil,nil", data, err)
+	}
+	// Corrupt upload: rejected by checkpoint validation.
+	if err := remote.StoreArtifact(hash, []byte("not a checkpoint")); err == nil {
+		t.Fatal("corrupt artifact accepted")
+	}
+	if _, err := os.Stat(filepath.Join(cfg.WarmDir, hash+".ckpt")); !os.IsNotExist(err) {
+		t.Fatalf("corrupt artifact reached disk (stat err=%v)", err)
+	}
+	// Path traversal via hash: rejected before touching the filesystem.
+	if err := remote.StoreArtifact("../evil", []byte("x")); err == nil {
+		t.Fatal("path-traversal hash accepted")
+	}
+}

@@ -1,0 +1,462 @@
+// All wall-clock use in this file is operational — polling intervals,
+// heartbeat cadence, per-job timing for the coordinator's run report.
+// Simulated results never depend on it.
+//
+//lint:file-ignore detlint wall clock drives polling/heartbeats/reporting only, never simulated state
+package sweep
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"bingo/internal/harness"
+)
+
+// ErrCrashed reports a worker that abandoned its run via the
+// CrashAfterLeases test hook — leased jobs are left to expire so the
+// coordinator re-leases them, which is exactly the failure the
+// crash/retry differential oracle exercises.
+var ErrCrashed = errors.New("sweep: worker crashed (test hook)")
+
+// Worker leases jobs from a coordinator and executes them with the same
+// harness code a local run uses. Zero value is not usable; set BaseURL.
+type Worker struct {
+	// BaseURL is the coordinator's base URL (e.g. "http://host:8080").
+	BaseURL string
+	// Jobs is the number of concurrent job runners (<=0 means 1).
+	Jobs int
+	// WarmDir, when non-empty, is the local warm-artifact directory. If
+	// the coordinator advertises an artifact cache, the directory also
+	// becomes a read-through/write-back client of it. Empty uses a
+	// temporary directory when the coordinator offers warm artifacts.
+	WarmDir string
+	// Report receives progress lines and the end-of-run warm-cache
+	// stats; nil discards them.
+	Report io.Writer
+	// Client is the HTTP client (nil uses a default with sane timeouts).
+	Client *http.Client
+	// PollInterval is the delay between lease polls when the queue has
+	// nothing leasable (default 200ms).
+	PollInterval time.Duration
+	// CrashAfterLeases, when > 0, makes the worker return ErrCrashed
+	// immediately after leasing its Nth job, without completing or
+	// heartbeating it. Test hook for the crash/re-lease oracle.
+	CrashAfterLeases int
+
+	leases atomic.Int64
+	warmMu sync.Mutex
+	warm   *harness.WarmStore
+}
+
+// WarmStats returns the worker's warm-store accounting (zero value when
+// the run used no warm store).
+func (w *Worker) WarmStats() harness.WarmStats {
+	w.warmMu.Lock()
+	defer w.warmMu.Unlock()
+	if w.warm == nil {
+		return harness.WarmStats{}
+	}
+	return w.warm.Stats()
+}
+
+// client resolves the HTTP client.
+func (w *Worker) client() *http.Client {
+	if w.Client != nil {
+		return w.Client
+	}
+	return &http.Client{Timeout: 5 * time.Minute}
+}
+
+// endpoint joins the base URL with a path.
+func (w *Worker) endpoint(path string) (string, error) {
+	base, err := url.Parse(w.BaseURL)
+	if err != nil {
+		return "", fmt.Errorf("sweep: worker base URL: %w", err)
+	}
+	ref, err := url.Parse(path)
+	if err != nil {
+		return "", fmt.Errorf("sweep: worker endpoint %q: %w", path, err)
+	}
+	return base.ResolveReference(ref).String(), nil
+}
+
+// Run processes jobs until the coordinator reports the queue drained,
+// ctx is cancelled, or a fatal error occurs. It is safe to run several
+// workers (in one process or many) against the same coordinator.
+func (w *Worker) Run(ctx context.Context) error {
+	cfg, err := w.fetchConfig(ctx)
+	if err != nil {
+		return err
+	}
+
+	m := harness.NewMatrix(harness.RunOptions{})
+	telDir := ""
+	if cfg.Telemetry {
+		telDir, err = os.MkdirTemp("", "sweep-telemetry-")
+		if err != nil {
+			return fmt.Errorf("sweep: worker telemetry dir: %w", err)
+		}
+		defer func() {
+			_ = os.RemoveAll(telDir) // best-effort scratch cleanup
+		}()
+		if err := m.SetTelemetry(telDir, cfg.TelemetryEpoch); err != nil {
+			return err
+		}
+	}
+	if cfg.Warm {
+		dir := w.WarmDir
+		if dir == "" {
+			dir, err = os.MkdirTemp("", "sweep-warm-")
+			if err != nil {
+				return fmt.Errorf("sweep: worker warm dir: %w", err)
+			}
+			defer func() {
+				_ = os.RemoveAll(dir) // best-effort scratch cleanup
+			}()
+		}
+		ws, err := harness.NewWarmStore(dir)
+		if err != nil {
+			return err
+		}
+		ws.SetRemote(&remoteArtifacts{worker: w})
+		m.SetWarmStore(ws)
+		w.warmMu.Lock()
+		w.warm = ws
+		w.warmMu.Unlock()
+	}
+
+	jobs := w.Jobs
+	if jobs <= 0 {
+		jobs = 1
+	}
+	errs := make([]error, jobs)
+	var wg sync.WaitGroup
+	for i := 0; i < jobs; i++ {
+		wg.Add(1)
+		go func(slot int) {
+			defer wg.Done()
+			errs[slot] = w.runLoop(ctx, m, telDir)
+		}(i)
+	}
+	wg.Wait()
+	w.warmMu.Lock()
+	ws := w.warm
+	w.warmMu.Unlock()
+	harness.ReportWarmStats(w.Report, ws)
+	return errors.Join(errs...)
+}
+
+// maxLeaseFailures is how many consecutive failed lease polls a runner
+// tolerates (coordinator restarting, network blip, or the narrow window
+// where the coordinator has rendered and shut down while this runner was
+// sleeping between polls) before giving up.
+const maxLeaseFailures = 10
+
+// runLoop is one runner goroutine: lease, execute, complete, repeat.
+func (w *Worker) runLoop(ctx context.Context, m *harness.Matrix, telDir string) error {
+	poll := w.PollInterval
+	if poll <= 0 {
+		poll = 200 * time.Millisecond
+	}
+	failures := 0
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		job, outcome, err := w.lease(ctx)
+		if err != nil {
+			failures++
+			if failures >= maxLeaseFailures || ctx.Err() != nil {
+				return err
+			}
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(poll):
+			}
+			continue
+		}
+		failures = 0
+		switch outcome {
+		case LeaseDrained:
+			return nil
+		case LeaseRetry:
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(poll):
+			}
+			continue
+		}
+		if w.CrashAfterLeases > 0 && w.leases.Add(1) >= int64(w.CrashAfterLeases) {
+			return ErrCrashed
+		}
+		if err := w.runJob(ctx, m, telDir, job); err != nil {
+			return err
+		}
+	}
+}
+
+// lease asks the coordinator for a job.
+func (w *Worker) lease(ctx context.Context) (Job, LeaseOutcome, error) {
+	u, err := w.endpoint("/v1/lease")
+	if err != nil {
+		return Job{}, LeaseRetry, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, u, nil)
+	if err != nil {
+		return Job{}, LeaseRetry, err
+	}
+	resp, err := w.client().Do(req)
+	if err != nil {
+		return Job{}, LeaseRetry, fmt.Errorf("sweep: lease: %w", err)
+	}
+	defer drainClose(resp.Body)
+	switch resp.StatusCode {
+	case http.StatusOK:
+		job, err := DecodeJob(resp.Body)
+		if err != nil {
+			return Job{}, LeaseRetry, err
+		}
+		return job, LeaseGranted, nil
+	case http.StatusNoContent:
+		return Job{}, LeaseRetry, nil
+	case http.StatusGone:
+		return Job{}, LeaseDrained, nil
+	default:
+		return Job{}, LeaseRetry, fmt.Errorf("sweep: lease: unexpected status %s", resp.Status)
+	}
+}
+
+// runJob executes one leased job and posts its result. Execution errors
+// are reported to the coordinator (spending an attempt), not returned —
+// only transport-level failures abort the runner.
+func (w *Worker) runJob(ctx context.Context, m *harness.Matrix, telDir string, job Job) error {
+	hbCtx, stopHB := context.WithCancel(ctx)
+	defer stopHB()
+	go w.heartbeatLoop(hbCtx, job)
+
+	start := time.Now()
+	res, aux, execErr := m.ExecuteCell(job.Key, job.Opts)
+	dur := time.Since(start)
+	stopHB()
+
+	out := Result{
+		Version:    ProtocolVersion,
+		JobID:      job.ID,
+		LeaseID:    job.LeaseID,
+		DurationNS: dur.Nanoseconds(),
+	}
+	if execErr != nil {
+		out.Error = execErr.Error()
+	} else {
+		out.Results = res
+		encoded, err := harness.EncodeAux(aux)
+		if err != nil {
+			out = Result{Version: ProtocolVersion, JobID: job.ID, LeaseID: job.LeaseID, Error: err.Error()}
+		} else {
+			out.Aux = encoded
+			if telDir != "" {
+				out.Telemetry, err = collectTelemetry(telDir, job.Key)
+				if err != nil {
+					out = Result{Version: ProtocolVersion, JobID: job.ID, LeaseID: job.LeaseID, Error: err.Error()}
+				}
+			}
+		}
+	}
+	reportfLocked(w.Report, "worker: %s attempt %d: %s\n", job.ID, job.Attempt, statusWord(out.Error))
+	return w.complete(ctx, out)
+}
+
+// statusWord renders a result's outcome for progress lines.
+func statusWord(errText string) string {
+	if errText == "" {
+		return "ok"
+	}
+	return "error: " + errText
+}
+
+// collectTelemetry reads the cell's exported telemetry documents from
+// the worker's scratch directory.
+func collectTelemetry(dir string, key harness.CellKey) ([]TelemetryFile, error) {
+	base := filepath.Join(dir, harness.TelemetryFileBase(key))
+	var out []TelemetryFile
+	for _, suffix := range []string{".json", ".trace.json"} {
+		data, err := os.ReadFile(base + suffix)
+		if err != nil {
+			return nil, fmt.Errorf("sweep: worker telemetry %s: %w", key, err)
+		}
+		out = append(out, TelemetryFile{Suffix: suffix, Data: data})
+	}
+	return out, nil
+}
+
+// heartbeatLoop extends the job's lease until cancelled. A rejected
+// heartbeat (lease no longer current) stops quietly — the completion
+// path decides what the stale result is worth.
+func (w *Worker) heartbeatLoop(ctx context.Context, job Job) {
+	ttl := time.Duration(job.LeaseTTLMillis) * time.Millisecond
+	interval := ttl / 3
+	if interval <= 0 {
+		interval = time.Second
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+		}
+		body, err := encodeJSON(Control{Version: ProtocolVersion, JobID: job.ID, LeaseID: job.LeaseID})
+		if err != nil {
+			return
+		}
+		u, err := w.endpoint("/v1/heartbeat")
+		if err != nil {
+			return
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, u, bytes.NewReader(body))
+		if err != nil {
+			return
+		}
+		resp, err := w.client().Do(req)
+		if err != nil {
+			continue // transient: the next tick retries inside the TTL
+		}
+		drainClose(resp.Body)
+		if resp.StatusCode == http.StatusConflict {
+			return
+		}
+	}
+}
+
+// complete posts the result. Transport failures are retried a few times;
+// if the coordinator stays unreachable the lease will expire and another
+// worker re-runs the job, so giving up here is safe.
+func (w *Worker) complete(ctx context.Context, res Result) error {
+	body, err := encodeJSON(res)
+	if err != nil {
+		return err
+	}
+	u, err := w.endpoint("/v1/complete")
+	if err != nil {
+		return err
+	}
+	var lastErr error
+	for attempt := 0; attempt < 3; attempt++ {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, u, bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		resp, err := w.client().Do(req)
+		if err != nil {
+			lastErr = err
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(time.Duration(attempt+1) * 100 * time.Millisecond):
+			}
+			continue
+		}
+		drainClose(resp.Body)
+		if resp.StatusCode == http.StatusOK {
+			return nil
+		}
+		lastErr = fmt.Errorf("sweep: complete: unexpected status %s", resp.Status)
+	}
+	reportfLocked(w.Report, "worker: %s: completion not delivered (%v); lease will expire and re-run\n", res.JobID, lastErr)
+	return nil
+}
+
+// fetchConfig retrieves the sweep configuration.
+func (w *Worker) fetchConfig(ctx context.Context) (Config, error) {
+	u, err := w.endpoint("/v1/config")
+	if err != nil {
+		return Config{}, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return Config{}, err
+	}
+	resp, err := w.client().Do(req)
+	if err != nil {
+		return Config{}, fmt.Errorf("sweep: fetching config: %w", err)
+	}
+	defer drainClose(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return Config{}, fmt.Errorf("sweep: fetching config: unexpected status %s", resp.Status)
+	}
+	return DecodeConfig(resp.Body)
+}
+
+// remoteArtifacts adapts the coordinator's artifact endpoints to the
+// harness.RemoteArtifacts interface.
+type remoteArtifacts struct {
+	worker *Worker
+}
+
+// FetchArtifact implements harness.RemoteArtifacts.
+func (r *remoteArtifacts) FetchArtifact(hash string) ([]byte, error) {
+	u, err := r.worker.endpoint("/v1/artifact/" + url.PathEscape(hash))
+	if err != nil {
+		return nil, err
+	}
+	resp, err := r.worker.client().Get(u)
+	if err != nil {
+		return nil, err
+	}
+	defer drainClose(resp.Body)
+	if resp.StatusCode == http.StatusNotFound {
+		return nil, nil
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("sweep: artifact fetch: unexpected status %s", resp.Status)
+	}
+	data, err := io.ReadAll(io.LimitReader(resp.Body, MaxArtifactBytes+1))
+	if err != nil {
+		return nil, err
+	}
+	if len(data) > MaxArtifactBytes {
+		return nil, fmt.Errorf("sweep: artifact exceeds size cap")
+	}
+	return data, nil
+}
+
+// StoreArtifact implements harness.RemoteArtifacts.
+func (r *remoteArtifacts) StoreArtifact(hash string, data []byte) error {
+	u, err := r.worker.endpoint("/v1/artifact/" + url.PathEscape(hash))
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequest(http.MethodPut, u, bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	resp, err := r.worker.client().Do(req)
+	if err != nil {
+		return err
+	}
+	drainClose(resp.Body)
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusCreated {
+		return fmt.Errorf("sweep: artifact store: unexpected status %s", resp.Status)
+	}
+	return nil
+}
+
+// drainClose discards the remainder of a response body and closes it so
+// the connection can be reused.
+func drainClose(body io.ReadCloser) {
+	_, _ = io.Copy(io.Discard, body) // best-effort drain for connection reuse
+	_ = body.Close()                 // best-effort: response already consumed
+}
