@@ -17,6 +17,13 @@ type Env struct {
 	GOARCH     string `json:"goarch"`
 	NumCPU     int    `json:"num_cpu"`
 	GOMAXPROCS int    `json:"gomaxprocs"`
+	// Degraded marks artefacts recorded on a host that cannot produce a
+	// meaningful parallel measurement (a single CPU: worker pools and
+	// parallel frontends only add scheduling overhead there). It is the
+	// machine-readable form of the "re-record on a multi-core machine"
+	// prose note — consumers gate speedup assertions on it instead of
+	// parsing notes.
+	Degraded bool `json:"degraded"`
 }
 
 // Capture records the current process's environment.
@@ -27,5 +34,6 @@ func Capture() Env {
 		GOARCH:     runtime.GOARCH,
 		NumCPU:     runtime.NumCPU(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Degraded:   runtime.NumCPU() == 1,
 	}
 }

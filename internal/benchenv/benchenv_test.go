@@ -19,6 +19,9 @@ func TestCaptureFields(t *testing.T) {
 	if env.NumCPU < 1 || env.GOMAXPROCS < 1 || env.GoVersion == "" {
 		t.Fatalf("Capture() = %+v has implausible values", env)
 	}
+	if env.Degraded != (env.NumCPU == 1) {
+		t.Fatalf("Capture() = %+v: degraded marker must track NumCPU==1", env)
+	}
 }
 
 // TestEnvJSONFieldOrder pins the field order every BENCH_*.json document
@@ -30,7 +33,7 @@ func TestEnvJSONFieldOrder(t *testing.T) {
 		t.Fatal(err)
 	}
 	got := string(data)
-	want := []string{`"go_version"`, `"goos"`, `"goarch"`, `"num_cpu"`, `"gomaxprocs"`}
+	want := []string{`"go_version"`, `"goos"`, `"goarch"`, `"num_cpu"`, `"gomaxprocs"`, `"degraded"`}
 	pos := -1
 	for _, key := range want {
 		i := strings.Index(got, key)

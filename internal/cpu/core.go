@@ -85,10 +85,10 @@ type Core struct {
 	//conc:core-local each core consumes its own trace source
 	src trace.Source
 	//ckpt:skip wiring, re-established by system.New before restore
-	//conc:barrier-guarded the shared translator is consulted only in the serialized dispatch phase
+	//conc:barrier-guarded the mapper is a per-core bridge: touched pages resolve via the translator's concurrent-safe Lookup, first touches serialize through the driver's in-order drain
 	xlat vm.Mapper
 	//ckpt:skip wiring, re-established by system.New before restore
-	//conc:core-local points at this core's private L1
+	//conc:core-local points at this core's private L1; L1 misses cross to the shared LLC through the core's memBridge
 	port cache.Level
 
 	rob      []robEntry // ring buffer

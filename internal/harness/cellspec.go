@@ -21,6 +21,12 @@ import (
 // single source of truth for custom-config variants: a label that parses
 // differently from what a renderer intended would change rendered tables
 // and be caught by the suite determinism oracles.
+//
+// Config-level variants that modify RunOptions rather than the
+// prefetcher — queue=N, seed=N, and the core-scaling cores=N (see
+// coresOpts, which resizes the machine via Config.WithCores) — ride in
+// CellKey.Variant with the modified RunOptions carried alongside the
+// cell; the label grammar below stays prefetcher-only.
 
 // EventCounters is the instrumented payload of a single-event history
 // cell (Figure 2): predictions offered vs table lookups performed.

@@ -48,7 +48,9 @@ func TestCheckpointSchemaGolden(t *testing.T) {
 	telemetryFields := "v1 bool v1 u64 i64 bool*2 u64*3 u64s*48 str u64s str i64s str u64s*3"
 	want := []checkpoint.SectionSchema{
 		{ID: "meta", Fields: "v1 str*2 i64"},
-		{ID: "system", Fields: "v2 u64 u8 u64*2 bools u64s*26 i64s u64s"},
+		// v3: pfDropped widened from one shared u64 to a per-core u64s
+		// column (parallel frontends count drops per core).
+		{ID: "system", Fields: "v3 u64 u8 u64 u64s bools u64s*26 i64s u64s"},
 		{ID: "vm", Fields: "v1 u64s*2 i64*2"},
 		{ID: "dram", Fields: "v1 u64*6 u64s*3"},
 		{ID: "llc", Fields: cacheFields},

@@ -1,0 +1,162 @@
+package harness
+
+import (
+	"fmt"
+	"testing"
+
+	"bingo/internal/prefetch"
+	"bingo/internal/san"
+	"bingo/internal/system"
+	"bingo/internal/workloads"
+)
+
+// The frontend-differential oracle. The parallel frontend
+// (system.FrontendParallel) fans the per-core ticks out to worker
+// goroutines and drains their staged LLC/translator operations in core
+// order at the barrier; it claims — like the event engine before it —
+// to be a pure wall-clock optimisation. These tests run each cell
+// serial and parallel and require byte-identical Results across
+// {lockstep, event} × {1, 4, 8, 16} cores, with the sanitizer enabled
+// when compiled so the simsan invariants hold on the parallel loop too.
+// The whole file doubles as the race detector's workload: `go test
+// -race ./internal/harness/ -run Frontend` drives every rendezvous path
+// (CI runs exactly that at GOMAXPROCS>1).
+
+// frontendOracleBudgets shrinks budgets as the core count grows: the
+// differential is per-cycle exhaustive, so small windows at 16 cores
+// prove as much about ordering as big ones at 4.
+func frontendOracleBudgets(opts RunOptions, cores int) RunOptions {
+	opts.System = opts.System.WithCores(cores)
+	if cores > 4 {
+		opts.System = opts.System.Scaled(2_000, 20_000)
+	}
+	return opts
+}
+
+// runBothFrontends runs one cell serial and parallel (same engine) and
+// returns both results.
+func runBothFrontends(t *testing.T, w workloads.Spec, prefetcher string, opts RunOptions) (serial, parallel system.Results) {
+	t.Helper()
+	factory, err := FactoryByName(prefetcher)
+	if err != nil {
+		t.Fatalf("resolving %q: %v", prefetcher, err)
+	}
+	opts.Frontend = system.FrontendSerial
+	serial, err = Run(w, factory, opts)
+	if err != nil {
+		t.Fatalf("serial run %s/%s: %v", w.Name, prefetcher, err)
+	}
+	factory, err = FactoryByName(prefetcher) // fresh factory: instances are per-system
+	if err != nil {
+		t.Fatalf("resolving %q: %v", prefetcher, err)
+	}
+	opts.Frontend = system.FrontendParallel
+	parallel, err = Run(w, factory, opts)
+	if err != nil {
+		t.Fatalf("parallel run %s/%s: %v", w.Name, prefetcher, err)
+	}
+	return serial, parallel
+}
+
+// TestFrontendDifferentialMatrix is the tentpole oracle: both engines,
+// core counts from the trivial 1 through the scaled 16, two structurally
+// different workloads (em3d regular, Zeus pointer-chasing), baseline and
+// Bingo.
+func TestFrontendDifferentialMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("frontend differential matrix is slow")
+	}
+	defer san.SetEnabled(san.Compiled) // restore the build-flavor default
+	san.SetEnabled(san.Compiled)
+	for _, cores := range []int{1, 4, 8, 16} {
+		for _, engine := range []system.Engine{system.EngineLockstep, system.EngineEvent} {
+			opts := frontendOracleBudgets(oracleRunOptions(), cores)
+			opts.Engine = engine
+			for _, wname := range []string{"em3d", "Zeus"} {
+				w, ok := workloads.ByName(wname)
+				if !ok {
+					t.Fatalf("workload %q not registered", wname)
+				}
+				for _, p := range []string{"none", "bingo"} {
+					label := fmt.Sprintf("%s/%s cores=%d engine=%s", w.Name, p, cores, engine)
+					serial, parallel := runBothFrontends(t, w, p, opts)
+					requireIdentical(t, label, serial, parallel)
+				}
+			}
+		}
+	}
+}
+
+// TestFrontendDifferentialAttachL1 covers the riskiest ownership case:
+// AttachL1 trains the prefetcher on the worker goroutines themselves
+// (OnAccess, lifecycle counters, prefetch-queue reservations all run
+// core-locally), so a single missed core-local contract would diverge
+// or race here.
+func TestFrontendDifferentialAttachL1(t *testing.T) {
+	if testing.Short() {
+		t.Skip("frontend differential is slow")
+	}
+	defer san.SetEnabled(san.Compiled)
+	san.SetEnabled(san.Compiled)
+	w, ok := workloads.ByName("em3d")
+	if !ok {
+		t.Fatal("workload em3d not registered")
+	}
+	opts := frontendOracleBudgets(oracleRunOptions(), 8)
+	opts.System.PrefetchAt = system.AttachL1
+	serial, parallel := runBothFrontends(t, w, "bingo", opts)
+	requireIdentical(t, "em3d/bingo attach=L1 cores=8", serial, parallel)
+}
+
+// TestFrontendSharedFallsBackToSerial pins the safety valve: a shared-
+// metadata factory at AttachL1 would race the single instance across
+// workers, so such systems must run the serial loop — and still produce
+// identical results, trivially.
+func TestFrontendSharedFallsBackToSerial(t *testing.T) {
+	defer san.SetEnabled(san.Compiled)
+	san.SetEnabled(san.Compiled)
+	w, ok := workloads.ByName("em3d")
+	if !ok {
+		t.Fatal("workload em3d not registered")
+	}
+	opts := DefaultRunOptions()
+	opts.System = opts.System.Scaled(2_000, 10_000)
+	opts.System.PrefetchAt = system.AttachL1
+	serial, parallel := runBothFrontends(t, w, "bingo-shared", opts)
+	requireIdentical(t, "em3d/bingo-shared attach=L1", serial, parallel)
+}
+
+// TestFrontendDifferentialWarmRestore proves the frontend stays out of
+// checkpoint identity: a warm artifact populated by a serial run must
+// restore under a parallel run (and vice versa) with identical results.
+func TestFrontendDifferentialWarmRestore(t *testing.T) {
+	if testing.Short() {
+		t.Skip("warm-restore differential is slow")
+	}
+	w, ok := workloads.ByName("em3d")
+	if !ok {
+		t.Fatal("workload em3d not registered")
+	}
+	opts := DefaultRunOptions()
+	opts.System = opts.System.WithCores(8).Scaled(2_000, 10_000)
+	run := func(dir string, f system.Frontend) system.Results {
+		ws, err := NewWarmStore(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		o := opts
+		o.Frontend = f
+		key := CellKey{Workload: w.Name, Prefetcher: "bingo"}
+		_, res, err := ws.RunWithSystem(w, key, o, func() (prefetch.Factory, error) {
+			return FactoryByName("bingo")
+		}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	dir := t.TempDir()
+	serial := run(dir, system.FrontendSerial)     // populates the artifact
+	parallel := run(dir, system.FrontendParallel) // must restore the same artifact
+	requireIdentical(t, "em3d/bingo warm serial→parallel", serial, parallel)
+}

@@ -140,6 +140,18 @@ func experimentCells(name string, m *Matrix) []PlannedCell {
 		for _, bits := range tagWidths {
 			out = append(out, variantCells(m, tagCellLabel(bits))...)
 		}
+	case "scale-cores":
+		specs, err := scaleWorkloads()
+		if err != nil {
+			break // BuildExperiment will surface the resolution error
+		}
+		for _, n := range scaleCoreCounts {
+			o, variant := coresOpts(m.Options(), n)
+			for _, w := range specs {
+				out = append(out, optsCell(m, w, "none", variant, o))
+				out = append(out, optsCell(m, w, "bingo", variant, o))
+			}
+		}
 	case "extras":
 		out = matrixCells(m, extrasPrefetchers)
 	case "seeds":

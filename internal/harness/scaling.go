@@ -1,0 +1,80 @@
+package harness
+
+import (
+	"fmt"
+	"math"
+
+	"bingo/internal/workloads"
+)
+
+// scaleCoreCounts are the machine sizes the core-scaling experiment
+// sweeps: the paper's 4-core Table I anchor plus the 8/16/64-core
+// extrapolations (Config.WithCores scales LLC capacity, DRAM channels,
+// and physical memory alongside the core count).
+var scaleCoreCounts = []int{4, 8, 16, 64}
+
+// scaleWorkloadNames picks one per-core server workload and one SPEC
+// mix: the mix exercises mixSpec's kernel wrapping once the machine has
+// more cores than the mix lists kernels.
+var scaleWorkloadNames = []string{"em3d", "Mix1"}
+
+// coresOpts returns the modified options and cell variant for one core
+// count.
+func coresOpts(base RunOptions, n int) (RunOptions, string) {
+	o := base
+	o.System = o.System.WithCores(n)
+	return o, fmt.Sprintf("cores=%d", n)
+}
+
+// scaleWorkloads resolves scaleWorkloadNames (the registry pins them).
+func scaleWorkloads() ([]workloads.Spec, error) {
+	out := make([]workloads.Spec, 0, len(scaleWorkloadNames))
+	for _, name := range scaleWorkloadNames {
+		w, ok := workloads.ByName(name)
+		if !ok {
+			return nil, fmt.Errorf("harness: scale-cores workload %q not registered", name)
+		}
+		out = append(out, w)
+	}
+	return out, nil
+}
+
+// ScaleCores sweeps the core count past the paper's 4, reporting Bingo's
+// speedup over the no-prefetcher baseline at the same size. Per-core
+// IPC degrades as cores contend for the (per-core-constant) LLC and
+// DRAM, and the interesting question is whether Bingo's gain survives
+// that contention.
+func ScaleCores(m *Matrix) (Table, error) {
+	specs, err := scaleWorkloads()
+	if err != nil {
+		return Table{}, err
+	}
+	t := Table{
+		Title:   "Scaling: Core Count (Bingo vs baseline at matched machine size)",
+		Headers: []string{"Cores", "em3d Speedup", "Mix1 Speedup", "GMean", "LLC MPKI (bingo)"},
+	}
+	for _, n := range scaleCoreCounts {
+		o, variant := coresOpts(m.Options(), n)
+		var logsum, mpkiSum float64
+		cols := make([]string, 0, len(specs))
+		for _, w := range specs {
+			base, err := m.GetOpts(w, "none", variant, o)
+			if err != nil {
+				return Table{}, err
+			}
+			res, err := m.GetOpts(w, "bingo", variant, o)
+			if err != nil {
+				return Table{}, err
+			}
+			ratio := res.Throughput() / base.Throughput()
+			logsum += math.Log(ratio)
+			mpkiSum += float64(res.LLC.Misses) / float64(res.WindowInstructions) * 1000
+			cols = append(cols, speedupPct(ratio))
+		}
+		nw := float64(len(specs))
+		row := append([]string{fmt.Sprintf("%d", n)}, cols...)
+		row = append(row, speedupPct(math.Exp(logsum/nw)), fmt.Sprintf("%.2f", mpkiSum/nw))
+		t.AddRow(row...)
+	}
+	return t, nil
+}

@@ -23,7 +23,7 @@ var experimentOrder = []string{
 	"table1", "table2", "fig2", "fig3", "fig4", "fig6",
 	"fig7", "fig8", "fig9", "fig10", "timeliness", "ablate-vote", "ablate-region",
 	"ablate-sharing", "ablate-queue", "ablate-bandwidth", "ablate-level",
-	"ablate-tags", "extras", "seeds",
+	"ablate-tags", "scale-cores", "extras", "seeds",
 }
 
 // ExperimentOrder returns the canonical experiment names in render order.
@@ -82,6 +82,8 @@ func BuildExperiment(name string, m *Matrix) (Table, error) {
 		return AblateLevel(m)
 	case "ablate-tags":
 		return AblateTags(m)
+	case "scale-cores":
+		return ScaleCores(m)
 	case "extras":
 		return Extras(m)
 	case "seeds":

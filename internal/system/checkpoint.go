@@ -58,11 +58,13 @@ func (s *System) saveSections(fw *checkpoint.FileWriter) error {
 		return err
 	}
 	if err := add(sectionSystem, func(w *checkpoint.Writer) error {
-		w.Version(2)
+		// v3: pfDropped became a per-core column (one counter per core so
+		// parallel frontends never contend on a shared drop counter).
+		w.Version(3)
 		w.U64(s.clock)
 		w.U8(s.phase)
 		w.U64(s.measureStart)
-		w.U64(s.pfDropped)
+		w.U64s(s.pfDropped)
 		// Freeze frames (empty until measurement begins). v2 freezes the
 		// per-core L1 stats alongside the CPU stats — collect reads the
 		// frame, so a restored run must reproduce it exactly.
@@ -280,11 +282,11 @@ func (s *System) LoadCheckpoint(in io.Reader) error {
 	if err != nil {
 		return err
 	}
-	r.Version(2)
+	r.Version(3)
 	clock := r.U64()
 	phase := r.U8()
 	measureStart := r.U64()
-	pfDropped := r.U64()
+	pfDropped := r.U64s()
 	taken := r.Bools()
 	snapCols := make([][]uint64, 18)
 	for i := range snapCols {
@@ -307,6 +309,9 @@ func (s *System) LoadCheckpoint(in io.Reader) error {
 	}
 	if measureStart > clock {
 		return fmt.Errorf("system: checkpoint measurement start %d beyond clock %d", measureStart, clock)
+	}
+	if len(pfDropped) != len(s.pfDropped) {
+		return fmt.Errorf("system: checkpoint drop counters hold %d cores, want %d", len(pfDropped), len(s.pfDropped))
 	}
 	nSnaps := 0
 	if phase >= phaseMeasure {

@@ -128,3 +128,24 @@ func (c Config) Scaled(warmup, measure uint64) Config {
 	c.MeasureInstr = measure
 	return c
 }
+
+// WithCores returns a copy of c resized to n cores with the shared
+// resources scaled the way Table I would extrapolate: the LLC keeps
+// 2 MB per core (8 MB at the paper's 4), DRAM channel count doubles
+// with each doubling of cores past the baseline pair so per-core
+// bandwidth stays constant (channel counts must remain powers of two),
+// and physical memory keeps 1 GB per core so the random first-touch
+// translator never runs out of real frames. Per-core structures (L1,
+// ROB/LSQ, prefetch queue) are per-core already and stay untouched.
+// WithCores(4) equals DefaultConfig — the scaling is anchored there.
+func (c Config) WithCores(n int) Config {
+	c.NumCores = n
+	c.LLC.SizeBytes = n * 2 * 1024 * 1024
+	channels := 2
+	for channels*2 <= n/2 {
+		channels *= 2
+	}
+	c.DRAM.Channels = channels
+	c.MemoryBytes = uint64(n) << 30
+	return c
+}

@@ -1,0 +1,345 @@
+package system
+
+import (
+	"fmt"
+
+	"bingo/internal/cache"
+	"bingo/internal/mem"
+)
+
+// Frontend selects how the per-core frontends (retire + dispatch up to
+// the private L1, including AttachL1 prefetcher training) execute within
+// one simulated cycle.
+//
+// FrontendSerial is the reference: one goroutine ticks every core in
+// index order, recursing straight into the shared LLC/DRAM/translator.
+//
+// FrontendParallel runs each core's tick on its own goroutine. Anything
+// a tick needs from the shared memory side — an L1 miss reaching the
+// LLC, a first-touch page translation — is staged over the core's
+// rendezvous channel to the single driver goroutine, which serves core
+// i's staged operations only after cores 0..i-1 have finished their
+// ticks. The shared state therefore mutates in exactly the serial order,
+// which is why the frontend-differential oracles can hold parallel runs
+// byte-identical to serial ones under both engines.
+//
+// Like Engine, the frontend is a run-speed knob, not a machine
+// parameter: it lives outside Config so it can never key a different
+// checkpoint or warm artifact.
+type Frontend uint8
+
+const (
+	// FrontendSerial ticks all cores on the driver goroutine (reference).
+	FrontendSerial Frontend = iota
+	// FrontendParallel ticks cores on per-core goroutines with a
+	// deterministic drain barrier at the shared LLC/DRAM boundary.
+	FrontendParallel
+)
+
+// ParseFrontend maps a -frontend flag value to a Frontend.
+func ParseFrontend(name string) (Frontend, error) {
+	switch name {
+	case "serial":
+		return FrontendSerial, nil
+	case "parallel":
+		return FrontendParallel, nil
+	default:
+		return FrontendSerial, fmt.Errorf("system: unknown frontend %q (want serial or parallel)", name)
+	}
+}
+
+// String returns the flag spelling of f.
+func (f Frontend) String() string {
+	if f == FrontendParallel {
+		return "parallel"
+	}
+	return "serial"
+}
+
+// SetFrontend selects the frontend execution mode. Call it before Run
+// (or between a pause and the resume); the default is FrontendSerial.
+// The mode never changes simulated results — only how wall-clock time is
+// spent — so it is safe to flip between a checkpoint save and restore.
+func (s *System) SetFrontend(f Frontend) { s.frontend = f }
+
+// Frontend reports the selected frontend execution mode.
+func (s *System) Frontend() Frontend { return s.frontend }
+
+// parallelOK reports whether the parallel frontend may engage. A single
+// core has nothing to overlap. AttachL1 mode trains prefetchers on the
+// worker goroutines, which is only sound while every core owns its
+// instance — a shared-metadata factory (SharedFactory) makes the
+// instances race, so such systems silently fall back to the serial loop
+// (results are identical either way; only wall-clock differs).
+func (s *System) parallelOK() bool {
+	if len(s.cores) < 2 {
+		return false
+	}
+	if s.pfs != nil && s.cfg.PrefetchAt == AttachL1 {
+		for i := range s.pfs {
+			if s.sharedPFIndex(i) >= 0 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Worker → driver message opcodes.
+const (
+	opDone  uint8 = iota // tick finished; no more staged work this cycle
+	opMem                // an L1 miss bound for the shared LLC
+	opXlat               // a first-touch translation needing the shared RNG
+	opPanic              // the tick panicked; the driver re-panics with val
+)
+
+// coreMsg is one staged operation (or completion notice) from a core's
+// frontend to the driver. Values are copied through the channel, so the
+// structs themselves are never shared.
+type coreMsg struct {
+	op  uint8
+	now uint64
+	req cache.Request
+	va  mem.Addr
+	//conc:immutable a recovered panic value handed off exactly once, worker to driver, through the rendezvous channel
+	panicVal any
+}
+
+// coreReply carries the driver's answer back to a blocked frontend.
+type coreReply struct {
+	res cache.Result
+	pa  mem.Addr
+}
+
+// coreWorker is one core's rendezvous endpoint. The channels are the
+// synchronization: a frontend blocks on out/reply mid-Tick exactly where
+// the serial loop would have recursed into the shared memory side, and
+// the driver's in-order drain supplies the same answer the recursion
+// would have computed.
+type coreWorker struct {
+	//conc:immutable wired once by startWorkers; the channel itself is the synchronization
+	cmd chan uint64 // driver → worker: tick at this cycle; closed to stop
+	//conc:immutable wired once by startWorkers; the channel itself is the synchronization
+	out chan coreMsg // worker → driver: staged ops, then opDone
+	//conc:immutable wired once by startWorkers; the channel itself is the synchronization
+	reply chan coreReply // driver → worker: answer to the last staged op
+}
+
+// stageMem hands an LLC-bound access to the driver and blocks until the
+// serialized memory side produced its result. Called from the worker
+// goroutine, inside Core.Tick, via memBridge.
+func (w *coreWorker) stageMem(now uint64, req cache.Request) cache.Result {
+	w.out <- coreMsg{op: opMem, now: now, req: req}
+	return (<-w.reply).res
+}
+
+// stageXlat hands a first-touch translation to the driver and blocks for
+// the assigned physical address. Called from the worker goroutine via
+// xlatBridge after the lock-free Lookup fast path missed.
+func (w *coreWorker) stageXlat(va mem.Addr) mem.Addr {
+	w.out <- coreMsg{op: opXlat, va: va}
+	return (<-w.reply).pa
+}
+
+// startWorkers spins up one goroutine per core. Workers park on their
+// cmd channel until the driver issues a tick.
+func (s *System) startWorkers() {
+	s.workers = make([]*coreWorker, len(s.cores))
+	for i := range s.workers {
+		w := &coreWorker{
+			cmd:   make(chan uint64),
+			out:   make(chan coreMsg),
+			reply: make(chan coreReply),
+		}
+		s.workers[i] = w
+		go s.workerLoop(i, w)
+	}
+}
+
+// stopWorkers shuts the worker goroutines down. On the normal path every
+// worker is parked on its cmd channel (the driver only returns with all
+// cores drained), so closing cmd releases them immediately. During a
+// panic unwind a worker may instead be blocked sending a staged op the
+// driver will never serve; such a goroutine leaks until process exit,
+// which is acceptable because a driver panic is fatal to the run.
+func (s *System) stopWorkers() {
+	for _, w := range s.workers {
+		close(w.cmd)
+	}
+	s.workers = nil
+}
+
+// workerLoop is core i's goroutine: tick on command, forward panics.
+func (s *System) workerLoop(core int, w *coreWorker) {
+	for cycle := range w.cmd {
+		s.tickOnWorker(core, cycle, w)
+	}
+}
+
+// tickOnWorker runs one core tick, converting a panic (e.g. a simsan
+// violation raised on the worker) into an opPanic message so the driver
+// re-raises it on the goroutine the test or caller is watching.
+func (s *System) tickOnWorker(core int, cycle uint64, w *coreWorker) {
+	defer func() {
+		if r := recover(); r != nil {
+			w.out <- coreMsg{op: opPanic, panicVal: r}
+		}
+	}()
+	s.cores[core].Tick(cycle)
+	w.out <- coreMsg{op: opDone}
+}
+
+// drainCore serves core i's staged operations against the shared memory
+// side until its tick completes. Because the driver drains cores in
+// ascending index order, every LLC/DRAM/translator mutation happens in
+// exactly the order the serial loop would have produced.
+func (s *System) drainCore(i int) {
+	w := s.workers[i]
+	for {
+		m := <-w.out
+		switch m.op {
+		case opDone:
+			return
+		case opMem:
+			w.reply <- coreReply{res: llcPort{sys: s}.Access(m.now, m.req)}
+		case opXlat:
+			w.reply <- coreReply{pa: s.xlat.Translate(m.va)}
+		case opPanic:
+			panic(m.panicVal)
+		}
+	}
+}
+
+// runUntilMarkParallel is runUntilMark with the frontends fanned out to
+// the worker goroutines. Each loop iteration is three sub-phases:
+//
+//  1. Launch — decide, per core and from pre-tick state exactly as the
+//     serial loop does, whether the core is done, event-idle (IdleAt on
+//     the driver; it touches only core-local stall counters), or due; due
+//     cores get a tick command and run concurrently.
+//  2. Drain — serve core 0's staged ops to completion, then core 1's,
+//     and so on. Core i's frontend can race only with the drains of
+//     lower-numbered cores, never with their ticks (they finished before
+//     the driver reached core i) — the ordering argument in DESIGN.md
+//     §12. Event-engine deadlines refresh right after each core's drain,
+//     with the same wakeup-monotonicity panic the serial loop enforces.
+//  3. Barrier — pred/mark per core in index order, then the shared
+//     advanceClock / sanitizer / telemetry / hook sequence, unchanged
+//     from the serial loop, with every worker parked.
+func (s *System) runUntilMarkParallel(pred func(core int) bool, mark func(core int, cycle uint64)) bool {
+	reached := make([]bool, len(s.cores))
+	ticked := make([]bool, len(s.cores))
+	launched := make([]bool, len(s.cores))
+	event := s.engine == EngineEvent
+	if event {
+		// Every core is due at loop entry, mirroring serial runUntilMark.
+		for i := range s.coreNext {
+			s.coreNext[i] = s.clock
+		}
+	}
+	s.startWorkers()
+	defer s.stopWorkers()
+	first := true
+	for {
+		allDone := true
+		for i, c := range s.cores {
+			// ticked mirrors the serial loop: on the first iteration even
+			// done cores count as ticked so pred is evaluated once.
+			ticked[i] = first
+			launched[i] = false
+			if c.Done() {
+				continue
+			}
+			allDone = false
+			if event && s.coreNext[i] > s.clock {
+				c.IdleAt(s.clock)
+				continue
+			}
+			ticked[i] = true
+			launched[i] = true
+			s.workers[i].cmd <- s.clock
+		}
+		for i := range s.cores {
+			if !launched[i] {
+				continue
+			}
+			s.drainCore(i)
+			if event {
+				at := s.cores[i].NextEventAt(s.clock)
+				if at <= s.clock {
+					panic(fmt.Sprintf("system: core %d scheduled a wakeup at cycle %d, at or before the current cycle %d", i, at, s.clock))
+				}
+				s.coreNext[i] = at
+			}
+		}
+		allReached := true
+		for i, c := range s.cores {
+			if !reached[i] {
+				if ticked[i] && (pred(i) || c.Done()) {
+					reached[i] = true
+					mark(i, s.clock)
+				} else {
+					allReached = false
+				}
+			}
+		}
+		first = false
+		if allReached || allDone {
+			return false
+		}
+		prev := s.clock
+		s.clock = s.advanceClock(prev)
+		s.sanAtAdvance(prev, s.clock)
+		if s.tel != nil && s.phase == phaseMeasure && s.tel.ShouldSample(s.clock) {
+			s.tel.Sample(s.clock, s.telTotals())
+		}
+		if s.hook != nil && s.hook(s.clock) {
+			return true
+		}
+	}
+}
+
+// memBridge is each private L1's lower level: in serial mode it recurses
+// straight into llcPort; in parallel mode it stages the access to the
+// driver and blocks for the rendezvous reply. It deliberately does not
+// implement the optional Writeback interface, matching llcPort.
+type memBridge struct {
+	//conc:barrier-guarded misses cross to the shared LLC via the in-order drain (parallel) or directly on the driver goroutine (serial)
+	sys  *System
+	core int
+}
+
+// Access implements cache.Level.
+func (b memBridge) Access(now uint64, req cache.Request) cache.Result {
+	s := b.sys
+	if w := s.workers; w != nil {
+		return w[b.core].stageMem(now, req)
+	}
+	return llcPort{sys: s}.Access(now, req)
+}
+
+// xlatBridge is each core's Mapper: already-touched pages resolve on the
+// worker via the translator's lock-free Lookup (entries are write-once,
+// so a hit is always final), and first touches are staged to the driver
+// so the frame-assignment RNG draws in exactly the serial order. A
+// worker can never observe a same-cycle first touch by a higher-numbered
+// core: the driver performs core j's translations only after core i<j
+// finished its tick, which is precisely the order the serial loop
+// interleaves them.
+type xlatBridge struct {
+	//conc:barrier-guarded first touches reach the shared page table via the in-order drain (parallel) or directly on the driver goroutine (serial)
+	sys  *System
+	core int
+}
+
+// Translate implements vm.Mapper.
+func (b xlatBridge) Translate(va mem.Addr) mem.Addr {
+	s := b.sys
+	if w := s.workers; w != nil {
+		if pa, ok := s.xlat.Lookup(va); ok {
+			return pa
+		}
+		return w[b.core].stageXlat(va)
+	}
+	return s.xlat.Translate(va)
+}

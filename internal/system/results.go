@@ -56,7 +56,11 @@ type coreSnapshot struct {
 }
 
 func (s *System) collect(start uint64, snaps []coreSnapshot) Results {
-	r := Results{PrefetcherName: "none", PrefetchDropped: s.pfDropped}
+	var dropped uint64
+	for _, d := range s.pfDropped {
+		dropped += d
+	}
+	r := Results{PrefetcherName: "none", PrefetchDropped: dropped}
 	if s.pfs != nil {
 		r.PrefetcherName = s.pfs[0].Name()
 		r.StorageBytes = s.pfs[0].StorageBytes()

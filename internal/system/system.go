@@ -17,8 +17,12 @@ import (
 // System is one assembled machine instance. Build it with New, provide a
 // trace source per core, then call Run once.
 //
-// A System is single-goroutine: one simulation advances on one goroutine
-// from construction through Run. Distinct System instances are fully
+// A System is driven by one goroutine from construction through Run.
+// Under FrontendSerial that goroutine does everything; under
+// FrontendParallel it fans the per-core frontends out to worker
+// goroutines each cycle and drains their staged memory-side operations
+// in core order at the barrier (see parallel.go) — results are
+// byte-identical either way. Distinct System instances are fully
 // independent and safe to run concurrently — the parallel experiment
 // engine relies on this. Audit note: all mutable simulation state
 // (caches, DRAM banks, translator RNG, prefetcher metadata, the
@@ -28,7 +32,10 @@ import (
 // parallel harness.
 type System struct {
 	cfg Config
-	//conc:barrier-guarded one shared page table; consulted only in the serialized dispatch phase
+	// The translator synchronizes internally: workers use the read-only
+	// Lookup fast path, and allocating Translate calls happen only on the
+	// driver goroutine (serial loop or in-order drain), preserving the
+	// first-touch RNG order.
 	xlat *vm.Translator
 	//conc:barrier-guarded the shared backstop; reached only from the serialized memory-side phase
 	dram *dram.DRAM
@@ -57,9 +64,19 @@ type System struct {
 	// When a core's queue is full, further predictions are dropped —
 	// exactly what a hardware prefetch queue does under bandwidth
 	// pressure, and the mechanism that keeps an over-eager prefetcher
-	// from monopolising DRAM.
+	// from monopolising DRAM. pfDropped counts drops per core (element i
+	// is written by whichever goroutine runs core i's prefetch issue —
+	// the worker in AttachL1 parallel mode, the driver otherwise — never
+	// two at once); Results sums it.
 	pfInflight [][]uint64
-	pfDropped  uint64
+	pfDropped  []uint64
+
+	// evictPFs is the deduplicated prefetcher list LLC evictions fan out
+	// to (AttachLLC mode): precomputed once by New so a shared-metadata
+	// factory — every core holding the same instance — costs one
+	// notification per eviction instead of an O(cores²) duplicate scan.
+	//conc:barrier-guarded LLC evictions fan out only during the serialized memory-side phase
+	evictPFs []prefetch.Prefetcher
 
 	// Run-progress state. Keeping it on the System (rather than local to
 	// Run) is what makes a run pausable at any clock advance and
@@ -89,6 +106,14 @@ type System struct {
 	queue       *sched.Queue
 	engineStats EngineStats
 	coreNext    []uint64
+
+	// frontend selects serial vs parallel per-core execution (see
+	// parallel.go); workers holds the per-core rendezvous endpoints while
+	// a parallel run is inside runUntilMarkParallel and is nil otherwise
+	// — the bridges test it to pick the staged or direct path.
+	frontend Frontend
+	//conc:barrier-guarded set before workers start and cleared after they stop; workers observe it through the happens-before of their own startup
+	workers []*coreWorker
 
 	san sanState // runtime invariant sanitizer (empty without -tags=san)
 }
@@ -130,13 +155,22 @@ func New(cfg Config, sources []trace.Source, factory prefetch.Factory) (*System,
 	if factory != nil {
 		s.pfs = make([]prefetch.Prefetcher, cfg.NumCores)
 		s.pfInflight = make([][]uint64, cfg.NumCores)
+		s.pfDropped = make([]uint64, cfg.NumCores)
 		s.lc = telemetry.NewLifecycle(cfg.NumCores)
 		for i := range s.pfs {
 			s.pfs[i] = factory(i)
 			s.pfInflight[i] = make([]uint64, 0, cfg.PrefetchQueue)
 		}
+		// Deduplicate the eviction fan-out list once: a shared-metadata
+		// factory hands every core the same instance, and scanning for
+		// duplicates per eviction is O(cores²) at 64 cores.
+		for i, p := range s.pfs {
+			if s.sharedPFIndex(i) < 0 {
+				s.evictPFs = append(s.evictPFs, p)
+			}
+		}
 		if cfg.PrefetchAt == AttachLLC {
-			llc.SetEvictionListener(evictionBroadcast{pfs: s.pfs})
+			llc.SetEvictionListener(evictionBroadcast{pfs: s.evictPFs})
 			llc.SetOutcomeFunc(s.routeOutcome)
 			llc.SetPrefetchProbe(s.lc)
 		}
@@ -145,7 +179,7 @@ func New(cfg Config, sources []trace.Source, factory prefetch.Factory) (*System,
 	for i := 0; i < cfg.NumCores; i++ {
 		l1cfg := cfg.L1
 		l1cfg.Name = fmt.Sprintf("L1[%d]", i)
-		l1, err := cache.New(l1cfg, llcPort{sys: s})
+		l1, err := cache.New(l1cfg, memBridge{sys: s, core: i})
 		if err != nil {
 			return nil, err
 		}
@@ -159,7 +193,7 @@ func New(cfg Config, sources []trace.Source, factory prefetch.Factory) (*System,
 			l1.SetPrefetchProbe(s.lc)
 			port = l1Port{sys: s, core: i, l1: l1}
 		}
-		core, err := cpu.New(cfg.Core, i, sources[i], xlat, port)
+		core, err := cpu.New(cfg.Core, i, sources[i], xlatBridge{sys: s, core: i}, port)
 		if err != nil {
 			return nil, err
 		}
@@ -193,7 +227,7 @@ func (p l1Port) Access(now uint64, req cache.Request) cache.Result {
 	s.lc.Predicted(p.core, len(addrs))
 	for i, a := range addrs {
 		if !s.pfReserve(p.core, now) {
-			s.pfDropped += uint64(len(addrs) - i)
+			s.pfDropped[p.core] += uint64(len(addrs) - i)
 			s.lc.QueueDropped(p.core, len(addrs)-i)
 			break
 		}
@@ -212,27 +246,20 @@ func MustNew(cfg Config, sources []trace.Source, factory prefetch.Factory) *Syst
 	return s
 }
 
-// evictionBroadcast fans LLC evictions out to every per-core prefetcher:
-// each checks its own residency tracker (paper: private prefetchers, no
-// metadata sharing). When a factory hands the same instance to several
-// cores (the shared-metadata ablation), the instance is notified once.
+// evictionBroadcast fans LLC evictions out to the unique prefetcher
+// instances: each checks its own residency tracker (paper: private
+// prefetchers, no metadata sharing). New precomputes the deduplicated
+// list (s.evictPFs), so when a factory hands the same instance to
+// several cores (the shared-metadata ablation) it is notified exactly
+// once per eviction without a per-eviction duplicate scan.
 type evictionBroadcast struct {
 	//conc:barrier-guarded LLC evictions fan out only during the serialized memory-side phase
 	pfs []prefetch.Prefetcher
 }
 
 func (b evictionBroadcast) OnEviction(addr mem.Addr) {
-	for i, p := range b.pfs {
-		duplicate := false
-		for j := 0; j < i; j++ {
-			if b.pfs[j] == p {
-				duplicate = true
-				break
-			}
-		}
-		if !duplicate {
-			p.OnEviction(addr)
-		}
+	for _, p := range b.pfs {
+		p.OnEviction(addr)
 	}
 }
 
@@ -264,7 +291,7 @@ func (p llcPort) Access(now uint64, req cache.Request) cache.Result {
 	s.lc.Predicted(req.Core, len(addrs))
 	for i, a := range addrs {
 		if !s.pfReserve(req.Core, now) {
-			s.pfDropped += uint64(len(addrs) - i)
+			s.pfDropped[req.Core] += uint64(len(addrs) - i)
 			s.lc.QueueDropped(req.Core, len(addrs)-i)
 			break
 		}
@@ -418,11 +445,13 @@ func (s *System) enterMeasure() {
 	if s.lc != nil {
 		s.lc.Reset()
 	}
-	// The drop counter is a measurement-window stat like everything else
-	// reset here; without this it silently folded warm-up drops into
+	// The drop counters are measurement-window stats like everything else
+	// reset here; without this they silently folded warm-up drops into
 	// Results.PrefetchDropped (and broke the lifecycle conservation
 	// identity QueueDropped == PrefetchDropped).
-	s.pfDropped = 0
+	for i := range s.pfDropped {
+		s.pfDropped[i] = 0
+	}
 	s.measureStart = s.clock
 	s.snaps = make([]coreSnapshot, len(s.cores))
 	s.phase = phaseMeasure
@@ -443,6 +472,9 @@ func (s *System) runUntil(pred func(core int) bool) bool {
 // per-core reached flags recompute to the same values they held when the
 // pause hit, and mark-once idempotence is the caller's taken guard.
 func (s *System) runUntilMark(pred func(core int) bool, mark func(core int, cycle uint64)) bool {
+	if s.frontend == FrontendParallel && s.parallelOK() {
+		return s.runUntilMarkParallel(pred, mark)
+	}
 	reached := make([]bool, len(s.cores))
 	event := s.engine == EngineEvent
 	if event {

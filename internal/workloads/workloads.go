@@ -117,8 +117,22 @@ func perCore(build func(seed int64, vbase uint64) trace.Source) func(int, int64)
 	}
 }
 
-// mixSpec builds a 4-core SPEC mix: core i runs kernel i (wrapping if a
-// system has more cores than the mix lists).
+// wrapPhaseSkip is the per-wrap stagger applied when a machine has more
+// cores than a mix lists kernels: the j-th rerun of a kernel starts
+// j*wrapPhaseSkip records into its stream.
+const wrapPhaseSkip = 2048
+
+// mixSpec builds a 4-core SPEC mix: core i runs kernel i, wrapping if a
+// system has more cores than the mix lists. Seeds are decorrelated per
+// core (i*104729) and every core owns a disjoint virtual base — but the
+// streaming kernels (the multiStream family) are seed-insensitive by
+// construction, their access pattern being the benchmark itself, so a
+// wrapped core would otherwise emit a cycle-exact clone of its partner.
+// Each wrap is therefore phase-shifted by draining a deterministic
+// prefix: two instances of the same kernel then run staggered, the way
+// a real multiprogrammed machine would interleave them. Cores below
+// len(kernels) skip nothing, so 4-core mixes are bit-identical to the
+// unwrapped behaviour.
 func mixSpec(name string, paperMPKI float64, kernels ...string) Spec {
 	return Spec{
 		Name:        name,
@@ -132,7 +146,11 @@ func mixSpec(name string, paperMPKI float64, kernels ...string) Spec {
 				if !ok {
 					panic(fmt.Sprintf("workloads: unknown SPEC kernel %q", k))
 				}
-				out[i] = build(seed+int64(i)*104729, coreVBase(i))
+				src := build(seed+int64(i)*104729, coreVBase(i))
+				for skip := (i / len(kernels)) * wrapPhaseSkip; skip > 0; skip-- {
+					src.Next()
+				}
+				out[i] = src
 			}
 			return out
 		},
